@@ -1,0 +1,89 @@
+// Ablation bench (DESIGN.md A1): what do the two extra losses buy?
+//
+// The paper motivates the information loss (statistical fidelity,
+// §4.2.2) and the classification loss (semantic integrity, §4.2.3).
+// This bench trains four variants on the Health-like table — full
+// table-GAN, no-info-loss, no-classifier, and plain DCGAN — and
+// measures (a) the KS distance of a headline sensitive attribute and
+// (b) the semantic-violation rate: the fraction of synthetic records
+// labelled diabetic whose glucose is below the table's 25th percentile
+// (the "cholesterol=60.1, diabetes=1" failure mode from §1).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace tablegan {
+namespace {
+
+double SemanticViolationRate(const data::Table& table, int glucose_col,
+                             int label_col, double glucose_threshold) {
+  int64_t diabetic = 0, violations = 0;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (table.Get(r, label_col) < 0.5) continue;
+    ++diabetic;
+    if (table.Get(r, glucose_col) < glucose_threshold) ++violations;
+  }
+  return diabetic == 0 ? 0.0
+                       : static_cast<double>(violations) /
+                             static_cast<double>(diabetic);
+}
+
+void Run() {
+  bench::PrintHeader("Ablation: information loss & classifier (Health)");
+  auto ds = bench::LoadBenchDataset("health");
+  TABLEGAN_CHECK_OK(ds.status());
+  const int glucose = *ds->train.schema().FindColumn("glucose");
+
+  std::vector<double> sorted = ds->train.column(glucose);
+  std::sort(sorted.begin(), sorted.end());
+  const double q25 = sorted[sorted.size() / 4];
+
+  const struct {
+    const char* label;
+    bool info;
+    bool classifier;
+  } variants[] = {{"full table-GAN", true, true},
+                  {"no info loss", false, true},
+                  {"no classifier", true, false},
+                  {"dcgan (neither)", false, false}};
+
+  const std::vector<int> widths{18, 12, 22, 20};
+  bench::PrintRow({"Variant", "KS(glucose)", "SemanticViolations",
+                   "RealViolationRate"},
+                  widths);
+  const double real_rate =
+      SemanticViolationRate(ds->train, glucose, ds->label_col, q25);
+  const std::vector<double> real_cdf = bench::ColumnCdf(ds->train, glucose);
+  for (const auto& variant : variants) {
+    core::TableGanOptions options = bench::BenchGanOptions(0.0f, 0.0f);
+    options.use_info_loss = variant.info;
+    options.use_classifier = variant.classifier;
+    auto trained = bench::TrainGan(*ds, options);
+    TABLEGAN_CHECK_OK(trained.status());
+    auto synth = trained->gan->Sample(ds->train.num_rows());
+    TABLEGAN_CHECK_OK(synth.status());
+    const double ks =
+        bench::KsDistance(real_cdf, bench::ColumnCdf(*synth, glucose));
+    const double rate =
+        SemanticViolationRate(*synth, glucose, ds->label_col, q25);
+    bench::PrintRow({variant.label, bench::FormatDouble(ks, 3),
+                     bench::FormatDouble(rate, 3),
+                     bench::FormatDouble(real_rate, 3)},
+                    widths);
+  }
+  std::printf(
+      "\nShape check: the full model should minimize both columns; "
+      "removing the classifier raises semantic violations, removing the "
+      "info loss raises KS.\n");
+}
+
+}  // namespace
+}  // namespace tablegan
+
+int main() {
+  tablegan::Run();
+  return 0;
+}

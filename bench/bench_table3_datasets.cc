@@ -1,0 +1,49 @@
+// Reproduces paper Table 3: statistics of the four evaluation datasets.
+//
+// Our dataset simulators substitute for the public downloads (DESIGN.md
+// §3); the structural statistics — QID / sensitive attribute counts and
+// full paper row counts — are reproduced exactly, while benches sample a
+// fraction of the rows for single-core runs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace tablegan {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Table 3: Statistics of datasets");
+  const std::vector<int> widths{10, 14, 10, 14, 16, 16};
+  bench::PrintRow({"Dataset", "#Records", "#QIDs", "#Sensitive",
+                   "#TestRecords", "#BenchRows"},
+                  widths);
+  for (const std::string& name : data::DatasetNames()) {
+    auto ds = bench::LoadBenchDataset(name);
+    TABLEGAN_CHECK_OK(ds.status());
+    const data::Schema& schema = ds->train.schema();
+    const auto qids =
+        schema.ColumnsWithRole(data::ColumnRole::kQuasiIdentifier).size();
+    const auto sens =
+        schema.ColumnsWithRole(data::ColumnRole::kSensitive).size();
+    bench::PrintRow(
+        {name, std::to_string(*data::PaperRowCount(name)),
+         std::to_string(qids), std::to_string(sens),
+         std::to_string(*data::PaperTestRowCount(name)),
+         std::to_string(ds->train.num_rows())},
+        widths);
+  }
+  std::printf(
+      "\nPaper Table 3 reference: lacity 15000/2/21/3000, "
+      "adult 32561/5/9/16281, health 9813/4/28/1963, "
+      "airline 1000000/2/30/200000.\n");
+}
+
+}  // namespace
+}  // namespace tablegan
+
+int main() {
+  tablegan::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+#ifndef TABLEGAN_BENCH_BENCH_UTIL_H_
+#define TABLEGAN_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/table_gan.h"
+#include "data/datasets.h"
+#include "ml/metrics.h"
+#include "ml/ml_data.h"
+#include "ml/model_zoo.h"
+
+namespace tablegan {
+namespace bench {
+
+/// Scale multiplier for all benchmark workloads, read from the
+/// TABLEGAN_BENCH_SCALE environment variable (default 1.0). Values > 1
+/// enlarge datasets toward the paper's sizes; < 1 shrinks them for quick
+/// smoke runs. Every bench prints the effective configuration.
+double BenchScale();
+
+/// Per-dataset default sampling fraction for benches, tuned so that the
+/// full harness finishes in minutes on one CPU core (the paper used a
+/// GPU; see DESIGN.md §3 substitutions). Multiplied by BenchScale().
+double DefaultFraction(const std::string& dataset);
+
+/// GAN configuration for bench runs: the paper architecture with a
+/// learning rate raised to 1e-3 because the scaled-down tables provide
+/// ~20x fewer Adam steps per epoch than the full-size ones.
+core::TableGanOptions BenchGanOptions(float delta_mean, float delta_sd);
+
+/// Builds the named dataset at the bench fraction.
+Result<data::Dataset> LoadBenchDataset(const std::string& name,
+                                       uint64_t seed = 4242);
+
+/// Trains a table-GAN and returns it with the elapsed seconds.
+struct TrainedGan {
+  std::unique_ptr<core::TableGan> gan;
+  double seconds = 0.0;
+};
+Result<TrainedGan> TrainGan(const data::Dataset& dataset,
+                            const core::TableGanOptions& options);
+
+/// Empirical CDF of a column evaluated at `points` equally spaced
+/// quantile positions of the normalized [0, 1] domain (Figure 4 series).
+std::vector<double> ColumnCdf(const data::Table& table, int col,
+                              int points = 20);
+
+/// Kolmogorov-Smirnov distance between two CDF series (summary statistic
+/// for the statistical-similarity figures).
+double KsDistance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// One point of a model-compatibility plot (Figures 5-6): the score of a
+/// fixed algorithm+parameters trained on the original table (x) versus
+/// trained on the released table (y), both evaluated on unseen test
+/// records. Points on the diagonal mean perfect compatibility.
+struct CompatPoint {
+  std::string model;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// F-1 pairs over the 40-classifier grid (Figure 5). The label's source
+/// attribute (`drop_col`, the regression target it was thresholded from)
+/// is excluded from the features so that the task is non-trivial, which
+/// matches the score spread of the paper's plots; pass -1 to keep all.
+Result<std::vector<CompatPoint>> ClassificationCompat(
+    const data::Table& original, const data::Table& released,
+    const data::Table& test, int label_col, int drop_col);
+
+/// MRE pairs over the 40-regressor grid (Figure 6). The derived binary
+/// label (`label_col`) is excluded from the features (it leaks the
+/// thresholded target).
+Result<std::vector<CompatPoint>> RegressionCompat(
+    const data::Table& original, const data::Table& released,
+    const data::Table& test, int regression_col, int label_col);
+
+/// Mean |x - y| over the points — the scalar "distance from the
+/// diagonal" used to summarize each plot.
+double MeanDiagonalGap(const std::vector<CompatPoint>& points);
+
+/// Pretty-printing helpers for paper-style tables.
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace bench
+}  // namespace tablegan
+
+#endif  // TABLEGAN_BENCH_BENCH_UTIL_H_

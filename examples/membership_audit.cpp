@@ -1,0 +1,49 @@
+// Membership audit: run the paper's shadow-model attack (§4.5) against
+// your own release before publishing it.
+//
+// Trains two targets on the Health-like table — low privacy and high
+// privacy — attacks both, and reports the attacker's F-1/AUCROC. A
+// score near 0.5 AUC means the attacker cannot tell training members
+// from non-members; the high-privacy margins should push it there.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/membership_attack.h"
+#include "core/table_gan.h"
+#include "data/datasets.h"
+
+int main() {
+  using namespace tablegan;
+  auto ds = data::MakeDataset("health", /*scale=*/0.06, /*seed=*/77);
+  TABLEGAN_CHECK_OK(ds.status());
+  std::printf("auditing releases of a %lld-row health table\n\n",
+              static_cast<long long>(ds->train.num_rows()));
+
+  std::printf("%-22s %8s %8s\n", "release", "F-1", "AUCROC");
+  for (float delta : {0.0f, 0.5f}) {
+    core::TableGanOptions options;
+    options.delta_mean = delta;
+    options.delta_sd = delta;
+    options.epochs = 40;
+    options.learning_rate = 1e-3f;
+    options.base_channels = 16;
+    options.latent_dim = 32;
+    core::TableGan target(options);
+    TABLEGAN_CHECK_OK(target.Fit(ds->train, ds->label_col));
+
+    core::MembershipAttackOptions attack;
+    attack.num_shadow_gans = 2;
+    attack.shadow_options = options;  // attacker knows the architecture
+    attack.eval_records_per_side = 250;
+    auto result = core::RunMembershipAttack(&target, ds->train, ds->test,
+                                            ds->label_col, attack);
+    TABLEGAN_CHECK_OK(result.status());
+    std::printf("%-22s %8.3f %8.3f\n",
+                delta == 0.0f ? "low privacy" : "high privacy",
+                result->f1, result->auc_roc);
+  }
+  std::printf("\nAUC near 0.5 = the attacker is guessing; prefer the "
+              "setting that reaches it while the release stays useful.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef TABLEGAN_COMMON_LOGGING_H_
+#define TABLEGAN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tablegan {
+namespace internal_logging {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that is actually emitted. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Stream-style log sink; emits on destruction. `fatal` aborts the
+/// process after emitting (used by CHECK failures — programming errors,
+/// not recoverable conditions, which use Status instead).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tablegan
+
+#define TABLEGAN_LOG(level)                                         \
+  ::tablegan::internal_logging::LogMessage(                         \
+      ::tablegan::internal_logging::LogLevel::k##level, __FILE__, __LINE__)
+
+/// CHECK-style invariant macros: violations are bugs and abort.
+#define TABLEGAN_CHECK(cond)                                              \
+  if (!(cond))                                                            \
+  ::tablegan::internal_logging::LogMessage(                               \
+      ::tablegan::internal_logging::LogLevel::kError, __FILE__, __LINE__, \
+      /*fatal=*/true)                                                     \
+      << "Check failed: " #cond " "
+
+#define TABLEGAN_CHECK_OK(expr)                                           \
+  do {                                                                    \
+    ::tablegan::Status _st = (expr);                                      \
+    TABLEGAN_CHECK(_st.ok()) << _st.ToString();                           \
+  } while (0)
+
+#define TABLEGAN_DCHECK(cond) TABLEGAN_CHECK(cond)
+
+#endif  // TABLEGAN_COMMON_LOGGING_H_

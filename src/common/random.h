@@ -1,0 +1,72 @@
+#ifndef TABLEGAN_COMMON_RANDOM_H_
+#define TABLEGAN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tablegan {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Used everywhere in the library instead of std:: engines so that
+/// experiments are reproducible across platforms and standard library
+/// versions. Not thread-safe; use one Rng per thread (Split()).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64 random bits.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Normal with given mean / stddev.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Requires at least one strictly positive weight.
+  int NextCategorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// A permutation of 0..n-1.
+  std::vector<int> Permutation(int n);
+
+  /// Derives an independent child generator (e.g. one per thread/chunk).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace tablegan
+
+#endif  // TABLEGAN_COMMON_RANDOM_H_

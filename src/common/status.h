@@ -1,0 +1,134 @@
+#ifndef TABLEGAN_COMMON_STATUS_H_
+#define TABLEGAN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tablegan {
+
+/// Error categories used across the library. Public APIs never throw;
+/// recoverable failures are reported through Status / Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success/error carrier in the RocksDB/Arrow style.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Status is cheap to copy (small string optimization covers the
+/// common short messages).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status, in the Arrow style.
+///
+/// Use `TABLEGAN_ASSIGN_OR_RETURN` / `TABLEGAN_RETURN_NOT_OK` to propagate
+/// errors without boilerplate.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call
+  /// sites readable (`return value;` / `return Status::...;`).
+  Result(T value) : data_(std::move(value)) {}        // NOLINT
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  /// Requires ok(). Accessing the value of an error Result aborts.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace tablegan
+
+/// Propagates a non-OK Status from the current function.
+#define TABLEGAN_RETURN_NOT_OK(expr)                   \
+  do {                                                 \
+    ::tablegan::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+#define TABLEGAN_CONCAT_IMPL(x, y) x##y
+#define TABLEGAN_CONCAT(x, y) TABLEGAN_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, on
+/// success assigns the value to `lhs`.
+#define TABLEGAN_ASSIGN_OR_RETURN(lhs, expr)                        \
+  TABLEGAN_ASSIGN_OR_RETURN_IMPL(                                   \
+      TABLEGAN_CONCAT(_tablegan_result_, __LINE__), lhs, expr)
+
+#define TABLEGAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#endif  // TABLEGAN_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef TABLEGAN_COMMON_STOPWATCH_H_
+#define TABLEGAN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tablegan {
+
+/// Wall-clock stopwatch used by the training-time experiment (paper
+/// Table 4) and the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tablegan
+
+#endif  // TABLEGAN_COMMON_STOPWATCH_H_

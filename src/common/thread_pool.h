@@ -1,0 +1,52 @@
+#ifndef TABLEGAN_COMMON_THREAD_POOL_H_
+#define TABLEGAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tablegan {
+
+/// Fixed-size worker pool used for the multi-chunk training mode (§4.4 of
+/// the paper) and for coarse-grained data-parallel loops.
+///
+/// Submitted tasks run in FIFO order across workers. WaitIdle() blocks
+/// until every submitted task has finished.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals WaitIdle
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tablegan
+
+#endif  // TABLEGAN_COMMON_THREAD_POOL_H_

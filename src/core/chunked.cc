@@ -1,0 +1,56 @@
+#include "core/chunked.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/table_gan.h"
+#include "data/split.h"
+
+namespace tablegan {
+namespace core {
+
+Result<data::Table> ChunkedTrainAndSynthesize(
+    const data::Table& table, int label_col, int64_t num_samples,
+    const ChunkedSynthesisOptions& options) {
+  if (options.num_chunks < 1) {
+    return Status::InvalidArgument("num_chunks must be >= 1");
+  }
+  std::vector<data::Table> chunks =
+      data::SplitChunks(table, options.num_chunks);
+  const int k = static_cast<int>(chunks.size());
+
+  std::vector<Status> statuses(static_cast<size_t>(k));
+  std::vector<data::Table> outputs(static_cast<size_t>(k));
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(k, [&](int i) {
+    TableGanOptions gan_options = options.gan;
+    gan_options.seed = options.gan.seed + static_cast<uint64_t>(i) * 7919;
+    TableGan gan(gan_options);
+    Status st = gan.Fit(chunks[static_cast<size_t>(i)], label_col);
+    if (!st.ok()) {
+      statuses[static_cast<size_t>(i)] = st;
+      return;
+    }
+    const int64_t share =
+        num_samples * (i + 1) / k - num_samples * i / k;
+    if (share > 0) {
+      Result<data::Table> sampled = gan.Sample(share);
+      if (!sampled.ok()) {
+        statuses[static_cast<size_t>(i)] = sampled.status();
+        return;
+      }
+      outputs[static_cast<size_t>(i)] = std::move(sampled).value();
+    } else {
+      outputs[static_cast<size_t>(i)] = data::Table(table.schema());
+    }
+    statuses[static_cast<size_t>(i)] = Status::OK();
+  });
+  for (const Status& st : statuses) {
+    TABLEGAN_RETURN_NOT_OK(st);
+  }
+  return data::Table::ConcatRows(outputs);
+}
+
+}  // namespace core
+}  // namespace tablegan

@@ -1,0 +1,29 @@
+#ifndef TABLEGAN_CORE_CHUNKED_H_
+#define TABLEGAN_CORE_CHUNKED_H_
+
+#include "common/status.h"
+#include "core/table_gan_options.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace core {
+
+/// Multi-chunk scalable synthesis (paper §4.4): splits the table into
+/// `num_chunks` pieces, trains an independent table-GAN per chunk (in
+/// parallel on `num_threads` workers), synthesizes each chunk's share of
+/// the requested rows, and merges the results. The paper uses this mode
+/// for the one-million-row Airline table.
+struct ChunkedSynthesisOptions {
+  TableGanOptions gan;
+  int num_chunks = 4;
+  int num_threads = 2;
+};
+
+Result<data::Table> ChunkedTrainAndSynthesize(
+    const data::Table& table, int label_col, int64_t num_samples,
+    const ChunkedSynthesisOptions& options);
+
+}  // namespace core
+}  // namespace tablegan
+
+#endif  // TABLEGAN_CORE_CHUNKED_H_

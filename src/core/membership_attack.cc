@@ -1,0 +1,211 @@
+#include "core/membership_attack.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "ml/metrics.h"
+#include "ml/model_zoo.h"
+
+namespace tablegan {
+namespace core {
+namespace {
+
+// Per-class attack training pool: 1-D feature (the shadow discriminator
+// score) plus membership target.
+struct AttackPool {
+  ml::MlData data[2];  // indexed by class label 0/1
+
+  void Add(int label, double score, int membership) {
+    ml::MlData& d = data[label != 0 ? 1 : 0];
+    d.x.push_back({score});
+    d.y.push_back(static_cast<double>(membership));
+  }
+};
+
+// Picks the best attack classifier family by validation F-1 and refits
+// it on the full pool (stand-in for the paper's grid search + 10-fold
+// cross-validation, §5.3.2).
+Result<std::unique_ptr<ml::Classifier>> TrainAttackModel(
+    const ml::MlData& pool, Rng* rng) {
+  if (pool.num_rows() < 10) {
+    return Status::FailedPrecondition("attack pool too small");
+  }
+  const int64_t n = pool.num_rows();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  rng->Shuffle(&order);
+  const int64_t val_n = std::max<int64_t>(1, n / 4);
+  ml::MlData train, val;
+  for (int64_t i = 0; i < n; ++i) {
+    ml::MlData& dst = i < val_n ? val : train;
+    dst.x.push_back(pool.x[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+    dst.y.push_back(pool.y[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+  }
+  std::vector<int> val_true;
+  val_true.reserve(val.y.size());
+  for (double y : val.y) val_true.push_back(y > 0.5 ? 1 : 0);
+
+  double best_f1 = -1.0;
+  std::string best_name;
+  for (const auto& spec : ml::MembershipAttackClassifiers()) {
+    std::unique_ptr<ml::Classifier> model = spec.make();
+    if (!model->Fit(train).ok()) continue;
+    const double f1 = ml::F1Score(val_true, model->PredictAll(val));
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_name = spec.name;
+    }
+  }
+  if (best_f1 < 0.0) return Status::Internal("no attack model trained");
+  for (const auto& spec : ml::MembershipAttackClassifiers()) {
+    if (spec.name == best_name) {
+      std::unique_ptr<ml::Classifier> model = spec.make();
+      TABLEGAN_RETURN_NOT_OK(model->Fit(pool));
+      return model;
+    }
+  }
+  return Status::Internal("attack model lookup failed");
+}
+
+std::vector<int64_t> SampleRows(int64_t available, int64_t want, Rng* rng) {
+  std::vector<int64_t> idx(static_cast<size_t>(available));
+  std::iota(idx.begin(), idx.end(), int64_t{0});
+  rng->Shuffle(&idx);
+  idx.resize(static_cast<size_t>(std::min(available, want)));
+  return idx;
+}
+
+}  // namespace
+
+Result<MembershipAttackResult> RunMembershipAttack(
+    TableGan* target, const data::Table& train_table,
+    const data::Table& test_table, int label_col,
+    const MembershipAttackOptions& options) {
+  if (!target->fitted()) {
+    return Status::FailedPrecondition("target table-GAN is not fitted");
+  }
+  if (test_table.num_rows() < 20) {
+    return Status::InvalidArgument("test table too small for the attack");
+  }
+  Rng rng(options.seed);
+
+  // Reserve disjoint halves of the unseen records: one for shadow "out"
+  // samples, one for the final evaluation.
+  std::vector<int64_t> test_idx(static_cast<size_t>(test_table.num_rows()));
+  std::iota(test_idx.begin(), test_idx.end(), int64_t{0});
+  rng.Shuffle(&test_idx);
+  const int64_t half = test_table.num_rows() / 2;
+  const data::Table shadow_out_pool = test_table.SelectRows(
+      {test_idx.begin(), test_idx.begin() + half});
+  const data::Table eval_out_pool = test_table.SelectRows(
+      {test_idx.begin() + half, test_idx.end()});
+
+  const int64_t shadow_rows = options.shadow_table_rows > 0
+                                  ? options.shadow_table_rows
+                                  : train_table.num_rows();
+
+  AttackPool pool;
+  std::vector<std::unique_ptr<TableGan>> shadows;
+  for (int s = 0; s < options.num_shadow_gans; ++s) {
+    // Step 2: shadow training table from the target's generator.
+    TABLEGAN_ASSIGN_OR_RETURN(data::Table shadow_train,
+                              target->Sample(shadow_rows));
+    // Step 3: shadow table-GAN replicating the target's architecture.
+    TableGanOptions shadow_opts = options.shadow_options;
+    shadow_opts.seed = options.seed + 101 * static_cast<uint64_t>(s + 1);
+    auto shadow = std::make_unique<TableGan>(shadow_opts);
+    TABLEGAN_RETURN_NOT_OK(shadow->Fit(shadow_train, label_col));
+
+    // Step 4a: "in" tuples from the shadow's own training records.
+    TABLEGAN_ASSIGN_OR_RETURN(std::vector<double> in_scores,
+                              shadow->DiscriminatorScores(shadow_train));
+    const int64_t in_take =
+        std::min<int64_t>(shadow_train.num_rows(),
+                          shadow_out_pool.num_rows());
+    for (int64_t r : SampleRows(shadow_train.num_rows(), in_take, &rng)) {
+      const int label =
+          shadow_train.Get(r, label_col) > 0.5 ? 1 : 0;
+      pool.Add(label, in_scores[static_cast<size_t>(r)], 1);
+    }
+    // Step 4b: "out" tuples from real records the shadow never saw.
+    TABLEGAN_ASSIGN_OR_RETURN(std::vector<double> out_scores,
+                              shadow->DiscriminatorScores(shadow_out_pool));
+    for (int64_t r :
+         SampleRows(shadow_out_pool.num_rows(), in_take, &rng)) {
+      const int label = shadow_out_pool.Get(r, label_col) > 0.5 ? 1 : 0;
+      pool.Add(label, out_scores[static_cast<size_t>(r)], 0);
+    }
+    shadows.push_back(std::move(shadow));
+  }
+
+  // Step 6: one attack model per class.
+  std::unique_ptr<ml::Classifier> attack_models[2];
+  for (int c = 0; c < 2; ++c) {
+    TABLEGAN_ASSIGN_OR_RETURN(attack_models[c],
+                              TrainAttackModel(pool.data[c], &rng));
+  }
+
+  // Final evaluation on a balanced in/out set. The attack feature for a
+  // candidate record is its mean score across shadow discriminators.
+  const int64_t per_side = std::min<int64_t>(
+      options.eval_records_per_side,
+      std::min(train_table.num_rows(), eval_out_pool.num_rows()));
+  const data::Table eval_in = train_table.SelectRows(
+      SampleRows(train_table.num_rows(), per_side, &rng));
+  const data::Table eval_out = eval_out_pool.SelectRows(
+      SampleRows(eval_out_pool.num_rows(), per_side, &rng));
+
+  auto mean_scores =
+      [&](const data::Table& t) -> Result<std::vector<double>> {
+    std::vector<double> acc(static_cast<size_t>(t.num_rows()), 0.0);
+    for (auto& shadow : shadows) {
+      TABLEGAN_ASSIGN_OR_RETURN(std::vector<double> s,
+                                shadow->DiscriminatorScores(t));
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] += s[i];
+    }
+    for (double& v : acc) v /= static_cast<double>(shadows.size());
+    return acc;
+  };
+  TABLEGAN_ASSIGN_OR_RETURN(std::vector<double> in_scores,
+                            mean_scores(eval_in));
+  TABLEGAN_ASSIGN_OR_RETURN(std::vector<double> out_scores,
+                            mean_scores(eval_out));
+
+  MembershipAttackResult result;
+  int classes_scored = 0;
+  for (int c = 0; c < 2; ++c) {
+    std::vector<int> y_true;
+    std::vector<int> y_pred;
+    std::vector<double> y_score;
+    auto add = [&](const data::Table& t, const std::vector<double>& scores,
+                   int membership) {
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        const int label = t.Get(r, label_col) > 0.5 ? 1 : 0;
+        if (label != c) continue;
+        const std::vector<double> x{scores[static_cast<size_t>(r)]};
+        y_true.push_back(membership);
+        y_pred.push_back(attack_models[c]->Predict(x));
+        y_score.push_back(attack_models[c]->PredictProba(x));
+      }
+    };
+    add(eval_in, in_scores, 1);
+    add(eval_out, out_scores, 0);
+    if (y_true.size() < 4) continue;
+    result.f1 += ml::F1Score(y_true, y_pred);
+    result.auc_roc += ml::AucRoc(y_true, y_score);
+    ++classes_scored;
+  }
+  if (classes_scored == 0) {
+    return Status::Internal("evaluation set had no usable class");
+  }
+  result.f1 /= classes_scored;
+  result.auc_roc /= classes_scored;
+  return result;
+}
+
+}  // namespace core
+}  // namespace tablegan

@@ -1,0 +1,54 @@
+#ifndef TABLEGAN_CORE_MEMBERSHIP_ATTACK_H_
+#define TABLEGAN_CORE_MEMBERSHIP_ATTACK_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/table_gan.h"
+
+namespace tablegan {
+namespace core {
+
+/// Customized membership-inference attack against table-GAN (paper §4.5,
+/// adapting Shokri et al. [33]). The attacker has black-box access to
+/// the *generator* of the trained target and knows its architecture:
+///
+///   1. obtain synthetic "shadow training tables" from the target,
+///   2. train shadow table-GANs on them,
+///   3. build attack tuples (class of r, D_shadow(r), in/out) from each
+///      shadow's training records (in) and held-out real records (out),
+///   4. train one attack classifier per class (best of the MLP / tree /
+///      AdaBoost / forest / SVM family by validation F-1),
+///   5. evaluate on a balanced 50/50 set of real training ("in") and
+///      reserved testing ("out") records, scoring F-1 and AUCROC
+///      (paper Table 6).
+struct MembershipAttackOptions {
+  int num_shadow_gans = 2;
+  /// Rows of each shadow training table drawn from the target generator.
+  int64_t shadow_table_rows = 0;  // 0 = same as target training size
+  /// Shadow GANs replicate the target's architecture; the attacker knows
+  /// it (paper assumption). Epochs may be reduced for speed.
+  TableGanOptions shadow_options;
+  /// Records per side (in/out) of the balanced evaluation set.
+  int64_t eval_records_per_side = 500;
+  uint64_t seed = 53;
+};
+
+struct MembershipAttackResult {
+  double f1 = 0.0;       // averaged over the two per-class attack models
+  double auc_roc = 0.0;  // ditto
+};
+
+/// Runs the attack against `target` (already fitted). `train_table` are
+/// the target's real training records (ground-truth "in"); `test_table`
+/// are real records never seen by the target ("out"), split internally
+/// into shadow-attack training and final evaluation halves.
+Result<MembershipAttackResult> RunMembershipAttack(
+    TableGan* target, const data::Table& train_table,
+    const data::Table& test_table, int label_col,
+    const MembershipAttackOptions& options);
+
+}  // namespace core
+}  // namespace tablegan
+
+#endif  // TABLEGAN_CORE_MEMBERSHIP_ATTACK_H_

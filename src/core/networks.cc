@@ -1,0 +1,90 @@
+#include "core/networks.h"
+
+#include "common/logging.h"
+#include "nn/activations.h"
+#include "nn/batch_norm.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/reshape.h"
+
+namespace tablegan {
+namespace core {
+
+std::vector<Tensor*> TwoPartNet::Parameters() {
+  std::vector<Tensor*> out = features->Parameters();
+  for (Tensor* p : head->Parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> TwoPartNet::Gradients() {
+  std::vector<Tensor*> out = features->Gradients();
+  for (Tensor* g : head->Gradients()) out.push_back(g);
+  return out;
+}
+
+int NumStages(int side) {
+  TABLEGAN_CHECK(side >= 4 && (side & (side - 1)) == 0)
+      << "side must be a power of two >= 4, got " << side;
+  int stages = 0;
+  for (int s = side; s > 2; s /= 2) ++stages;
+  return stages;
+}
+
+TwoPartNet BuildDiscriminator(int side, int base_channels, Rng* rng,
+                              int head_outputs) {
+  const int stages = NumStages(side);
+  TwoPartNet net;
+  net.features = std::make_unique<nn::Sequential>();
+  int in_ch = 1;
+  int out_ch = base_channels;
+  for (int s = 0; s < stages; ++s) {
+    // No bias before BatchNorm; first conv has no BatchNorm (DCGAN).
+    const bool has_bn = s > 0;
+    net.features->Emplace<nn::Conv2d>(in_ch, out_ch, /*kernel=*/4,
+                                      /*stride=*/2, /*padding=*/1,
+                                      /*bias=*/!has_bn);
+    if (has_bn) net.features->Emplace<nn::BatchNorm>(out_ch);
+    net.features->Emplace<nn::LeakyReLU>(0.2f);
+    in_ch = out_ch;
+    out_ch *= 2;
+  }
+  net.features->Emplace<nn::Flatten>();
+  net.feature_dim = static_cast<int64_t>(in_ch) * 2 * 2;
+  net.head = std::make_unique<nn::Sequential>();
+  net.head->Emplace<nn::Dense>(net.feature_dim, head_outputs);
+  nn::DcganInitialize(net.features.get(), rng);
+  nn::DcganInitialize(net.head.get(), rng);
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> BuildGenerator(int side, int latent_dim,
+                                               int base_channels, Rng* rng) {
+  const int stages = NumStages(side);
+  auto net = std::make_unique<nn::Sequential>();
+  const int deep_ch = base_channels << (stages - 1);
+  net->Emplace<nn::Dense>(latent_dim, deep_ch * 2 * 2, /*bias=*/false);
+  net->Emplace<nn::Reshape>(
+      std::vector<int64_t>{deep_ch, 2, 2});
+  net->Emplace<nn::BatchNorm>(deep_ch);
+  net->Emplace<nn::ReLU>();
+  int in_ch = deep_ch;
+  for (int s = stages - 1; s >= 1; --s) {
+    const int out_ch = base_channels << (s - 1);
+    net->Emplace<nn::ConvTranspose2d>(in_ch, out_ch, /*kernel=*/4,
+                                      /*stride=*/2, /*padding=*/1,
+                                      /*bias=*/false);
+    net->Emplace<nn::BatchNorm>(out_ch);
+    net->Emplace<nn::ReLU>();
+    in_ch = out_ch;
+  }
+  net->Emplace<nn::ConvTranspose2d>(in_ch, 1, /*kernel=*/4, /*stride=*/2,
+                                    /*padding=*/1, /*bias=*/true);
+  net->Emplace<nn::Tanh>();
+  nn::DcganInitialize(net.get(), rng);
+  return net;
+}
+
+}  // namespace core
+}  // namespace tablegan

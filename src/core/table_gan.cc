@@ -1,0 +1,305 @@
+#include "core/table_gan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/info_loss.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace tablegan {
+namespace core {
+namespace {
+
+Tensor SigmoidOf(const Tensor& logits) {
+  Tensor out = logits;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+TableGan::TableGan(TableGanOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Tensor TableGan::RemoveLabel(const Tensor& matrices) const {
+  Tensor out = matrices;
+  const int64_t cells = static_cast<int64_t>(side_) * side_;
+  const int64_t n = out.dim(0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int col : label_cols_) {
+      out[i * cells + col] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Status TableGan::Fit(const data::Table& table, int label_col) {
+  return FitMultiLabel(table, {label_col});
+}
+
+Status TableGan::FitMultiLabel(const data::Table& table,
+                               std::vector<int> label_cols) {
+  if (table.num_rows() < 4) {
+    return Status::InvalidArgument("need at least 4 training rows");
+  }
+  if (label_cols.empty()) {
+    return Status::InvalidArgument("at least one label column required");
+  }
+  for (int label_col : label_cols) {
+    if (label_col < 0 || label_col >= table.num_columns()) {
+      return Status::InvalidArgument("label column out of range");
+    }
+  }
+  schema_ = table.schema();
+  label_cols_ = std::move(label_cols);
+  const auto k = static_cast<int64_t>(label_cols_.size());
+  side_ = options_.side > 0
+              ? options_.side
+              : data::RecordMatrixCodec::ChooseSide(table.num_columns());
+  if (side_ * side_ < table.num_columns()) {
+    return Status::InvalidArgument("side too small for attribute count");
+  }
+  codec_ = std::make_unique<data::RecordMatrixCodec>(table.num_columns(),
+                                                     side_);
+  TABLEGAN_RETURN_NOT_OK(normalizer_.Fit(table));
+  TABLEGAN_ASSIGN_OR_RETURN(Tensor records, normalizer_.Transform(table));
+  TABLEGAN_ASSIGN_OR_RETURN(Tensor matrices, codec_->ToMatrices(records));
+
+  generator_ = BuildGenerator(side_, options_.latent_dim,
+                              options_.base_channels, &rng_);
+  discriminator_ = BuildDiscriminator(side_, options_.base_channels, &rng_);
+  classifier_ = BuildDiscriminator(side_, options_.base_channels, &rng_,
+                                   static_cast<int>(k));
+
+  nn::Adam adam_g(generator_->Parameters(), generator_->Gradients(),
+                  options_.learning_rate, options_.adam_beta1,
+                  options_.adam_beta2);
+  nn::Adam adam_d(discriminator_.Parameters(), discriminator_.Gradients(),
+                  options_.learning_rate, options_.adam_beta1,
+                  options_.adam_beta2);
+  nn::Adam adam_c(classifier_.Parameters(), classifier_.Gradients(),
+                  options_.learning_rate, options_.adam_beta1,
+                  options_.adam_beta2);
+
+  InfoLossState info(discriminator_.feature_dim, options_.ewma_weight,
+                     options_.delta_mean, options_.delta_sd);
+
+  const int64_t n = table.num_rows();
+  const int64_t batch =
+      std::max<int64_t>(2, std::min<int64_t>(options_.batch_size, n));
+  const int64_t cells = static_cast<int64_t>(side_) * side_;
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  history_.clear();
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    EpochStats stats;
+    int num_batches = 0;
+    for (int64_t start = 0; start + batch <= n; start += batch) {
+      // --- Assemble the real mini-batch (Alg. 2 line 6).
+      Tensor x({batch, 1, side_, side_});
+      for (int64_t b = 0; b < batch; ++b) {
+        const int64_t row = order[static_cast<size_t>(start + b)];
+        std::copy(matrices.data() + row * cells,
+                  matrices.data() + (row + 1) * cells,
+                  x.data() + b * cells);
+      }
+      // Ground-truth labels l(x) in {0,1}: decode the label cells from
+      // the [-1,1] encoding.
+      Tensor labels({batch, k});
+      for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t j = 0; j < k; ++j) {
+          labels.at2(b, j) =
+              0.5f * (x[b * cells + label_cols_[static_cast<size_t>(j)]] +
+                      1.0f);
+        }
+      }
+      const Tensor ones = Tensor::Full({batch, 1}, 1.0f);
+      const Tensor zeros({batch, 1});
+
+      // --- Discriminator update with L_orig^D (Alg. 2 line 8).
+      Tensor z1 = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
+                                  &rng_);
+      Tensor fake_for_d = generator_->Forward(z1, /*training=*/true);
+      discriminator_.ZeroGrad();
+      {
+        Tensor feat = discriminator_.features->Forward(x, true);
+        Tensor logits = discriminator_.head->Forward(feat, true);
+        Tensor grad;
+        stats.d_loss += nn::SigmoidBceWithLogits(logits, ones, &grad);
+        discriminator_.features->Backward(
+            discriminator_.head->Backward(grad));
+      }
+      {
+        Tensor feat = discriminator_.features->Forward(fake_for_d, true);
+        Tensor logits = discriminator_.head->Forward(feat, true);
+        Tensor grad;
+        stats.d_loss += nn::SigmoidBceWithLogits(logits, zeros, &grad);
+        discriminator_.features->Backward(
+            discriminator_.head->Backward(grad));
+      }
+      adam_d.Step();
+
+      // --- Classifier update with L_class^C (Alg. 2 line 9).
+      if (options_.use_classifier) {
+        classifier_.ZeroGrad();
+        Tensor cin = RemoveLabel(x);
+        Tensor feat = classifier_.features->Forward(cin, true);
+        Tensor logits = classifier_.head->Forward(feat, true);
+        Tensor pred = SigmoidOf(logits);
+        Tensor grad({batch, k});
+        float loss = 0.0f;
+        const float inv_bk = 1.0f / static_cast<float>(batch * k);
+        for (int64_t i = 0; i < batch * k; ++i) {
+          const float diff = pred[i] - labels[i];
+          loss += std::fabs(diff);
+          const float sign = diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f);
+          grad[i] = sign * pred[i] * (1.0f - pred[i]) * inv_bk;
+        }
+        stats.class_loss += loss * inv_bk;
+        classifier_.features->Backward(classifier_.head->Backward(grad));
+        adam_c.Step();
+      }
+
+      // --- Generator update with L_orig^G + L_info^G + L_class^G
+      //     (Alg. 2 lines 10-14).
+      generator_->ZeroGrad();
+      Tensor z2 = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
+                                  &rng_);
+      Tensor fake = generator_->Forward(z2, /*training=*/true);
+
+      // Real features for the EWMA statistics. (Forward only; the
+      // subsequent fake forward re-caches the stack for backward.)
+      Tensor feat_real;
+      if (options_.use_info_loss) {
+        feat_real = discriminator_.features->Forward(x, true);
+      }
+      Tensor feat_fake = discriminator_.features->Forward(fake, true);
+      Tensor logits_g = discriminator_.head->Forward(feat_fake, true);
+      Tensor grad_logits;
+      stats.g_orig_loss +=
+          nn::SigmoidBceWithLogits(logits_g, ones, &grad_logits);
+      Tensor grad_feat = discriminator_.head->Backward(grad_logits);
+      if (options_.use_info_loss) {
+        info.UpdateStatistics(feat_real, feat_fake);
+        stats.info_loss += info.Loss();
+        stats.l_mean += info.l_mean();
+        stats.l_sd += info.l_sd();
+        Tensor info_grad = info.GradFakeFeatures();
+        ops::AxpyInPlace(info_grad, options_.info_loss_weight, &grad_feat);
+      }
+      Tensor grad_fake = discriminator_.features->Backward(grad_feat);
+
+      if (options_.use_classifier) {
+        Tensor cin = RemoveLabel(fake);
+        Tensor feat = classifier_.features->Forward(cin, true);
+        Tensor logits = classifier_.head->Forward(feat, true);
+        Tensor pred = SigmoidOf(logits);
+        Tensor grad_logit({batch, k});
+        float loss = 0.0f;
+        const float inv_bk = 1.0f / static_cast<float>(batch * k);
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t j = 0; j < k; ++j) {
+            const int col = label_cols_[static_cast<size_t>(j)];
+            const float ell = 0.5f * (fake[b * cells + col] + 1.0f);
+            const float p = pred.at2(b, j);
+            const float diff = ell - p;
+            loss += std::fabs(diff);
+            const float sign =
+                diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f);
+            // d|ell - pred| / d logit = -sign * pred * (1 - pred).
+            grad_logit.at2(b, j) = -sign * p * (1.0f - p) * inv_bk;
+            // d|ell - pred| / d label_cell = sign * 0.5.
+            grad_fake[b * cells + col] += 0.5f * sign * inv_bk;
+          }
+        }
+        stats.class_loss += loss * inv_bk;
+        Tensor grad_cin = classifier_.features->Backward(
+            classifier_.head->Backward(grad_logit));
+        // remove(.) blocks the gradient of the zeroed label cells.
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int col : label_cols_) {
+            grad_cin[b * cells + col] = 0.0f;
+          }
+        }
+        ops::AxpyInPlace(grad_cin, 1.0f, &grad_fake);
+      }
+      generator_->Backward(grad_fake);
+      adam_g.Step();
+      ++num_batches;
+    }
+    if (num_batches > 0) {
+      const float inv = 1.0f / static_cast<float>(num_batches);
+      stats.d_loss *= inv;
+      stats.g_orig_loss *= inv;
+      stats.info_loss *= inv;
+      stats.class_loss *= inv;
+      stats.l_mean *= inv;
+      stats.l_sd *= inv;
+    }
+    history_.push_back(stats);
+    if (options_.verbose) {
+      TABLEGAN_LOG(Info) << "epoch " << epoch + 1 << "/" << options_.epochs
+                         << " d=" << stats.d_loss
+                         << " g=" << stats.g_orig_loss
+                         << " info=" << stats.info_loss
+                         << " class=" << stats.class_loss;
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<data::Table> TableGan::Sample(int64_t n) {
+  if (!fitted_) return Status::FailedPrecondition("Sample before Fit");
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  const int64_t cells = static_cast<int64_t>(side_) * side_;
+  const int64_t batch = std::min<int64_t>(
+      n, std::max<int64_t>(2, options_.batch_size));
+  Tensor all({n, cells});
+  int64_t produced = 0;
+  while (produced < n) {
+    const int64_t take = std::min<int64_t>(batch, n - produced);
+    Tensor z = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
+                               &rng_);
+    Tensor fake = generator_->Forward(z, /*training=*/false);
+    std::copy(fake.data(), fake.data() + take * cells,
+              all.data() + produced * cells);
+    produced += take;
+  }
+  Tensor matrices = all.Reshaped({n, 1, side_, side_});
+  TABLEGAN_ASSIGN_OR_RETURN(Tensor records, codec_->FromMatrices(matrices));
+  return normalizer_.InverseTransform(records, schema_);
+}
+
+Result<std::vector<double>> TableGan::DiscriminatorScores(
+    const data::Table& records) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("DiscriminatorScores before Fit");
+  }
+  if (!records.schema().Equals(schema_)) {
+    return Status::InvalidArgument("schema mismatch");
+  }
+  TABLEGAN_ASSIGN_OR_RETURN(Tensor encoded, normalizer_.Transform(records));
+  // Clamp to the training range so unseen extremes stay in [-1, 1].
+  for (int64_t i = 0; i < encoded.size(); ++i) {
+    encoded[i] = std::clamp(encoded[i], -1.0f, 1.0f);
+  }
+  TABLEGAN_ASSIGN_OR_RETURN(Tensor matrices, codec_->ToMatrices(encoded));
+  Tensor logits = discriminator_.ForwardLogits(matrices, /*training=*/false);
+  std::vector<double> out(static_cast<size_t>(logits.size()));
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    out[static_cast<size_t>(i)] =
+        1.0 / (1.0 + std::exp(-static_cast<double>(logits[i])));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace tablegan

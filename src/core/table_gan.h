@@ -1,0 +1,115 @@
+#ifndef TABLEGAN_CORE_TABLE_GAN_H_
+#define TABLEGAN_CORE_TABLE_GAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/networks.h"
+#include "core/table_gan_options.h"
+#include "data/normalizer.h"
+#include "data/record_matrix.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace core {
+
+/// Per-epoch training telemetry.
+struct EpochStats {
+  float d_loss = 0.0f;      // discriminator BCE (real + fake halves)
+  float g_orig_loss = 0.0f; // generator adversarial loss
+  float info_loss = 0.0f;   // hinge information loss (Eq. 4)
+  float class_loss = 0.0f;  // classifier discrepancy (Eq. 5)
+  float l_mean = 0.0f;      // relative first-order statistics gap
+  float l_sd = 0.0f;        // relative second-order statistics gap
+};
+
+/// table-GAN (paper §4): a DCGAN-based generator/discriminator pair plus
+/// a classifier network, trained with the original GAN loss, the hinge
+/// information loss and the classification loss per Algorithm 2, over
+/// records encoded as zero-padded square matrices in [-1, 1].
+///
+/// Typical use:
+///   TableGan gan(TableGanOptions::LowPrivacy());
+///   gan.Fit(train_table, label_col);
+///   data::Table synthetic = *gan.Sample(train_table.num_rows());
+///
+/// Setting options.use_info_loss = options.use_classifier = false yields
+/// the DCGAN baseline of §5.1.3.
+class TableGan {
+ public:
+  explicit TableGan(TableGanOptions options);
+
+  TableGan(const TableGan&) = delete;
+  TableGan& operator=(const TableGan&) = delete;
+  TableGan(TableGan&&) = default;
+
+  /// Trains on `table`; `label_col` is the ground-truth label attribute
+  /// the classifier network learns (paper §4.1.3). The whole table —
+  /// label included — is synthesized.
+  Status Fit(const data::Table& table, int label_col);
+
+  /// Multi-label variant (paper §4.2.3): the classifier becomes a
+  /// multi-task network with one sigmoid head per label sharing the
+  /// convolutional trunk; the classification loss averages the per-label
+  /// discrepancies.
+  Status FitMultiLabel(const data::Table& table,
+                       std::vector<int> label_cols);
+
+  bool fitted() const { return fitted_; }
+
+  /// Generates `n` synthetic records and decodes them to a table with
+  /// the training schema.
+  Result<data::Table> Sample(int64_t n);
+
+  /// Discriminator probability D(r) of being real, per record of
+  /// `records` (normalized with the training normalizer). Used by the
+  /// customized membership attack (§4.5), which trains shadow table-GANs
+  /// and reads their discriminators.
+  Result<std::vector<double>> DiscriminatorScores(const data::Table& records);
+
+  /// Per-epoch losses recorded during Fit.
+  const std::vector<EpochStats>& history() const { return history_; }
+
+  /// Persists the fitted model (schema, normalizer, all three networks
+  /// with their BatchNorm running statistics) to a binary file, so a
+  /// trained generator can be shared and reloaded (the paper's release
+  /// workflow gives partners generator access only).
+  Status Save(const std::string& path) const;
+
+  /// Restores a model saved by Save(). The returned model samples with a
+  /// fresh RNG seeded from its stored options.
+  static Result<TableGan> Load(const std::string& path);
+
+  const TableGanOptions& options() const { return options_; }
+  int side() const { return side_; }
+  /// First (primary) label column.
+  int label_col() const { return label_cols_.empty() ? -1 : label_cols_[0]; }
+  const std::vector<int>& label_cols() const { return label_cols_; }
+
+ private:
+  /// Zeroes every label cell of every record matrix — remove(.) in Eq. 5.
+  Tensor RemoveLabel(const Tensor& matrices) const;
+
+  TableGanOptions options_;
+  bool fitted_ = false;
+  int side_ = 0;
+  std::vector<int> label_cols_;
+
+  data::Schema schema_;
+  data::MinMaxNormalizer normalizer_;
+  std::unique_ptr<data::RecordMatrixCodec> codec_;
+
+  std::unique_ptr<nn::Sequential> generator_;
+  TwoPartNet discriminator_;
+  TwoPartNet classifier_;
+  Rng rng_{47};
+
+  std::vector<EpochStats> history_;
+};
+
+}  // namespace core
+}  // namespace tablegan
+
+#endif  // TABLEGAN_CORE_TABLE_GAN_H_

@@ -1,0 +1,245 @@
+// Binary persistence for trained table-GAN models (TableGan::Save /
+// TableGan::Load). Format: magic + version, options, schema, normalizer
+// bounds, then the parameter and buffer tensors of the generator,
+// discriminator and classifier in construction order.
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/table_gan.h"
+
+namespace tablegan {
+namespace core {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '2'};
+
+// --- primitive writers/readers (little-endian host assumed; the format
+// is a cache, not an interchange format).
+
+void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF32(std::ostream& out, float v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteI64(out, static_cast<int64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteTensor(std::ostream& out, const Tensor& t) {
+  WriteI64(out, t.rank());
+  for (int64_t d : t.shape()) WriteI64(out, d);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+bool ReadI64(std::istream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadF32(std::istream& in, float* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  int64_t n = 0;
+  if (!ReadI64(in, &n) || n < 0 || n > (1 << 20)) return false;
+  s->resize(static_cast<size_t>(n));
+  in.read(s->data(), n);
+  return static_cast<bool>(in);
+}
+
+// Reads a tensor into `*t`, which must already have the expected shape
+// (the architecture is rebuilt from options before loading weights).
+bool ReadTensorInto(std::istream& in, Tensor* t) {
+  int64_t rank = 0;
+  if (!ReadI64(in, &rank) || rank != t->rank()) return false;
+  for (int i = 0; i < t->rank(); ++i) {
+    int64_t d = 0;
+    if (!ReadI64(in, &d) || d != t->dim(i)) return false;
+  }
+  in.read(reinterpret_cast<char*>(t->data()),
+          static_cast<std::streamsize>(t->size() * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+std::vector<Tensor*> AllState(nn::Sequential* net) {
+  std::vector<Tensor*> out = net->Parameters();
+  for (Tensor* b : net->Buffers()) out.push_back(b);
+  return out;
+}
+
+}  // namespace
+
+Status TableGan::Save(const std::string& path) const {
+  if (!fitted_) return Status::FailedPrecondition("Save before Fit");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+
+  // Options (only the fields that shape the architecture + sampling).
+  WriteI64(out, options_.side);
+  WriteI64(out, options_.latent_dim);
+  WriteI64(out, options_.base_channels);
+  WriteI64(out, options_.batch_size);
+  WriteF32(out, options_.delta_mean);
+  WriteF32(out, options_.delta_sd);
+  WriteI64(out, static_cast<int64_t>(options_.seed));
+  WriteI64(out, side_);
+  WriteI64(out, static_cast<int64_t>(label_cols_.size()));
+  for (int col : label_cols_) WriteI64(out, col);
+
+  // Schema.
+  WriteI64(out, schema_.num_columns());
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    const data::ColumnSpec& spec = schema_.column(c);
+    WriteString(out, spec.name);
+    WriteI64(out, static_cast<int64_t>(spec.type));
+    WriteI64(out, static_cast<int64_t>(spec.role));
+    WriteI64(out, spec.num_categories());
+    for (const std::string& cat : spec.categories) WriteString(out, cat);
+  }
+
+  // Normalizer bounds.
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    WriteF64(out, normalizer_.mins()[static_cast<size_t>(c)]);
+    WriteF64(out, normalizer_.maxs()[static_cast<size_t>(c)]);
+  }
+
+  // Network state.
+  auto write_net = [&out](nn::Sequential* net) {
+    for (Tensor* t : AllState(net)) WriteTensor(out, *t);
+  };
+  write_net(generator_.get());
+  write_net(discriminator_.features.get());
+  write_net(discriminator_.head.get());
+  write_net(classifier_.features.get());
+  write_net(classifier_.head.get());
+
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TableGan> TableGan::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 8) != std::string(kMagic, 8)) {
+    return Status::InvalidArgument("not a table-GAN model file: " + path);
+  }
+  const auto corrupt = [&path]() {
+    return Status::IOError("corrupt model file: " + path);
+  };
+
+  TableGanOptions options;
+  int64_t v = 0;
+  float f = 0.0f;
+  if (!ReadI64(in, &v)) return corrupt();
+  options.side = static_cast<int>(v);
+  if (!ReadI64(in, &v)) return corrupt();
+  options.latent_dim = static_cast<int>(v);
+  if (!ReadI64(in, &v)) return corrupt();
+  options.base_channels = static_cast<int>(v);
+  if (!ReadI64(in, &v)) return corrupt();
+  options.batch_size = static_cast<int>(v);
+  if (!ReadF32(in, &f)) return corrupt();
+  options.delta_mean = f;
+  if (!ReadF32(in, &f)) return corrupt();
+  options.delta_sd = f;
+  if (!ReadI64(in, &v)) return corrupt();
+  options.seed = static_cast<uint64_t>(v);
+
+  TableGan gan(options);
+  if (!ReadI64(in, &v)) return corrupt();
+  gan.side_ = static_cast<int>(v);
+  int64_t num_labels = 0;
+  if (!ReadI64(in, &num_labels) || num_labels < 1 || num_labels > 4096) {
+    return corrupt();
+  }
+  for (int64_t j = 0; j < num_labels; ++j) {
+    if (!ReadI64(in, &v)) return corrupt();
+    gan.label_cols_.push_back(static_cast<int>(v));
+  }
+
+  int64_t num_cols = 0;
+  if (!ReadI64(in, &num_cols) || num_cols <= 0 || num_cols > 65536) {
+    return corrupt();
+  }
+  data::Schema schema;
+  std::vector<data::ColumnType> types;
+  for (int64_t c = 0; c < num_cols; ++c) {
+    data::ColumnSpec spec;
+    if (!ReadString(in, &spec.name)) return corrupt();
+    if (!ReadI64(in, &v)) return corrupt();
+    spec.type = static_cast<data::ColumnType>(v);
+    if (!ReadI64(in, &v)) return corrupt();
+    spec.role = static_cast<data::ColumnRole>(v);
+    int64_t num_cats = 0;
+    if (!ReadI64(in, &num_cats) || num_cats < 0 || num_cats > 65536) {
+      return corrupt();
+    }
+    for (int64_t k = 0; k < num_cats; ++k) {
+      std::string cat;
+      if (!ReadString(in, &cat)) return corrupt();
+      spec.categories.push_back(std::move(cat));
+    }
+    types.push_back(spec.type);
+    schema.AddColumn(std::move(spec));
+  }
+  gan.schema_ = schema;
+
+  std::vector<double> mins(static_cast<size_t>(num_cols));
+  std::vector<double> maxs(static_cast<size_t>(num_cols));
+  for (int64_t c = 0; c < num_cols; ++c) {
+    if (!ReadF64(in, &mins[static_cast<size_t>(c)])) return corrupt();
+    if (!ReadF64(in, &maxs[static_cast<size_t>(c)])) return corrupt();
+  }
+  gan.normalizer_.Restore(std::move(mins), std::move(maxs),
+                          std::move(types));
+  gan.codec_ = std::make_unique<data::RecordMatrixCodec>(
+      static_cast<int>(num_cols), gan.side_);
+
+  // Rebuild the architecture, then overwrite its state.
+  Rng init_rng(options.seed);
+  gan.generator_ = BuildGenerator(gan.side_, options.latent_dim,
+                                  options.base_channels, &init_rng);
+  gan.discriminator_ =
+      BuildDiscriminator(gan.side_, options.base_channels, &init_rng);
+  gan.classifier_ =
+      BuildDiscriminator(gan.side_, options.base_channels, &init_rng,
+                         static_cast<int>(gan.label_cols_.size()));
+  auto read_net = [&in](nn::Sequential* net) {
+    for (Tensor* t : AllState(net)) {
+      if (!ReadTensorInto(in, t)) return false;
+    }
+    return true;
+  };
+  if (!read_net(gan.generator_.get()) ||
+      !read_net(gan.discriminator_.features.get()) ||
+      !read_net(gan.discriminator_.head.get()) ||
+      !read_net(gan.classifier_.features.get()) ||
+      !read_net(gan.classifier_.head.get())) {
+    return corrupt();
+  }
+  gan.fitted_ = true;
+  return gan;
+}
+
+}  // namespace core
+}  // namespace tablegan

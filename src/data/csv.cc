@@ -1,0 +1,118 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace tablegan {
+namespace data {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c) out << ',';
+    out << schema.column(c).name;
+  }
+  out << '\n';
+  out.precision(10);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c) out << ',';
+      const ColumnSpec& spec = schema.column(c);
+      const double v = table.Get(r, c);
+      if (spec.type == ColumnType::kCategorical &&
+          !spec.categories.empty()) {
+        int idx = static_cast<int>(std::lround(v));
+        if (idx >= 0 && idx < spec.num_categories()) {
+          out << spec.categories[static_cast<size_t>(idx)];
+          continue;
+        }
+      }
+      out << v;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV: " + path);
+  }
+  std::vector<std::string> header = SplitLine(line);
+  if (static_cast<int>(header.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("CSV header width mismatch in " + path);
+  }
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (header[static_cast<size_t>(c)] != schema.column(c).name) {
+      return Status::InvalidArgument("CSV column '" +
+                                     header[static_cast<size_t>(c)] +
+                                     "' does not match schema");
+    }
+  }
+
+  Table table(schema);
+  std::vector<double> row(static_cast<size_t>(schema.num_columns()));
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (static_cast<int>(cells.size()) != schema.num_columns()) {
+      return Status::InvalidArgument("bad cell count at line " +
+                                     std::to_string(line_no));
+    }
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      const std::string& cell = cells[static_cast<size_t>(c)];
+      const ColumnSpec& spec = schema.column(c);
+      bool parsed = false;
+      if (spec.type == ColumnType::kCategorical) {
+        for (int k = 0; k < spec.num_categories(); ++k) {
+          if (spec.categories[static_cast<size_t>(k)] == cell) {
+            row[static_cast<size_t>(c)] = k;
+            parsed = true;
+            break;
+          }
+        }
+      }
+      if (!parsed) {
+        try {
+          row[static_cast<size_t>(c)] = std::stod(cell);
+        } catch (...) {
+          return Status::InvalidArgument("unparseable cell '" + cell +
+                                         "' at line " +
+                                         std::to_string(line_no));
+        }
+      }
+    }
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+}  // namespace data
+}  // namespace tablegan

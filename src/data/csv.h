@@ -1,0 +1,24 @@
+#ifndef TABLEGAN_DATA_CSV_H_
+#define TABLEGAN_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace data {
+
+/// Writes `table` as CSV with a header row. Categorical cells are written
+/// as their level names; numeric cells with full double precision.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (or hand-authored with the same
+/// header) against a known schema. Column order must match the schema;
+/// categorical cells may be level names or numeric level indices.
+Result<Table> ReadCsv(const Schema& schema, const std::string& path);
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_CSV_H_

@@ -1,0 +1,582 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace data {
+namespace {
+
+ColumnSpec Qid(std::string name, ColumnType type) {
+  return {std::move(name), type, ColumnRole::kQuasiIdentifier, {}};
+}
+
+ColumnSpec Sens(std::string name, ColumnType type) {
+  return {std::move(name), type, ColumnRole::kSensitive, {}};
+}
+
+ColumnSpec Cat(std::string name, ColumnRole role,
+               std::vector<std::string> levels) {
+  return {std::move(name), ColumnType::kCategorical, role,
+          std::move(levels)};
+}
+
+ColumnSpec Label(std::string name) {
+  return {std::move(name), ColumnType::kDiscrete, ColumnRole::kLabel, {}};
+}
+
+double Median(std::vector<double> v) {
+  TABLEGAN_CHECK(!v.empty());
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<int64_t>(mid), v.end());
+  return v[mid];
+}
+
+// Sets `label_col` to 1{value of `target_col` > median of target_col}.
+void DeriveMedianLabel(Table* table, int target_col, int label_col) {
+  std::vector<double> target = table->column(target_col);
+  const double med = Median(target);
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    table->Set(r, label_col, table->Get(r, target_col) > med ? 1.0 : 0.0);
+  }
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// LACity-like payroll: 2 QIDs + 21 sensitive + high_salary label (paper
+// Table 3: 15000 train / 3000 test rows). Pay components are strongly
+// correlated with an underlying job-grade factor, mirroring the real
+// table where quarterly payments track base salary.
+Table MakeLaCityLike(int64_t rows, Rng* rng) {
+  Schema schema({
+      Qid("year", ColumnType::kDiscrete),
+      Qid("dept", ColumnType::kDiscrete),
+      Sens("job_class", ColumnType::kDiscrete),
+      Sens("years_service", ColumnType::kDiscrete),
+      Sens("fte_ratio", ColumnType::kContinuous),
+      Sens("base_salary", ColumnType::kContinuous),
+      Sens("q1_payment", ColumnType::kContinuous),
+      Sens("q2_payment", ColumnType::kContinuous),
+      Sens("q3_payment", ColumnType::kContinuous),
+      Sens("q4_payment", ColumnType::kContinuous),
+      Sens("overtime_pay", ColumnType::kContinuous),
+      Sens("bonus_pay", ColumnType::kContinuous),
+      Sens("longevity_pay", ColumnType::kContinuous),
+      Sens("total_pay", ColumnType::kContinuous),
+      Sens("health_cost", ColumnType::kContinuous),
+      Sens("dental_cost", ColumnType::kContinuous),
+      Sens("pension_contrib", ColumnType::kContinuous),
+      Sens("benefit_cost", ColumnType::kContinuous),
+      Cat("union_member", ColumnRole::kSensitive, {"no", "yes"}),
+      Sens("mou_code", ColumnType::kDiscrete),
+      Sens("leave_hours", ColumnType::kDiscrete),
+      Sens("sick_hours", ColumnType::kDiscrete),
+      Sens("payroll_dept_size", ColumnType::kDiscrete),
+      Label("high_salary"),
+  });
+  Table table(schema);
+  table.Resize(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const double grade = rng->Uniform(0.0, 1.0);  // latent job grade
+    const int year = rng->NextBool(0.5) ? 2013 : 2014;
+    const int dept = static_cast<int>(rng->UniformInt(1, 98));
+    const int job_class = 1000 + static_cast<int>(grade * 2200.0) +
+                          static_cast<int>(rng->UniformInt(0, 99));
+    const int years = static_cast<int>(Clamp(
+        rng->Gaussian(5.0 + grade * 20.0, 4.0), 0.0, 40.0));
+    const double fte = rng->NextBool(0.85) ? 1.0 : rng->Uniform(0.5, 1.0);
+    const double base =
+        fte * (32000.0 + grade * 90000.0 + years * 600.0 +
+               rng->Gaussian(0.0, 4000.0));
+    auto quarter = [&]() {
+      return base / 4.0 * rng->Uniform(0.85, 1.15);
+    };
+    const double q1 = quarter(), q2 = quarter(), q3 = quarter(),
+                 q4 = quarter();
+    const double overtime =
+        std::max(0.0, rng->Gaussian((1.0 - grade) * 6000.0, 2500.0));
+    const double bonus = std::max(0.0, rng->Gaussian(grade * 4000.0, 1500.0));
+    const double longevity = years > 15 ? 0.02 * base : 0.0;
+    const double total = q1 + q2 + q3 + q4 + overtime + bonus + longevity;
+    const double health = 6000.0 + grade * 4000.0 + rng->Gaussian(0.0, 500.0);
+    const double dental = 400.0 + rng->Gaussian(grade * 300.0, 60.0);
+    const double pension = 0.18 * base + rng->Gaussian(0.0, 300.0);
+    const double benefits = health + dental + pension;
+    const bool union_member = rng->NextBool(0.6 + 0.2 * (1.0 - grade));
+    const int mou = static_cast<int>(rng->UniformInt(1, 45));
+    const int leave = static_cast<int>(
+        Clamp(rng->Gaussian(80.0 + years * 3.0, 25.0), 0.0, 400.0));
+    const int sick = static_cast<int>(
+        Clamp(rng->Gaussian(40.0, 15.0), 0.0, 200.0));
+    const int dept_size = 20 + (dept * 7) % 300;
+
+    int c = 0;
+    table.Set(r, c++, year);
+    table.Set(r, c++, dept);
+    table.Set(r, c++, job_class);
+    table.Set(r, c++, years);
+    table.Set(r, c++, fte);
+    table.Set(r, c++, base);
+    table.Set(r, c++, q1);
+    table.Set(r, c++, q2);
+    table.Set(r, c++, q3);
+    table.Set(r, c++, q4);
+    table.Set(r, c++, overtime);
+    table.Set(r, c++, bonus);
+    table.Set(r, c++, longevity);
+    table.Set(r, c++, total);
+    table.Set(r, c++, health);
+    table.Set(r, c++, dental);
+    table.Set(r, c++, pension);
+    table.Set(r, c++, benefits);
+    table.Set(r, c++, union_member ? 1.0 : 0.0);
+    table.Set(r, c++, mou);
+    table.Set(r, c++, leave);
+    table.Set(r, c++, sick);
+    table.Set(r, c++, dept_size);
+  }
+  int total_col = *schema.FindColumn("total_pay");
+  int label_col = *schema.FindColumn("high_salary");
+  DeriveMedianLabel(&table, total_col, label_col);
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// Adult-like census: 5 QIDs + 9 sensitive + long_hours label (paper
+// Table 3: 32561 train / 16281 test). Work hours correlate with
+// occupation, education and self-employment, so the hours>median label
+// is learnable, as in the UCI table.
+Table MakeAdultLike(int64_t rows, Rng* rng) {
+  Schema schema({
+      Qid("age", ColumnType::kDiscrete),
+      Cat("education", ColumnRole::kQuasiIdentifier,
+          {"dropout", "hs_grad", "some_college", "assoc", "bachelors",
+           "masters", "professional", "doctorate"}),
+      Cat("occupation", ColumnRole::kQuasiIdentifier,
+          {"clerical", "craft", "exec", "farming", "machine_op", "service",
+           "professional", "protective", "sales", "transport"}),
+      Cat("race", ColumnRole::kQuasiIdentifier,
+          {"group_a", "group_b", "group_c", "group_d", "group_e"}),
+      Cat("sex", ColumnRole::kQuasiIdentifier, {"female", "male"}),
+      Cat("workclass", ColumnRole::kSensitive,
+          {"private", "self_emp", "federal", "state", "local", "unpaid"}),
+      Cat("marital", ColumnRole::kSensitive,
+          {"never", "married", "divorced", "separated", "widowed"}),
+      Cat("relationship", ColumnRole::kSensitive,
+          {"husband", "wife", "own_child", "unmarried", "other", "alone"}),
+      Sens("education_years", ColumnType::kDiscrete),
+      Sens("capital_gain", ColumnType::kContinuous),
+      Sens("capital_loss", ColumnType::kContinuous),
+      Sens("hours_per_week", ColumnType::kDiscrete),
+      Cat("native_region", ColumnRole::kSensitive,
+          {"region_1", "region_2", "region_3", "region_4", "region_5"}),
+      Cat("income_over_50k", ColumnRole::kSensitive, {"no", "yes"}),
+      Label("long_hours"),
+  });
+  Table table(schema);
+  table.Resize(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int age = static_cast<int>(Clamp(rng->Gaussian(39.0, 13.0), 17, 90));
+    const int education = rng->NextCategorical(
+        {0.12, 0.32, 0.22, 0.07, 0.16, 0.06, 0.03, 0.02});
+    const int occupation = static_cast<int>(rng->UniformInt(0, 9));
+    const int race = rng->NextCategorical({0.85, 0.09, 0.03, 0.01, 0.02});
+    const int sex = rng->NextBool(0.67) ? 1 : 0;
+    const int workclass =
+        rng->NextCategorical({0.70, 0.11, 0.03, 0.04, 0.07, 0.05});
+    const int marital = rng->NextCategorical({0.33, 0.46, 0.14, 0.03, 0.04});
+    const int relationship = static_cast<int>(rng->UniformInt(0, 5));
+    const int edu_years = 6 + education * 2 -
+                          static_cast<int>(rng->UniformInt(0, 1));
+    const bool high_earner =
+        rng->NextBool(0.05 + 0.04 * education + 0.05 * (occupation == 2));
+    const double cap_gain =
+        high_earner && rng->NextBool(0.3)
+            ? std::exp(rng->Gaussian(8.0, 1.0))
+            : 0.0;
+    const double cap_loss =
+        rng->NextBool(0.05) ? std::exp(rng->Gaussian(7.0, 0.5)) : 0.0;
+    // Exec/professional and self-employed people work longer weeks.
+    double hours = rng->Gaussian(
+        40.0 + 10.0 * (occupation == 2) + 5.0 * (occupation == 6) +
+            8.0 * (workclass == 1) - 9.0 * (workclass == 5) +
+            3.0 * sex + 1.2 * education,
+        6.5);
+    hours = Clamp(std::round(hours), 1.0, 99.0);
+    const bool income50k =
+        high_earner || rng->NextBool(0.05 + 0.002 * hours);
+    const int region = rng->NextCategorical({0.90, 0.03, 0.03, 0.02, 0.02});
+
+    int c = 0;
+    table.Set(r, c++, age);
+    table.Set(r, c++, education);
+    table.Set(r, c++, occupation);
+    table.Set(r, c++, race);
+    table.Set(r, c++, sex);
+    table.Set(r, c++, workclass);
+    table.Set(r, c++, marital);
+    table.Set(r, c++, relationship);
+    table.Set(r, c++, edu_years);
+    table.Set(r, c++, cap_gain);
+    table.Set(r, c++, cap_loss);
+    table.Set(r, c++, hours);
+    table.Set(r, c++, region);
+    table.Set(r, c++, income50k ? 1.0 : 0.0);
+  }
+  DeriveMedianLabel(&table, *schema.FindColumn("hours_per_week"),
+                    *schema.FindColumn("long_hours"));
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// Health-like (NHANES-style): 4 QIDs + 28 sensitive + diabetes label
+// (paper Table 3: 9813 train / 1963 test). Diabetes probability follows
+// a logistic model over glucose, HbA1c, BMI and age, so the record
+// semantics the paper's classifier network enforces (e.g. "cholesterol
+// too low for diabetes=1") exist in the data.
+Table MakeHealthLike(int64_t rows, Rng* rng) {
+  Schema schema({
+      Qid("age", ColumnType::kDiscrete),
+      Cat("gender", ColumnRole::kQuasiIdentifier, {"female", "male"}),
+      Cat("race", ColumnRole::kQuasiIdentifier,
+          {"group_a", "group_b", "group_c", "group_d", "group_e"}),
+      Qid("income_bracket", ColumnType::kDiscrete),
+      Sens("bmi", ColumnType::kContinuous),
+      Sens("waist_cm", ColumnType::kContinuous),
+      Sens("glucose", ColumnType::kContinuous),
+      Sens("hba1c", ColumnType::kContinuous),
+      Sens("insulin", ColumnType::kContinuous),
+      Sens("chol_total", ColumnType::kContinuous),
+      Sens("chol_hdl", ColumnType::kContinuous),
+      Sens("chol_ldl", ColumnType::kContinuous),
+      Sens("triglycerides", ColumnType::kContinuous),
+      Sens("bp_systolic", ColumnType::kContinuous),
+      Sens("bp_diastolic", ColumnType::kContinuous),
+      Sens("pulse", ColumnType::kDiscrete),
+      Sens("creatinine", ColumnType::kContinuous),
+      Sens("uric_acid", ColumnType::kContinuous),
+      Sens("wbc_count", ColumnType::kContinuous),
+      Sens("hemoglobin", ColumnType::kContinuous),
+      Sens("hematocrit", ColumnType::kContinuous),
+      Sens("platelets", ColumnType::kContinuous),
+      Sens("vitamin_d", ColumnType::kContinuous),
+      Sens("sodium", ColumnType::kContinuous),
+      Sens("potassium", ColumnType::kContinuous),
+      Cat("smoker", ColumnRole::kSensitive, {"never", "former", "current"}),
+      Sens("alcohol_days_week", ColumnType::kDiscrete),
+      Sens("activity_hours_week", ColumnType::kContinuous),
+      Sens("sleep_hours", ColumnType::kContinuous),
+      Sens("med_count", ColumnType::kDiscrete),
+      Cat("family_history", ColumnRole::kSensitive, {"no", "yes"}),
+      Sens("survey_cycle", ColumnType::kDiscrete),
+      Label("diabetes"),
+  });
+  Table table(schema);
+  table.Resize(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int age = static_cast<int>(rng->UniformInt(18, 80));
+    const int gender = rng->NextBool(0.5) ? 1 : 0;
+    const int race = rng->NextCategorical({0.38, 0.24, 0.15, 0.12, 0.11});
+    const int income = static_cast<int>(rng->UniformInt(1, 10));
+    const double bmi = Clamp(rng->Gaussian(28.5, 6.0), 15.0, 60.0);
+    const double waist = 40.0 + bmi * 2.0 + rng->Gaussian(0.0, 5.0);
+    const bool family = rng->NextBool(0.25);
+    // Metabolic latent raises glucose, HbA1c, insulin together.
+    const double metab = rng->Gaussian(0.0, 1.0) + 0.08 * (bmi - 28.0) +
+                         0.02 * (age - 50) + 0.8 * family;
+    const double glucose = Clamp(95.0 + 14.0 * metab +
+                                 rng->Gaussian(0.0, 8.0), 60.0, 350.0);
+    const double hba1c =
+        Clamp(5.4 + 0.35 * metab + rng->Gaussian(0.0, 0.25), 4.0, 14.0);
+    const double insulin =
+        std::max(2.0, 10.0 + 5.0 * metab + rng->Gaussian(0.0, 3.0));
+    const double chol = Clamp(
+        160.0 + 10.0 * metab + 0.5 * age + rng->Gaussian(0.0, 25.0),
+        90.0, 350.0);
+    const double hdl = Clamp(58.0 - 4.0 * metab - 4.0 * gender +
+                             rng->Gaussian(0.0, 9.0), 20.0, 110.0);
+    const double ldl = Clamp(chol - hdl - rng->Uniform(15.0, 40.0),
+                             30.0, 260.0);
+    const double trig = std::max(
+        40.0, 110.0 + 30.0 * metab + rng->Gaussian(0.0, 35.0));
+    const double bp_sys = Clamp(
+        112.0 + 0.45 * age + 3.0 * metab + rng->Gaussian(0.0, 9.0),
+        85.0, 220.0);
+    const double bp_dia =
+        Clamp(bp_sys * 0.62 + rng->Gaussian(0.0, 6.0), 50.0, 130.0);
+    const int pulse = static_cast<int>(
+        Clamp(rng->Gaussian(72.0 + 2.0 * metab, 9.0), 45.0, 130.0));
+    const double creat = Clamp(
+        0.9 + 0.15 * gender + rng->Gaussian(0.0, 0.18), 0.4, 3.5);
+    const double uric = Clamp(
+        5.0 + 0.5 * metab + 0.7 * gender + rng->Gaussian(0.0, 1.0),
+        2.0, 12.0);
+    const double wbc = Clamp(rng->Gaussian(7.0, 1.7), 3.0, 16.0);
+    const double hgb = Clamp(
+        13.5 + 1.3 * gender + rng->Gaussian(0.0, 1.0), 9.0, 19.0);
+    const double hct = Clamp(hgb * 3.0 + rng->Gaussian(0.0, 1.2),
+                             28.0, 56.0);
+    const double plt = Clamp(rng->Gaussian(250.0, 55.0), 100.0, 500.0);
+    const double vitd = Clamp(rng->Gaussian(26.0, 9.0), 5.0, 70.0);
+    const double sodium = Clamp(rng->Gaussian(139.0, 2.2), 128.0, 150.0);
+    const double potassium = Clamp(rng->Gaussian(4.0, 0.35), 2.8, 5.8);
+    const int smoker = rng->NextCategorical({0.55, 0.25, 0.20});
+    const int alcohol = static_cast<int>(rng->UniformInt(0, 7));
+    const double activity =
+        std::max(0.0, rng->Gaussian(4.0 - 0.5 * metab, 2.5));
+    const double sleep = Clamp(rng->Gaussian(7.0, 1.1), 3.0, 12.0);
+    const double logit = 0.05 * (glucose - 105.0) + 1.0 * (hba1c - 5.6) +
+                         0.05 * (bmi - 29.0) + 0.03 * (age - 50) +
+                         0.6 * family - 0.5;
+    const bool diabetes = rng->NextBool(1.0 / (1.0 + std::exp(-logit)));
+    const int meds = static_cast<int>(Clamp(
+        rng->Gaussian(1.5 + 2.5 * diabetes + age * 0.03, 1.2), 0.0, 15.0));
+    const int cycle = rng->NextBool(0.5) ? 2015 : 2016;
+
+    int c = 0;
+    table.Set(r, c++, age);
+    table.Set(r, c++, gender);
+    table.Set(r, c++, race);
+    table.Set(r, c++, income);
+    table.Set(r, c++, bmi);
+    table.Set(r, c++, waist);
+    table.Set(r, c++, glucose);
+    table.Set(r, c++, hba1c);
+    table.Set(r, c++, insulin);
+    table.Set(r, c++, chol);
+    table.Set(r, c++, hdl);
+    table.Set(r, c++, ldl);
+    table.Set(r, c++, trig);
+    table.Set(r, c++, bp_sys);
+    table.Set(r, c++, bp_dia);
+    table.Set(r, c++, pulse);
+    table.Set(r, c++, creat);
+    table.Set(r, c++, uric);
+    table.Set(r, c++, wbc);
+    table.Set(r, c++, hgb);
+    table.Set(r, c++, hct);
+    table.Set(r, c++, plt);
+    table.Set(r, c++, vitd);
+    table.Set(r, c++, sodium);
+    table.Set(r, c++, potassium);
+    table.Set(r, c++, smoker);
+    table.Set(r, c++, alcohol);
+    table.Set(r, c++, activity);
+    table.Set(r, c++, sleep);
+    table.Set(r, c++, meds);
+    table.Set(r, c++, family ? 1.0 : 0.0);
+    table.Set(r, c++, cycle);
+    table.Set(r, c++, diabetes ? 1.0 : 0.0);
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// Airline-like (BTS DB1B-style 10% ticket sample): 2 QIDs + 30 sensitive
+// + expensive_ticket label (paper Table 3: 1,000,000 train / 200,000
+// test). Fare components scale with distance and booking class, so the
+// price regression and price>median classification are learnable.
+Table MakeAirlineLike(int64_t rows, Rng* rng) {
+  Schema schema({
+      Qid("quarter", ColumnType::kDiscrete),
+      Qid("origin_state", ColumnType::kDiscrete),
+      Sens("dest_state", ColumnType::kDiscrete),
+      Sens("origin_airport_id", ColumnType::kDiscrete),
+      Sens("dest_airport_id", ColumnType::kDiscrete),
+      Cat("carrier", ColumnRole::kSensitive,
+          {"aa", "dl", "ua", "wn", "b6", "as", "nk", "f9", "ha", "g4"}),
+      Sens("distance_miles", ColumnType::kContinuous),
+      Sens("miles_flown", ColumnType::kContinuous),
+      Sens("num_coupons", ColumnType::kDiscrete),
+      Sens("passengers", ColumnType::kDiscrete),
+      Cat("round_trip", ColumnRole::kSensitive, {"no", "yes"}),
+      Cat("online_booking", ColumnRole::kSensitive, {"no", "yes"}),
+      Cat("refundable", ColumnRole::kSensitive, {"no", "yes"}),
+      Cat("booking_class", ColumnRole::kSensitive,
+          {"basic", "economy", "premium", "business", "first"}),
+      Sens("days_before_departure", ColumnType::kDiscrete),
+      Sens("base_fare", ColumnType::kContinuous),
+      Sens("taxes", ColumnType::kContinuous),
+      Sens("fuel_surcharge", ColumnType::kContinuous),
+      Sens("segment_fee", ColumnType::kContinuous),
+      Sens("itin_fare", ColumnType::kContinuous),
+      Sens("fare_per_mile", ColumnType::kContinuous),
+      Sens("dep_hour", ColumnType::kDiscrete),
+      Sens("arr_hour", ColumnType::kDiscrete),
+      Sens("layovers", ColumnType::kDiscrete),
+      Sens("layover_minutes", ColumnType::kDiscrete),
+      Sens("aircraft_seats", ColumnType::kDiscrete),
+      Sens("load_factor", ColumnType::kContinuous),
+      Sens("bag_fee", ColumnType::kContinuous),
+      Sens("seat_fee", ColumnType::kContinuous),
+      Sens("market_share", ColumnType::kContinuous),
+      Sens("competitors", ColumnType::kDiscrete),
+      Sens("ticket_year", ColumnType::kDiscrete),
+      Label("expensive_ticket"),
+  });
+  Table table(schema);
+  table.Resize(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int quarter = static_cast<int>(rng->UniformInt(1, 4));
+    const int o_state = static_cast<int>(rng->UniformInt(1, 50));
+    const int d_state = static_cast<int>(rng->UniformInt(1, 50));
+    const int o_airport = 10000 + o_state * 90 +
+                          static_cast<int>(rng->UniformInt(0, 89));
+    const int d_airport = 10000 + d_state * 90 +
+                          static_cast<int>(rng->UniformInt(0, 89));
+    const int carrier = rng->NextCategorical(
+        {0.18, 0.17, 0.15, 0.20, 0.08, 0.07, 0.06, 0.04, 0.02, 0.03});
+    const double distance = Clamp(
+        std::exp(rng->Gaussian(6.7, 0.55)), 100.0, 5000.0);
+    const int layovers = rng->NextCategorical({0.55, 0.35, 0.10});
+    const double miles = distance * (1.0 + 0.12 * layovers) *
+                         rng->Uniform(1.0, 1.05);
+    const bool round_trip = rng->NextBool(0.65);
+    const int coupons = (1 + layovers) * (round_trip ? 2 : 1);
+    const int passengers = 1 + rng->NextCategorical({0.7, 0.2, 0.07, 0.03});
+    const bool online = rng->NextBool(0.75);
+    const int booking =
+        rng->NextCategorical({0.20, 0.55, 0.13, 0.09, 0.03});
+    const bool refundable = booking >= 3 || rng->NextBool(0.08);
+    const int days_before = static_cast<int>(Clamp(
+        std::exp(rng->Gaussian(3.2, 0.9)), 0.0, 330.0));
+    const double class_mult = 1.0 + 0.35 * booking * booking * 0.5;
+    const double last_minute = days_before < 7 ? 1.4 : 1.0;
+    const double base = (40.0 + 0.11 * distance) * class_mult * last_minute *
+                        (round_trip ? 1.85 : 1.0) *
+                        rng->Uniform(0.8, 1.25);
+    const double taxes = 5.6 + 0.075 * base + 4.5 * coupons;
+    const double fuel = 0.008 * miles + rng->Uniform(0.0, 8.0);
+    const double seg_fee = 4.2 * coupons;
+    const double itin = base + taxes + fuel + seg_fee;
+    const double fpm = itin / miles;
+    const int dep_hour = static_cast<int>(rng->UniformInt(5, 23));
+    const int arr_hour =
+        (dep_hour + 1 + static_cast<int>(distance / 450.0)) % 24;
+    const int layover_min =
+        layovers == 0 ? 0
+                      : static_cast<int>(rng->UniformInt(35, 240)) * layovers;
+    const int seats = rng->NextBool(0.3) ? 76 : (rng->NextBool(0.5) ? 143
+                                                                    : 180);
+    const double load = Clamp(rng->Gaussian(0.84, 0.08), 0.4, 1.0);
+    const double bag_fee =
+        (carrier == 3 || booking >= 2) ? 0.0 : rng->Uniform(25.0, 40.0);
+    const double seat_fee =
+        booking <= 1 && rng->NextBool(0.4) ? rng->Uniform(8.0, 45.0) : 0.0;
+    const double share = Clamp(rng->Gaussian(0.25, 0.12), 0.02, 0.9);
+    const int competitors = static_cast<int>(rng->UniformInt(1, 6));
+    const int year = 2017;
+
+    int c = 0;
+    table.Set(r, c++, quarter);
+    table.Set(r, c++, o_state);
+    table.Set(r, c++, d_state);
+    table.Set(r, c++, o_airport);
+    table.Set(r, c++, d_airport);
+    table.Set(r, c++, carrier);
+    table.Set(r, c++, distance);
+    table.Set(r, c++, miles);
+    table.Set(r, c++, coupons);
+    table.Set(r, c++, passengers);
+    table.Set(r, c++, round_trip ? 1.0 : 0.0);
+    table.Set(r, c++, online ? 1.0 : 0.0);
+    table.Set(r, c++, refundable ? 1.0 : 0.0);
+    table.Set(r, c++, booking);
+    table.Set(r, c++, days_before);
+    table.Set(r, c++, base);
+    table.Set(r, c++, taxes);
+    table.Set(r, c++, fuel);
+    table.Set(r, c++, seg_fee);
+    table.Set(r, c++, itin);
+    table.Set(r, c++, fpm);
+    table.Set(r, c++, dep_hour);
+    table.Set(r, c++, arr_hour);
+    table.Set(r, c++, layovers);
+    table.Set(r, c++, layover_min);
+    table.Set(r, c++, seats);
+    table.Set(r, c++, load);
+    table.Set(r, c++, bag_fee);
+    table.Set(r, c++, seat_fee);
+    table.Set(r, c++, share);
+    table.Set(r, c++, competitors);
+    table.Set(r, c++, year);
+  }
+  DeriveMedianLabel(&table, *schema.FindColumn("itin_fare"),
+                    *schema.FindColumn("expensive_ticket"));
+  return table;
+}
+
+// ---------------------------------------------------------------------
+
+std::vector<std::string> DatasetNames() {
+  return {"lacity", "adult", "health", "airline"};
+}
+
+Result<int64_t> PaperRowCount(const std::string& name) {
+  if (name == "lacity") return int64_t{15000};
+  if (name == "adult") return int64_t{32561};
+  if (name == "health") return int64_t{9813};
+  if (name == "airline") return int64_t{1000000};
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<int64_t> PaperTestRowCount(const std::string& name) {
+  if (name == "lacity") return int64_t{3000};
+  if (name == "adult") return int64_t{16281};
+  if (name == "health") return int64_t{1963};
+  if (name == "airline") return int64_t{200000};
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<Dataset> MakeDataset(const std::string& name, double scale,
+                            uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  TABLEGAN_ASSIGN_OR_RETURN(int64_t paper_train, PaperRowCount(name));
+  TABLEGAN_ASSIGN_OR_RETURN(int64_t paper_test, PaperTestRowCount(name));
+  const int64_t train_rows = std::max<int64_t>(
+      50, static_cast<int64_t>(static_cast<double>(paper_train) * scale));
+  const int64_t test_rows = std::max<int64_t>(
+      50, static_cast<int64_t>(static_cast<double>(paper_test) * scale));
+
+  Rng rng(seed);
+  Table (*make)(int64_t, Rng*) = nullptr;
+  if (name == "lacity") {
+    make = &MakeLaCityLike;
+  } else if (name == "adult") {
+    make = &MakeAdultLike;
+  } else if (name == "health") {
+    make = &MakeHealthLike;
+  } else if (name == "airline") {
+    make = &MakeAirlineLike;
+  } else {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+
+  Dataset out;
+  out.name = name;
+  out.train = make(train_rows, &rng);
+  out.test = make(test_rows, &rng);
+  const Schema& schema = out.train.schema();
+  std::vector<int> labels = schema.ColumnsWithRole(ColumnRole::kLabel);
+  TABLEGAN_CHECK(labels.size() == 1);
+  out.label_col = labels[0];
+  out.regression_col = -1;
+  if (name == "lacity") out.regression_col = *schema.FindColumn("total_pay");
+  if (name == "adult") {
+    out.regression_col = *schema.FindColumn("hours_per_week");
+  }
+  if (name == "airline") out.regression_col = *schema.FindColumn("itin_fare");
+  return out;
+}
+
+}  // namespace data
+}  // namespace tablegan

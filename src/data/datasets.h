@@ -1,0 +1,59 @@
+#ifndef TABLEGAN_DATA_DATASETS_H_
+#define TABLEGAN_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace data {
+
+/// One evaluation dataset: a training table, a held-out testing table
+/// drawn from the same distribution (the paper's "testing records that
+/// are not part of the original table", §5.1.1), and the columns used by
+/// the model-compatibility experiments.
+struct Dataset {
+  std::string name;
+  Table train;
+  Table test;
+  /// Binary ground-truth label column (role kLabel).
+  int label_col = -1;
+  /// Continuous regression target, or -1 (Health has none — §5.2.2.2).
+  int regression_col = -1;
+};
+
+/// The four dataset simulators. They substitute for the paper's public
+/// downloads (LACity payroll [5], UCI Adult [1], NHANES Health [4], BTS
+/// Airline [2]) with synthetic tables matching the paper's Table 3
+/// statistics: column counts and roles, mixed categorical / discrete /
+/// continuous types, and a label correlated with the other attributes so
+/// model-compatibility tests have real signal.
+///
+/// `rows` is the total row count to generate. Full paper sizes are the
+/// defaults in PaperRowCount(); benches scale them down for CPU runs.
+Table MakeLaCityLike(int64_t rows, Rng* rng);
+Table MakeAdultLike(int64_t rows, Rng* rng);
+Table MakeHealthLike(int64_t rows, Rng* rng);
+Table MakeAirlineLike(int64_t rows, Rng* rng);
+
+/// Names accepted by MakeDataset: "lacity", "adult", "health", "airline".
+std::vector<std::string> DatasetNames();
+
+/// Paper Table 3 training-set row count for `name`.
+Result<int64_t> PaperRowCount(const std::string& name);
+/// Paper Table 3 testing-set row count for `name`.
+Result<int64_t> PaperTestRowCount(const std::string& name);
+
+/// Builds train and test tables for `name`, scaled to
+/// round(paper_rows * scale) (min 50 rows each split).
+Result<Dataset> MakeDataset(const std::string& name, double scale,
+                            uint64_t seed);
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_DATASETS_H_

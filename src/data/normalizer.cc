@@ -1,0 +1,94 @@
+#include "data/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tablegan {
+namespace data {
+
+Status MinMaxNormalizer::Fit(const Table& table) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit normalizer on empty table");
+  }
+  const int cols = table.num_columns();
+  mins_.assign(static_cast<size_t>(cols), 0.0);
+  maxs_.assign(static_cast<size_t>(cols), 0.0);
+  types_.resize(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    const auto& col = table.column(c);
+    double lo = col[0], hi = col[0];
+    for (double v : col) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    mins_[static_cast<size_t>(c)] = lo;
+    maxs_[static_cast<size_t>(c)] = hi;
+    types_[static_cast<size_t>(c)] = table.schema().column(c).type;
+  }
+  return Status::OK();
+}
+
+Result<Tensor> MinMaxNormalizer::Transform(const Table& table) const {
+  if (!fitted()) return Status::FailedPrecondition("normalizer not fitted");
+  if (table.num_columns() != num_columns()) {
+    return Status::InvalidArgument("column count mismatch in Transform");
+  }
+  const int64_t n = table.num_rows();
+  const int cols = num_columns();
+  Tensor out({n, cols});
+  for (int c = 0; c < cols; ++c) {
+    const double lo = mins_[static_cast<size_t>(c)];
+    const double hi = maxs_[static_cast<size_t>(c)];
+    const double span = hi - lo;
+    const auto& col = table.column(c);
+    for (int64_t r = 0; r < n; ++r) {
+      const double v = col[static_cast<size_t>(r)];
+      out.at2(r, c) = span > 0.0
+                          ? static_cast<float>(2.0 * (v - lo) / span - 1.0)
+                          : 0.0f;
+    }
+  }
+  return out;
+}
+
+Result<Table> MinMaxNormalizer::InverseTransform(const Tensor& encoded,
+                                                 const Schema& schema) const {
+  if (!fitted()) return Status::FailedPrecondition("normalizer not fitted");
+  if (encoded.rank() != 2 || encoded.dim(1) != num_columns()) {
+    return Status::InvalidArgument("encoded shape mismatch");
+  }
+  if (schema.num_columns() != num_columns()) {
+    return Status::InvalidArgument("schema width mismatch");
+  }
+  const int64_t n = encoded.dim(0);
+  const int cols = num_columns();
+  Table out(schema);
+  out.Resize(n);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double lo = mins_[static_cast<size_t>(c)];
+      const double hi = maxs_[static_cast<size_t>(c)];
+      double u = std::clamp(static_cast<double>(encoded.at2(r, c)), -1.0, 1.0);
+      double v = lo + (u + 1.0) * 0.5 * (hi - lo);
+      if (types_[static_cast<size_t>(c)] != ColumnType::kContinuous) {
+        v = std::round(v);
+      }
+      out.Set(r, c, v);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MinMaxNormalizer::NormalizeRow(
+    const std::vector<double>& row) const {
+  TABLEGAN_CHECK(static_cast<int>(row.size()) == num_columns());
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    const double lo = mins_[c], hi = maxs_[c];
+    out[c] = hi > lo ? 2.0 * (row[c] - lo) / (hi - lo) - 1.0 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace tablegan

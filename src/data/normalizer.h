@@ -1,0 +1,68 @@
+#ifndef TABLEGAN_DATA_NORMALIZER_H_
+#define TABLEGAN_DATA_NORMALIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace data {
+
+/// Attribute-wise min-max scaler to [-1, 1].
+///
+/// This is the record encoding of paper §3.2: every attribute — after
+/// label-encoding categoricals to level indices — is linearly mapped to
+/// the generator's tanh range, and the mapping is inverted at synthesis
+/// time. Discrete and categorical attributes are rounded to the nearest
+/// valid level on the way back; continuous attributes are clamped to the
+/// observed range. The same normalization underlies the DCR privacy
+/// metric ("distance after attribute-wise normalization", §5.1.2), for
+/// which NormalizeRow() is exposed.
+class MinMaxNormalizer {
+ public:
+  MinMaxNormalizer() = default;
+
+  /// Learns per-column min/max from `table`. Constant columns are handled
+  /// by mapping every value to 0.
+  Status Fit(const Table& table);
+
+  bool fitted() const { return !mins_.empty(); }
+  int num_columns() const { return static_cast<int>(mins_.size()); }
+
+  /// Encodes the whole table as a [rows, cols] float tensor in [-1, 1].
+  Result<Tensor> Transform(const Table& table) const;
+
+  /// Decodes a [rows, cols] tensor back into a table under `schema`,
+  /// rounding discrete/categorical attributes and clamping to the fitted
+  /// range.
+  Result<Table> InverseTransform(const Tensor& encoded,
+                                 const Schema& schema) const;
+
+  /// Encodes a single row (used by DCR and the generation-example bench).
+  std::vector<double> NormalizeRow(const std::vector<double>& row) const;
+
+  double column_min(int c) const { return mins_[static_cast<size_t>(c)]; }
+  double column_max(int c) const { return maxs_[static_cast<size_t>(c)]; }
+
+  /// Serialization accessors / restore (model persistence).
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+  void Restore(std::vector<double> mins, std::vector<double> maxs,
+               std::vector<ColumnType> types) {
+    mins_ = std::move(mins);
+    maxs_ = std::move(maxs);
+    types_ = std::move(types);
+  }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+  std::vector<ColumnType> types_;
+};
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_NORMALIZER_H_

@@ -1,0 +1,63 @@
+#include "data/record_matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace data {
+
+RecordMatrixCodec::RecordMatrixCodec(int num_attributes, int side)
+    : num_attributes_(num_attributes), side_(side) {
+  TABLEGAN_CHECK(num_attributes >= 1);
+  TABLEGAN_CHECK(side >= 4 && (side & (side - 1)) == 0)
+      << "side must be a power of two >= 4, got " << side;
+  TABLEGAN_CHECK(side * side >= num_attributes)
+      << side << "x" << side << " matrix cannot hold " << num_attributes
+      << " attributes";
+}
+
+int RecordMatrixCodec::ChooseSide(int num_attributes) {
+  int side = 4;
+  while (side * side < num_attributes) side *= 2;
+  return side;
+}
+
+Result<Tensor> RecordMatrixCodec::ToMatrices(const Tensor& records) const {
+  if (records.rank() != 2 || records.dim(1) != num_attributes_) {
+    return Status::InvalidArgument("expected [n, " +
+                                   std::to_string(num_attributes_) +
+                                   "] records, got " +
+                                   ShapeToString(records.shape()));
+  }
+  const int64_t n = records.dim(0);
+  const int64_t cells = static_cast<int64_t>(side_) * side_;
+  Tensor out({n, 1, side_, side_});
+  for (int64_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * cells, records.data() + i * num_attributes_,
+                sizeof(float) * static_cast<size_t>(num_attributes_));
+  }
+  return out;
+}
+
+Result<Tensor> RecordMatrixCodec::FromMatrices(const Tensor& matrices) const {
+  if (matrices.rank() != 4 || matrices.dim(1) != 1 ||
+      matrices.dim(2) != side_ || matrices.dim(3) != side_) {
+    return Status::InvalidArgument("expected [n, 1, " +
+                                   std::to_string(side_) + ", " +
+                                   std::to_string(side_) + "] matrices, got " +
+                                   ShapeToString(matrices.shape()));
+  }
+  const int64_t n = matrices.dim(0);
+  const int64_t cells = static_cast<int64_t>(side_) * side_;
+  Tensor out({n, num_attributes_});
+  for (int64_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * num_attributes_, matrices.data() + i * cells,
+                sizeof(float) * static_cast<size_t>(num_attributes_));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace tablegan

@@ -1,0 +1,58 @@
+#include "data/schema.h"
+
+namespace tablegan {
+namespace data {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kContinuous:
+      return "continuous";
+    case ColumnType::kDiscrete:
+      return "discrete";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "?";
+}
+
+const char* ColumnRoleToString(ColumnRole role) {
+  switch (role) {
+    case ColumnRole::kQuasiIdentifier:
+      return "qid";
+    case ColumnRole::kSensitive:
+      return "sensitive";
+    case ColumnRole::kLabel:
+      return "label";
+  }
+  return "?";
+}
+
+Result<int> Schema::FindColumn(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::vector<int> Schema::ColumnsWithRole(ColumnRole role) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (num_columns() != other.num_columns()) return false;
+  for (int i = 0; i < num_columns(); ++i) {
+    const ColumnSpec& a = column(i);
+    const ColumnSpec& b = other.column(i);
+    if (a.name != b.name || a.type != b.type || a.role != b.role) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace data
+}  // namespace tablegan

@@ -1,0 +1,74 @@
+#ifndef TABLEGAN_DATA_SCHEMA_H_
+#define TABLEGAN_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tablegan {
+namespace data {
+
+/// Attribute value type (paper §1: table-GAN synthesizes categorical,
+/// discrete and continuous values).
+enum class ColumnType {
+  kContinuous,   // real-valued
+  kDiscrete,     // integer-valued (counts, codes with ordinal meaning)
+  kCategorical,  // enumerated levels, stored as level indices
+};
+
+/// Privacy role of an attribute (paper §2 terminology). Identifiers are
+/// never stored — the pipeline assumes they were dropped upfront, as all
+/// anonymization methods do.
+enum class ColumnRole {
+  kQuasiIdentifier,  // QID: generalized by anonymizers
+  kSensitive,        // sensitive attribute
+  kLabel,            // derived ground-truth label for model-compatibility
+};
+
+const char* ColumnTypeToString(ColumnType type);
+const char* ColumnRoleToString(ColumnRole role);
+
+/// Static description of one attribute.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kContinuous;
+  ColumnRole role = ColumnRole::kSensitive;
+  /// Level names for categorical columns; values are indices into this.
+  std::vector<std::string> categories;
+
+  int num_categories() const { return static_cast<int>(categories.size()); }
+};
+
+/// Ordered collection of column specs describing a relational table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddColumn(ColumnSpec spec) { columns_.push_back(std::move(spec)); }
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnSpec& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column named `name`.
+  Result<int> FindColumn(const std::string& name) const;
+
+  /// Indices of all columns with the given role.
+  std::vector<int> ColumnsWithRole(ColumnRole role) const;
+
+  /// True iff both schemas have the same column names/types/roles.
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_SCHEMA_H_

@@ -1,0 +1,137 @@
+#include "data/schema_text.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tablegan {
+namespace data {
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  size_t e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+Result<ColumnType> ParseType(const std::string& s) {
+  if (s == "continuous") return ColumnType::kContinuous;
+  if (s == "discrete") return ColumnType::kDiscrete;
+  if (s == "categorical") return ColumnType::kCategorical;
+  return Status::InvalidArgument("unknown column type '" + s + "'");
+}
+
+Result<ColumnRole> ParseRole(const std::string& s) {
+  if (s == "qid") return ColumnRole::kQuasiIdentifier;
+  if (s == "sensitive") return ColumnRole::kSensitive;
+  if (s == "label") return ColumnRole::kLabel;
+  return Status::InvalidArgument("unknown column role '" + s + "'");
+}
+
+}  // namespace
+
+Result<Schema> ParseSchemaText(const std::string& text) {
+  Schema schema;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> parts = Split(line, ',');
+    if (parts.size() < 3 || parts.size() > 4) {
+      return Status::InvalidArgument(
+          "schema line " + std::to_string(line_no) +
+          ": expected name,type,role[,levels]");
+    }
+    ColumnSpec spec;
+    spec.name = Trim(parts[0]);
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("schema line " +
+                                     std::to_string(line_no) +
+                                     ": empty column name");
+    }
+    TABLEGAN_ASSIGN_OR_RETURN(spec.type, ParseType(Trim(parts[1])));
+    TABLEGAN_ASSIGN_OR_RETURN(spec.role, ParseRole(Trim(parts[2])));
+    if (parts.size() == 4) {
+      if (spec.type != ColumnType::kCategorical) {
+        return Status::InvalidArgument(
+            "schema line " + std::to_string(line_no) +
+            ": only categorical columns take levels");
+      }
+      for (const std::string& level : Split(Trim(parts[3]), '|')) {
+        const std::string trimmed = Trim(level);
+        if (trimmed.empty()) {
+          return Status::InvalidArgument("schema line " +
+                                         std::to_string(line_no) +
+                                         ": empty categorical level");
+        }
+        spec.categories.push_back(trimmed);
+      }
+    } else if (spec.type == ColumnType::kCategorical) {
+      return Status::InvalidArgument(
+          "schema line " + std::to_string(line_no) +
+          ": categorical column needs levels (a|b|c)");
+    }
+    schema.AddColumn(std::move(spec));
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("schema text declares no columns");
+  }
+  return schema;
+}
+
+Result<Schema> ReadSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open schema file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSchemaText(buffer.str());
+}
+
+std::string SchemaToText(const Schema& schema) {
+  std::ostringstream out;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const ColumnSpec& spec = schema.column(c);
+    out << spec.name << ',' << ColumnTypeToString(spec.type) << ',';
+    switch (spec.role) {
+      case ColumnRole::kQuasiIdentifier:
+        out << "qid";
+        break;
+      case ColumnRole::kSensitive:
+        out << "sensitive";
+        break;
+      case ColumnRole::kLabel:
+        out << "label";
+        break;
+    }
+    if (!spec.categories.empty()) {
+      out << ',';
+      for (size_t i = 0; i < spec.categories.size(); ++i) {
+        if (i) out << '|';
+        out << spec.categories[i];
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace data
+}  // namespace tablegan

@@ -1,0 +1,35 @@
+#ifndef TABLEGAN_DATA_SCHEMA_TEXT_H_
+#define TABLEGAN_DATA_SCHEMA_TEXT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace tablegan {
+namespace data {
+
+/// Plain-text schema description used by the CLI, one column per line:
+///
+///   # comments and blank lines are ignored
+///   age,discrete,qid
+///   education,categorical,qid,dropout|hs_grad|bachelors
+///   salary,continuous,sensitive
+///   high_salary,discrete,label
+///
+/// Types: continuous | discrete | categorical.
+/// Roles: qid | sensitive | label.
+/// Categorical columns list their levels after a third comma, separated
+/// by '|'.
+Result<Schema> ParseSchemaText(const std::string& text);
+
+/// Reads and parses a schema file.
+Result<Schema> ReadSchemaFile(const std::string& path);
+
+/// Inverse of ParseSchemaText (round-trips).
+std::string SchemaToText(const Schema& schema);
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_SCHEMA_TEXT_H_

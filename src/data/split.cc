@@ -1,0 +1,44 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace data {
+
+TrainTestSplit SplitTrainTest(const Table& table, double test_fraction,
+                              Rng* rng) {
+  TABLEGAN_CHECK(test_fraction >= 0.0 && test_fraction < 1.0);
+  const int64_t n = table.num_rows();
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&idx);
+  const int64_t test_n = static_cast<int64_t>(
+      static_cast<double>(n) * test_fraction);
+  std::vector<int64_t> test_idx(idx.begin(), idx.begin() + test_n);
+  std::vector<int64_t> train_idx(idx.begin() + test_n, idx.end());
+  return {table.SelectRows(train_idx), table.SelectRows(test_idx)};
+}
+
+std::vector<Table> SplitChunks(const Table& table, int num_chunks) {
+  TABLEGAN_CHECK(num_chunks >= 1);
+  const int64_t n = table.num_rows();
+  num_chunks = static_cast<int>(
+      std::min<int64_t>(num_chunks, std::max<int64_t>(n, 1)));
+  std::vector<Table> out;
+  out.reserve(static_cast<size_t>(num_chunks));
+  int64_t start = 0;
+  for (int k = 0; k < num_chunks; ++k) {
+    const int64_t end = n * (k + 1) / num_chunks;
+    std::vector<int64_t> rows;
+    rows.reserve(static_cast<size_t>(end - start));
+    for (int64_t i = start; i < end; ++i) rows.push_back(i);
+    out.push_back(table.SelectRows(rows));
+    start = end;
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace tablegan

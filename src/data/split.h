@@ -1,0 +1,30 @@
+#ifndef TABLEGAN_DATA_SPLIT_H_
+#define TABLEGAN_DATA_SPLIT_H_
+
+#include <utility>
+
+#include "common/random.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace data {
+
+/// Random train/test partition. The paper holds out ~20% of each dataset
+/// as unknown testing records for the model-compatibility and
+/// membership-attack experiments (§5.1.1).
+struct TrainTestSplit {
+  Table train;
+  Table test;
+};
+
+TrainTestSplit SplitTrainTest(const Table& table, double test_fraction,
+                              Rng* rng);
+
+/// Splits a table into `num_chunks` near-equal row ranges for the
+/// multi-chunk parallel training mode (paper §4.4).
+std::vector<Table> SplitChunks(const Table& table, int num_chunks);
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_SPLIT_H_

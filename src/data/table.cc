@@ -1,0 +1,92 @@
+#include "data/table.h"
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace data {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(static_cast<size_t>(schema_.num_columns()));
+}
+
+double Table::Get(int64_t row, int col) const {
+  TABLEGAN_DCHECK(row >= 0 && row < num_rows_);
+  TABLEGAN_DCHECK(col >= 0 && col < num_columns());
+  return columns_[static_cast<size_t>(col)][static_cast<size_t>(row)];
+}
+
+void Table::Set(int64_t row, int col, double value) {
+  TABLEGAN_DCHECK(row >= 0 && row < num_rows_);
+  TABLEGAN_DCHECK(col >= 0 && col < num_columns());
+  columns_[static_cast<size_t>(col)][static_cast<size_t>(row)] = value;
+}
+
+const std::vector<double>& Table::column(int col) const {
+  TABLEGAN_DCHECK(col >= 0 && col < num_columns());
+  return columns_[static_cast<size_t>(col)];
+}
+
+void Table::AppendRow(const std::vector<double>& values) {
+  TABLEGAN_CHECK(static_cast<int>(values.size()) == num_columns())
+      << "row width " << values.size() << " vs schema " << num_columns();
+  for (size_t c = 0; c < values.size(); ++c) {
+    columns_[c].push_back(values[c]);
+  }
+  ++num_rows_;
+}
+
+std::vector<double> Table::Row(int64_t row) const {
+  std::vector<double> out(static_cast<size_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) out[static_cast<size_t>(c)] = Get(row, c);
+  return out;
+}
+
+void Table::Resize(int64_t rows) {
+  for (auto& col : columns_) col.resize(static_cast<size_t>(rows), 0.0);
+  num_rows_ = rows;
+}
+
+Table Table::SelectRows(const std::vector<int64_t>& rows) const {
+  Table out(schema_);
+  out.Resize(static_cast<int64_t>(rows.size()));
+  for (int c = 0; c < num_columns(); ++c) {
+    const auto& src = columns_[static_cast<size_t>(c)];
+    auto& dst = out.columns_[static_cast<size_t>(c)];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      TABLEGAN_DCHECK(rows[i] >= 0 && rows[i] < num_rows_);
+      dst[i] = src[static_cast<size_t>(rows[i])];
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::SelectColumns(const std::vector<int>& cols) const {
+  Schema projected;
+  for (int c : cols) {
+    if (c < 0 || c >= num_columns()) {
+      return Status::OutOfRange("column index out of range");
+    }
+    projected.AddColumn(schema_.column(c));
+  }
+  Table out(projected);
+  out.num_rows_ = num_rows_;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    out.columns_[i] = columns_[static_cast<size_t>(cols[i])];
+  }
+  return out;
+}
+
+Result<Table> Table::ConcatRows(const std::vector<Table>& parts) {
+  if (parts.empty()) return Status::InvalidArgument("no tables to concat");
+  Table out(parts[0].schema());
+  for (const Table& p : parts) {
+    if (!p.schema().Equals(parts[0].schema())) {
+      return Status::InvalidArgument("schema mismatch in ConcatRows");
+    }
+    for (int64_t r = 0; r < p.num_rows(); ++r) out.AppendRow(p.Row(r));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace tablegan

@@ -1,0 +1,62 @@
+#ifndef TABLEGAN_DATA_TABLE_H_
+#define TABLEGAN_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace tablegan {
+namespace data {
+
+/// In-memory relational table with columnar double storage.
+///
+/// Categorical values are stored as level indices into the schema's
+/// category list; discrete values as integral doubles. This single
+/// numeric representation is what every stage of the pipeline
+/// (normalization, GAN training, anonymizers, ML models) operates on.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_columns(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Cell access (bounds-checked in debug builds via CHECK).
+  double Get(int64_t row, int col) const;
+  void Set(int64_t row, int col, double value);
+
+  /// Whole-column access for columnar algorithms.
+  const std::vector<double>& column(int col) const;
+
+  /// Appends a row; must have exactly num_columns() values.
+  void AppendRow(const std::vector<double>& values);
+  /// Copies a full row out.
+  std::vector<double> Row(int64_t row) const;
+
+  /// Pre-allocates `rows` zero-filled rows (faster bulk fill).
+  void Resize(int64_t rows);
+
+  /// Returns a new table with the given row subset (indices may repeat).
+  Table SelectRows(const std::vector<int64_t>& rows) const;
+
+  /// Returns a new table with the given column subset; the schema is
+  /// projected accordingly.
+  Result<Table> SelectColumns(const std::vector<int>& cols) const;
+
+  /// Vertically concatenates tables with equal schemas.
+  static Result<Table> ConcatRows(const std::vector<Table>& parts);
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<double>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_TABLE_H_

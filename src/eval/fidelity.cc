@@ -1,0 +1,284 @@
+#include "eval/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+
+namespace tablegan {
+namespace eval {
+namespace {
+
+Status CheckColumns(const data::Table& original,
+                    const data::Table& released, int col) {
+  if (original.num_rows() == 0 || released.num_rows() == 0) {
+    return Status::InvalidArgument("empty table in fidelity metric");
+  }
+  if (col < 0 || col >= original.num_columns() ||
+      col >= released.num_columns()) {
+    return Status::OutOfRange("column out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> ColumnKsDistance(const data::Table& original,
+                                const data::Table& released, int col) {
+  TABLEGAN_RETURN_NOT_OK(CheckColumns(original, released, col));
+  std::vector<double> a = original.column(col);
+  std::vector<double> b = released.column(col);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Classic two-pointer sweep over the merged value sequence.
+  double ks = 0.0;
+  size_t i = 0, j = 0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    ks = std::max(ks, std::fabs(static_cast<double>(i) / na -
+                                static_cast<double>(j) / nb));
+  }
+  return ks;
+}
+
+Result<double> ColumnTvDistance(const data::Table& original,
+                                const data::Table& released, int col) {
+  TABLEGAN_RETURN_NOT_OK(CheckColumns(original, released, col));
+  std::map<double, double> pa, pb;
+  for (double v : original.column(col)) pa[v] += 1.0;
+  for (double v : released.column(col)) pb[v] += 1.0;
+  const double na = static_cast<double>(original.num_rows());
+  const double nb = static_cast<double>(released.num_rows());
+  double tv = 0.0;
+  for (const auto& [v, c] : pa) {
+    const auto it = pb.find(v);
+    const double qb = it == pb.end() ? 0.0 : it->second / nb;
+    tv += std::fabs(c / na - qb);
+  }
+  for (const auto& [v, c] : pb) {
+    if (pa.find(v) == pa.end()) tv += c / nb;
+  }
+  return tv / 2.0;
+}
+
+Result<double> ColumnJsDivergence(const data::Table& original,
+                                  const data::Table& released, int col,
+                                  int bins) {
+  TABLEGAN_RETURN_NOT_OK(CheckColumns(original, released, col));
+  if (bins < 2) return Status::InvalidArgument("bins must be >= 2");
+  // Shared equal-width binning over the pooled range.
+  double lo = original.column(col)[0], hi = lo;
+  for (double v : original.column(col)) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : released.column(col)) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  auto histogram = [&](const data::Table& t) {
+    std::vector<double> h(static_cast<size_t>(bins), 0.0);
+    for (double v : t.column(col)) {
+      int b = span > 0.0 ? static_cast<int>((v - lo) / span *
+                                            static_cast<double>(bins))
+                         : 0;
+      b = std::clamp(b, 0, bins - 1);
+      h[static_cast<size_t>(b)] += 1.0;
+    }
+    for (double& x : h) x /= static_cast<double>(t.num_rows());
+    return h;
+  };
+  const std::vector<double> p = histogram(original);
+  const std::vector<double> q = histogram(released);
+  double js = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const double pb = p[static_cast<size_t>(b)];
+    const double qb = q[static_cast<size_t>(b)];
+    const double mb = 0.5 * (pb + qb);
+    if (pb > 0.0) js += 0.5 * pb * std::log2(pb / mb);
+    if (qb > 0.0) js += 0.5 * qb * std::log2(qb / mb);
+  }
+  return std::max(0.0, js);
+}
+
+Result<double> CorrelationDifference(const data::Table& original,
+                                     const data::Table& released) {
+  if (original.num_columns() != released.num_columns()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  if (original.num_rows() < 2 || released.num_rows() < 2) {
+    return Status::InvalidArgument("need at least 2 rows");
+  }
+  const int f = original.num_columns();
+
+  auto correlations = [f](const data::Table& t) {
+    const auto n = static_cast<double>(t.num_rows());
+    std::vector<double> mean(static_cast<size_t>(f), 0.0);
+    std::vector<double> sd(static_cast<size_t>(f), 0.0);
+    for (int c = 0; c < f; ++c) {
+      for (double v : t.column(c)) mean[static_cast<size_t>(c)] += v;
+      mean[static_cast<size_t>(c)] /= n;
+      for (double v : t.column(c)) {
+        const double d = v - mean[static_cast<size_t>(c)];
+        sd[static_cast<size_t>(c)] += d * d;
+      }
+      sd[static_cast<size_t>(c)] = std::sqrt(sd[static_cast<size_t>(c)] / n);
+    }
+    std::vector<double> corr(static_cast<size_t>(f * f), 0.0);
+    for (int a = 0; a < f; ++a) {
+      for (int b = a + 1; b < f; ++b) {
+        if (sd[static_cast<size_t>(a)] < 1e-12 ||
+            sd[static_cast<size_t>(b)] < 1e-12) {
+          continue;  // constant columns contribute correlation 0
+        }
+        double cov = 0.0;
+        const auto& ca = t.column(a);
+        const auto& cb = t.column(b);
+        for (int64_t r = 0; r < t.num_rows(); ++r) {
+          cov += (ca[static_cast<size_t>(r)] - mean[static_cast<size_t>(a)]) *
+                 (cb[static_cast<size_t>(r)] - mean[static_cast<size_t>(b)]);
+        }
+        corr[static_cast<size_t>(a * f + b)] =
+            cov / n / (sd[static_cast<size_t>(a)] * sd[static_cast<size_t>(b)]);
+      }
+    }
+    return corr;
+  };
+
+  const std::vector<double> ca = correlations(original);
+  const std::vector<double> cb = correlations(released);
+  double acc = 0.0;
+  int64_t pairs = 0;
+  for (int a = 0; a < f; ++a) {
+    for (int b = a + 1; b < f; ++b) {
+      acc += std::fabs(ca[static_cast<size_t>(a * f + b)] -
+                       cb[static_cast<size_t>(a * f + b)]);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? acc / static_cast<double>(pairs) : 0.0;
+}
+
+Result<double> PropensityMse(const data::Table& original,
+                             const data::Table& released,
+                             const PmseOptions& options) {
+  if (!original.schema().Equals(released.schema())) {
+    return Status::InvalidArgument("schema mismatch in pMSE");
+  }
+  if (original.num_rows() < 4 || released.num_rows() < 4) {
+    return Status::InvalidArgument("tables too small for pMSE");
+  }
+  const int f = original.num_columns();
+  const int64_t n = original.num_rows() + released.num_rows();
+
+  // Standardize features over the pooled rows.
+  std::vector<double> mean(static_cast<size_t>(f), 0.0);
+  std::vector<double> inv_sd(static_cast<size_t>(f), 1.0);
+  for (int c = 0; c < f; ++c) {
+    double m = 0.0;
+    for (double v : original.column(c)) m += v;
+    for (double v : released.column(c)) m += v;
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (double v : original.column(c)) var += (v - m) * (v - m);
+    for (double v : released.column(c)) var += (v - m) * (v - m);
+    var /= static_cast<double>(n);
+    mean[static_cast<size_t>(c)] = m;
+    inv_sd[static_cast<size_t>(c)] =
+        var > 1e-12 ? 1.0 / std::sqrt(var) : 0.0;
+  }
+  auto features = [&](const data::Table& t, int64_t r,
+                      std::vector<double>* out) {
+    for (int c = 0; c < f; ++c) {
+      (*out)[static_cast<size_t>(c)] =
+          (t.Get(r, c) - mean[static_cast<size_t>(c)]) *
+          inv_sd[static_cast<size_t>(c)];
+    }
+  };
+
+  // Logistic regression by full-batch gradient descent: original = 1,
+  // released = 0.
+  std::vector<double> w(static_cast<size_t>(f), 0.0);
+  double bias = 0.0;
+  std::vector<double> x(static_cast<size_t>(f));
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<double> gw(static_cast<size_t>(f), 0.0);
+    double gb = 0.0;
+    auto accumulate = [&](const data::Table& t, double label) {
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        features(t, r, &x);
+        double z = bias;
+        for (int c = 0; c < f; ++c) {
+          z += w[static_cast<size_t>(c)] * x[static_cast<size_t>(c)];
+        }
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        const double g = (p - label) * inv_n;
+        for (int c = 0; c < f; ++c) {
+          gw[static_cast<size_t>(c)] += g * x[static_cast<size_t>(c)];
+        }
+        gb += g;
+      }
+    };
+    accumulate(original, 1.0);
+    accumulate(released, 0.0);
+    for (int c = 0; c < f; ++c) {
+      w[static_cast<size_t>(c)] -=
+          options.learning_rate * gw[static_cast<size_t>(c)];
+    }
+    bias -= options.learning_rate * gb;
+  }
+
+  // pMSE = mean (p_i - 0.5)^2 over the pooled rows.
+  double acc = 0.0;
+  auto score = [&](const data::Table& t) {
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      features(t, r, &x);
+      double z = bias;
+      for (int c = 0; c < f; ++c) {
+        z += w[static_cast<size_t>(c)] * x[static_cast<size_t>(c)];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      acc += (p - 0.5) * (p - 0.5);
+    }
+  };
+  score(original);
+  score(released);
+  return acc * inv_n;
+}
+
+Result<FidelityReport> EvaluateFidelity(const data::Table& original,
+                                        const data::Table& released) {
+  if (!original.schema().Equals(released.schema())) {
+    return Status::InvalidArgument("schema mismatch in fidelity report");
+  }
+  FidelityReport report;
+  double ks_sum = 0.0;
+  for (int c = 0; c < original.num_columns(); ++c) {
+    ColumnFidelity cf;
+    cf.name = original.schema().column(c).name;
+    TABLEGAN_ASSIGN_OR_RETURN(cf.ks,
+                              ColumnKsDistance(original, released, c));
+    if (original.schema().column(c).type != data::ColumnType::kContinuous) {
+      TABLEGAN_ASSIGN_OR_RETURN(cf.tv,
+                                ColumnTvDistance(original, released, c));
+    }
+    ks_sum += cf.ks;
+    report.worst_ks = std::max(report.worst_ks, cf.ks);
+    report.columns.push_back(std::move(cf));
+  }
+  report.mean_ks = ks_sum / static_cast<double>(original.num_columns());
+  TABLEGAN_ASSIGN_OR_RETURN(report.correlation_difference,
+                            CorrelationDifference(original, released));
+  TABLEGAN_ASSIGN_OR_RETURN(report.pmse, PropensityMse(original, released));
+  return report;
+}
+
+}  // namespace eval
+}  // namespace tablegan

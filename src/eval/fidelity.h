@@ -1,0 +1,80 @@
+#ifndef TABLEGAN_EVAL_FIDELITY_H_
+#define TABLEGAN_EVAL_FIDELITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace eval {
+
+/// Statistical-fidelity metrics between an original table and a released
+/// (anonymized / perturbed / synthesized) table. These back the paper's
+/// statistical-comparison experiments (Figure 4 and appendix): the
+/// figures plot per-attribute CDFs; this module reduces them to scalar
+/// distances plus two whole-table scores standard in the synthetic-data
+/// literature (correlation-difference and pMSE).
+
+/// Kolmogorov-Smirnov distance between the empirical CDFs of column
+/// `col` in the two tables (exact two-sample statistic, not binned).
+Result<double> ColumnKsDistance(const data::Table& original,
+                                const data::Table& released, int col);
+
+/// Total-variation distance between the empirical level distributions
+/// of a categorical/discrete column.
+Result<double> ColumnTvDistance(const data::Table& original,
+                                const data::Table& released, int col);
+
+/// Mean absolute difference between the Pearson correlation matrices of
+/// the two tables (upper triangle, constant columns contribute 0).
+/// Captures whether inter-attribute structure survived synthesis.
+Result<double> CorrelationDifference(const data::Table& original,
+                                     const data::Table& released);
+
+/// Propensity-score MSE (pMSE): train a logistic discriminator to tell
+/// original from released rows and report mean (p - 0.5)^2. 0 means the
+/// released table is indistinguishable; the maximum 0.25 means perfectly
+/// separable. [Snoke et al., "General and specific utility measures for
+/// synthetic data"]
+struct PmseOptions {
+  int epochs = 250;
+  double learning_rate = 0.5;
+  uint64_t seed = 61;
+};
+Result<double> PropensityMse(const data::Table& original,
+                             const data::Table& released,
+                             const PmseOptions& options = {});
+
+/// Jensen-Shannon divergence between binned distributions of a column
+/// (base-2 logs, so the value lies in [0, 1]). Robust to support
+/// mismatch, unlike KL.
+Result<double> ColumnJsDivergence(const data::Table& original,
+                                  const data::Table& released, int col,
+                                  int bins = 32);
+
+/// Per-column fidelity entry of a full report.
+struct ColumnFidelity {
+  std::string name;
+  double ks = 0.0;  // continuous view
+  double tv = 0.0;  // level-distribution view (categorical/discrete only)
+};
+
+/// Whole-table report.
+struct FidelityReport {
+  std::vector<ColumnFidelity> columns;
+  double mean_ks = 0.0;
+  double worst_ks = 0.0;
+  double correlation_difference = 0.0;
+  double pmse = 0.0;
+};
+
+/// Runs every metric. Tables must share a schema.
+Result<FidelityReport> EvaluateFidelity(const data::Table& original,
+                                        const data::Table& released);
+
+}  // namespace eval
+}  // namespace tablegan
+
+#endif  // TABLEGAN_EVAL_FIDELITY_H_

@@ -1,0 +1,38 @@
+#ifndef TABLEGAN_ML_ADABOOST_H_
+#define TABLEGAN_ML_ADABOOST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace tablegan {
+namespace ml {
+
+struct AdaBoostOptions {
+  int num_estimators = 50;
+  double learning_rate = 1.0;
+  /// Base learners are shallow CARTs; scikit-learn defaults to stumps.
+  int base_max_depth = 1;
+  uint64_t seed = 11;
+};
+
+/// Discrete AdaBoost (SAMME) over decision stumps/shallow trees — one of
+/// the paper's four model-compatibility classifiers.
+class AdaBoostClassifier : public Classifier {
+ public:
+  explicit AdaBoostClassifier(AdaBoostOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const MlData& data) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  AdaBoostOptions options_;
+  std::vector<DecisionTreeClassifier> stages_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_ADABOOST_H_

@@ -1,0 +1,133 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tablegan {
+namespace ml {
+namespace {
+
+// Draws a row subsample (without replacement) for stochastic boosting.
+MlData Subsample(const MlData& data, double fraction, Rng* rng) {
+  if (fraction >= 1.0) return data;
+  const auto take = std::max<int64_t>(
+      2, static_cast<int64_t>(static_cast<double>(data.num_rows()) *
+                              fraction));
+  std::vector<int64_t> idx(static_cast<size_t>(data.num_rows()));
+  for (int64_t i = 0; i < data.num_rows(); ++i) {
+    idx[static_cast<size_t>(i)] = i;
+  }
+  rng->Shuffle(&idx);
+  MlData out;
+  for (int64_t i = 0; i < take; ++i) {
+    out.x.push_back(data.x[static_cast<size_t>(idx[static_cast<size_t>(i)])]);
+    out.y.push_back(data.y[static_cast<size_t>(idx[static_cast<size_t>(i)])]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status GradientBoostingRegressor::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  stages_.clear();
+  base_ = 0.0;
+  for (double y : data.y) base_ += y;
+  base_ /= static_cast<double>(n);
+
+  std::vector<double> pred(static_cast<size_t>(n), base_);
+  Rng rng(options_.seed);
+  for (int stage = 0; stage < options_.num_estimators; ++stage) {
+    MlData residuals;
+    residuals.x = data.x;
+    residuals.y.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      residuals.y[static_cast<size_t>(i)] =
+          data.y[static_cast<size_t>(i)] - pred[static_cast<size_t>(i)];
+    }
+    TreeOptions topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_leaf = 2;
+    topt.seed = rng.NextUint64();
+    DecisionTreeRegressor tree(topt);
+    TABLEGAN_RETURN_NOT_OK(
+        tree.Fit(Subsample(residuals, options_.subsample, &rng)));
+    for (int64_t i = 0; i < n; ++i) {
+      pred[static_cast<size_t>(i)] +=
+          options_.learning_rate *
+          tree.Predict(data.x[static_cast<size_t>(i)]);
+    }
+    stages_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double GradientBoostingRegressor::Predict(
+    const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!stages_.empty()) << "predict before fit";
+  double out = base_;
+  for (const auto& stage : stages_) {
+    out += options_.learning_rate * stage.Predict(x);
+  }
+  return out;
+}
+
+Status GradientBoostingClassifier::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  stages_.clear();
+  double positives = 0.0;
+  for (double y : data.y) positives += y > 0.5 ? 1.0 : 0.0;
+  const double prior =
+      std::clamp(positives / static_cast<double>(n), 1e-4, 1.0 - 1e-4);
+  base_logit_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> logit(static_cast<size_t>(n), base_logit_);
+  Rng rng(options_.seed);
+  for (int stage = 0; stage < options_.num_estimators; ++stage) {
+    MlData gradients;
+    gradients.x = data.x;
+    gradients.y.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const double p =
+          1.0 / (1.0 + std::exp(-logit[static_cast<size_t>(i)]));
+      gradients.y[static_cast<size_t>(i)] =
+          (data.y[static_cast<size_t>(i)] > 0.5 ? 1.0 : 0.0) - p;
+    }
+    TreeOptions topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_leaf = 2;
+    topt.seed = rng.NextUint64();
+    DecisionTreeRegressor tree(topt);
+    TABLEGAN_RETURN_NOT_OK(
+        tree.Fit(Subsample(gradients, options_.subsample, &rng)));
+    for (int64_t i = 0; i < n; ++i) {
+      logit[static_cast<size_t>(i)] +=
+          options_.learning_rate *
+          tree.Predict(data.x[static_cast<size_t>(i)]);
+    }
+    stages_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double GradientBoostingClassifier::Logit(const std::vector<double>& x) const {
+  double out = base_logit_;
+  for (const auto& stage : stages_) {
+    out += options_.learning_rate * stage.Predict(x);
+  }
+  return out;
+}
+
+double GradientBoostingClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!stages_.empty()) << "predict before fit";
+  return 1.0 / (1.0 + std::exp(-Logit(x)));
+}
+
+}  // namespace ml
+}  // namespace tablegan

@@ -1,0 +1,58 @@
+#ifndef TABLEGAN_ML_GRADIENT_BOOSTING_H_
+#define TABLEGAN_ML_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace tablegan {
+namespace ml {
+
+struct GbmOptions {
+  int num_estimators = 50;
+  double learning_rate = 0.1;
+  int max_depth = 3;
+  /// Row subsample fraction per stage (stochastic gradient boosting).
+  double subsample = 1.0;
+  uint64_t seed = 67;
+};
+
+/// Gradient-boosted regression trees on the squared loss: each stage
+/// fits a shallow CART to the current residuals.
+class GradientBoostingRegressor : public Regressor {
+ public:
+  explicit GradientBoostingRegressor(GbmOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const MlData& data) override;
+  double Predict(const std::vector<double>& x) const override;
+
+ private:
+  GbmOptions options_;
+  double base_ = 0.0;
+  std::vector<DecisionTreeRegressor> stages_;
+};
+
+/// Gradient-boosted trees on the logistic loss: stages fit the negative
+/// gradient (label minus current probability); prediction sums stage
+/// outputs into a logit.
+class GradientBoostingClassifier : public Classifier {
+ public:
+  explicit GradientBoostingClassifier(GbmOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const MlData& data) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  double Logit(const std::vector<double>& x) const;
+
+  GbmOptions options_;
+  double base_logit_ = 0.0;
+  std::vector<DecisionTreeRegressor> stages_;
+};
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_GRADIENT_BOOSTING_H_

@@ -1,0 +1,276 @@
+#include "ml/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tablegan {
+namespace ml {
+namespace {
+
+double DotCoef(const std::vector<double>& coef,
+               const std::vector<double>& x) {
+  double acc = 0.0;
+  for (size_t j = 0; j < coef.size(); ++j) acc += coef[j] * x[j];
+  return acc;
+}
+
+double MeanOf(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+// Solves the SPD system A w = b in place via Cholesky; returns false if A
+// is not positive definite.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b, int n) {
+  // a is row-major n x n, overwritten with the Cholesky factor L.
+  for (int j = 0; j < n; ++j) {
+    double d = a[static_cast<size_t>(j * n + j)];
+    for (int k = 0; k < j; ++k) {
+      const double l = a[static_cast<size_t>(j * n + k)];
+      d -= l * l;
+    }
+    if (d <= 0.0) return false;
+    const double lj = std::sqrt(d);
+    a[static_cast<size_t>(j * n + j)] = lj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a[static_cast<size_t>(i * n + j)];
+      for (int k = 0; k < j; ++k) {
+        s -= a[static_cast<size_t>(i * n + k)] *
+             a[static_cast<size_t>(j * n + k)];
+      }
+      a[static_cast<size_t>(i * n + j)] = s / lj;
+    }
+  }
+  // Forward solve L z = b.
+  for (int i = 0; i < n; ++i) {
+    double s = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      s -= a[static_cast<size_t>(i * n + k)] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = s / a[static_cast<size_t>(i * n + i)];
+  }
+  // Backward solve L^T w = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double s = b[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      s -= a[static_cast<size_t>(k * n + i)] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = s / a[static_cast<size_t>(i * n + i)];
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LinearRegression::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  const int f = data.num_features();
+  scaler_.Fit(data);
+  const MlData sd = scaler_.TransformAll(data);
+  const double y_mean = MeanOf(sd.y);
+
+  // Normal equations on standardized features / centered target.
+  std::vector<double> xtx(static_cast<size_t>(f * f), 0.0);
+  std::vector<double> xty(static_cast<size_t>(f), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& row = sd.x[static_cast<size_t>(i)];
+    const double yc = sd.y[static_cast<size_t>(i)] - y_mean;
+    for (int a = 0; a < f; ++a) {
+      xty[static_cast<size_t>(a)] += row[static_cast<size_t>(a)] * yc;
+      for (int b = a; b < f; ++b) {
+        xtx[static_cast<size_t>(a * f + b)] +=
+            row[static_cast<size_t>(a)] * row[static_cast<size_t>(b)];
+      }
+    }
+  }
+  double ridge = std::max(l2_, 1e-10) * static_cast<double>(n);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> a = xtx;
+    for (int i = 0; i < f; ++i) {
+      for (int j = 0; j < i; ++j) {
+        a[static_cast<size_t>(i * f + j)] = a[static_cast<size_t>(j * f + i)];
+      }
+      a[static_cast<size_t>(i * f + i)] += ridge;
+    }
+    std::vector<double> b = xty;
+    if (CholeskySolve(a, b, f)) {
+      coef_ = std::move(b);
+      intercept_ = y_mean;
+      return Status::OK();
+    }
+    ridge *= 100.0;  // escalate stabilization for degenerate designs
+  }
+  return Status::Internal("normal equations are numerically singular");
+}
+
+double LinearRegression::Predict(const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!coef_.empty()) << "predict before fit";
+  return intercept_ + DotCoef(coef_, scaler_.Transform(x));
+}
+
+Status LassoRegression::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  const int f = data.num_features();
+  scaler_.Fit(data);
+  const MlData sd = scaler_.TransformAll(data);
+  const double y_mean = MeanOf(sd.y);
+
+  coef_.assign(static_cast<size_t>(f), 0.0);
+  intercept_ = y_mean;
+  // Residuals start at centered y.
+  std::vector<double> residual(sd.y);
+  for (double& r : residual) r -= y_mean;
+  // Per-feature squared norms (constant: standardized columns).
+  std::vector<double> col_sq(static_cast<size_t>(f), 0.0);
+  for (const auto& row : sd.x) {
+    for (int j = 0; j < f; ++j) {
+      col_sq[static_cast<size_t>(j)] +=
+          row[static_cast<size_t>(j)] * row[static_cast<size_t>(j)];
+    }
+  }
+  const double lam = alpha_ * static_cast<double>(n);
+  for (int it = 0; it < max_iter_; ++it) {
+    double max_delta = 0.0;
+    for (int j = 0; j < f; ++j) {
+      if (col_sq[static_cast<size_t>(j)] <= 1e-12) continue;
+      // rho = x_j . (residual + x_j * w_j)
+      double rho = 0.0;
+      const double wj = coef_[static_cast<size_t>(j)];
+      for (int64_t i = 0; i < n; ++i) {
+        rho += sd.x[static_cast<size_t>(i)][static_cast<size_t>(j)] *
+               residual[static_cast<size_t>(i)];
+      }
+      rho += wj * col_sq[static_cast<size_t>(j)];
+      // Soft threshold.
+      double wj_new = 0.0;
+      if (rho > lam) {
+        wj_new = (rho - lam) / col_sq[static_cast<size_t>(j)];
+      } else if (rho < -lam) {
+        wj_new = (rho + lam) / col_sq[static_cast<size_t>(j)];
+      }
+      const double delta = wj_new - wj;
+      if (delta != 0.0) {
+        for (int64_t i = 0; i < n; ++i) {
+          residual[static_cast<size_t>(i)] -=
+              delta * sd.x[static_cast<size_t>(i)][static_cast<size_t>(j)];
+        }
+        coef_[static_cast<size_t>(j)] = wj_new;
+      }
+      max_delta = std::max(max_delta, std::fabs(delta));
+    }
+    if (max_delta < tol_) break;
+  }
+  return Status::OK();
+}
+
+double LassoRegression::Predict(const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!coef_.empty()) << "predict before fit";
+  return intercept_ + DotCoef(coef_, scaler_.Transform(x));
+}
+
+Status PassiveAggressiveRegressor::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  const int f = data.num_features();
+  scaler_.Fit(data);
+  const MlData sd = scaler_.TransformAll(data);
+  const double y_mean = MeanOf(sd.y);
+  double y_sd = 0.0;
+  for (double y : sd.y) y_sd += (y - y_mean) * (y - y_mean);
+  y_sd = std::sqrt(y_sd / static_cast<double>(n));
+  if (y_sd <= 1e-12) y_sd = 1.0;
+
+  // PA works on a standardized target; predictions rescale back.
+  coef_.assign(static_cast<size_t>(f), 0.0);
+  std::vector<double> w(static_cast<size_t>(f), 0.0);
+  Rng rng(seed_);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  for (int e = 0; e < epochs_; ++e) {
+    rng.Shuffle(&order);
+    for (int64_t i : order) {
+      const auto& row = sd.x[static_cast<size_t>(i)];
+      const double target = (sd.y[static_cast<size_t>(i)] - y_mean) / y_sd;
+      const double pred = DotCoef(w, row);
+      const double err = pred - target;
+      const double loss = std::fabs(err) - epsilon_;
+      if (loss <= 0.0) continue;
+      double sq = 0.0;
+      for (double v : row) sq += v * v;
+      if (sq <= 1e-12) continue;
+      const double tau = std::min(c_, loss / sq);  // PA-I
+      const double sign = err > 0.0 ? 1.0 : -1.0;
+      for (int j = 0; j < f; ++j) {
+        w[static_cast<size_t>(j)] -= tau * sign * row[static_cast<size_t>(j)];
+      }
+    }
+  }
+  for (int j = 0; j < f; ++j) coef_[static_cast<size_t>(j)] = w[static_cast<size_t>(j)] * y_sd;
+  intercept_ = y_mean;
+  return Status::OK();
+}
+
+double PassiveAggressiveRegressor::Predict(
+    const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!coef_.empty()) << "predict before fit";
+  return intercept_ + DotCoef(coef_, scaler_.Transform(x));
+}
+
+Status HuberRegressor::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  const int f = data.num_features();
+  scaler_.Fit(data);
+  const MlData sd = scaler_.TransformAll(data);
+  const double y_mean = MeanOf(sd.y);
+  double y_sd = 0.0;
+  for (double y : sd.y) y_sd += (y - y_mean) * (y - y_mean);
+  y_sd = std::sqrt(y_sd / static_cast<double>(n));
+  if (y_sd <= 1e-12) y_sd = 1.0;
+  y_scale_ = y_sd;
+
+  std::vector<double> w(static_cast<size_t>(f), 0.0);
+  double b = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int it = 0; it < iterations_; ++it) {
+    std::vector<double> gw(static_cast<size_t>(f), 0.0);
+    double gb = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& row = sd.x[static_cast<size_t>(i)];
+      const double target = (sd.y[static_cast<size_t>(i)] - y_mean) / y_sd;
+      const double err = DotCoef(w, row) + b - target;
+      // Huber gradient: err inside delta, clipped outside.
+      const double g = std::fabs(err) <= delta_
+                           ? err
+                           : delta_ * (err > 0.0 ? 1.0 : -1.0);
+      for (int j = 0; j < f; ++j) {
+        gw[static_cast<size_t>(j)] += g * row[static_cast<size_t>(j)];
+      }
+      gb += g;
+    }
+    for (int j = 0; j < f; ++j) {
+      gw[static_cast<size_t>(j)] =
+          gw[static_cast<size_t>(j)] * inv_n + l2_ * w[static_cast<size_t>(j)];
+      w[static_cast<size_t>(j)] -= learning_rate_ * gw[static_cast<size_t>(j)];
+    }
+    b -= learning_rate_ * gb * inv_n;
+  }
+  coef_.assign(static_cast<size_t>(f), 0.0);
+  for (int j = 0; j < f; ++j) coef_[static_cast<size_t>(j)] = w[static_cast<size_t>(j)] * y_sd;
+  intercept_ = y_mean + b * y_sd;
+  return Status::OK();
+}
+
+double HuberRegressor::Predict(const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!coef_.empty()) << "predict before fit";
+  return intercept_ + DotCoef(coef_, scaler_.Transform(x));
+}
+
+}  // namespace ml
+}  // namespace tablegan

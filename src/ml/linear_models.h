@@ -1,0 +1,98 @@
+#ifndef TABLEGAN_ML_LINEAR_MODELS_H_
+#define TABLEGAN_ML_LINEAR_MODELS_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace tablegan {
+namespace ml {
+
+/// The paper's four regression algorithms (§5.2.2.2): linear regression,
+/// Lasso, passive-aggressive, and Huber. All standardize features and
+/// center the target internally, so raw table columns can be fed in
+/// directly.
+
+/// Ordinary least squares with optional ridge stabilization, solved by
+/// Cholesky on the (small) normal equations.
+class LinearRegression : public Regressor {
+ public:
+  explicit LinearRegression(double l2 = 1e-8) : l2_(l2) {}
+
+  Status Fit(const MlData& data) override;
+  double Predict(const std::vector<double>& x) const override;
+
+ protected:
+  double l2_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// L1-regularized least squares via cyclic coordinate descent.
+class LassoRegression : public Regressor {
+ public:
+  explicit LassoRegression(double alpha = 1.0, int max_iter = 200,
+                           double tol = 1e-6)
+      : alpha_(alpha), max_iter_(max_iter), tol_(tol) {}
+
+  Status Fit(const MlData& data) override;
+  double Predict(const std::vector<double>& x) const override;
+
+ private:
+  double alpha_;
+  int max_iter_;
+  double tol_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Online passive-aggressive regression (PA-I with epsilon-insensitive
+/// loss) [Crammer et al. 2006].
+class PassiveAggressiveRegressor : public Regressor {
+ public:
+  PassiveAggressiveRegressor(double c = 1.0, double epsilon = 0.1,
+                             int epochs = 5, uint64_t seed = 23)
+      : c_(c), epsilon_(epsilon), epochs_(epochs), seed_(seed) {}
+
+  Status Fit(const MlData& data) override;
+  double Predict(const std::vector<double>& x) const override;
+
+ private:
+  double c_, epsilon_;
+  int epochs_;
+  uint64_t seed_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Huber-loss regression fitted by full-batch gradient descent — robust
+/// to the heavy-tailed pay/fare columns.
+class HuberRegressor : public Regressor {
+ public:
+  HuberRegressor(double delta = 1.35, double learning_rate = 0.1,
+                 int iterations = 300, double l2 = 1e-4)
+      : delta_(delta),
+        learning_rate_(learning_rate),
+        iterations_(iterations),
+        l2_(l2) {}
+
+  Status Fit(const MlData& data) override;
+  double Predict(const std::vector<double>& x) const override;
+
+ private:
+  double delta_, learning_rate_;
+  int iterations_;
+  double l2_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  double y_scale_ = 1.0;
+};
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_LINEAR_MODELS_H_

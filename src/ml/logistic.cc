@@ -1,0 +1,100 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace ml {
+
+Status LogisticRegressionClassifier::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  const int f = data.num_features();
+  scaler_.Fit(data);
+  const MlData sd = scaler_.TransformAll(data);
+
+  coef_.assign(static_cast<size_t>(f), 0.0);
+  intercept_ = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<double> gw(static_cast<size_t>(f), 0.0);
+    double gb = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& row = sd.x[static_cast<size_t>(i)];
+      double z = intercept_;
+      for (int c = 0; c < f; ++c) {
+        z += coef_[static_cast<size_t>(c)] * row[static_cast<size_t>(c)];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double g = (p - (sd.y[static_cast<size_t>(i)] > 0.5 ? 1.0 : 0.0)) *
+                       inv_n;
+      for (int c = 0; c < f; ++c) {
+        gw[static_cast<size_t>(c)] += g * row[static_cast<size_t>(c)];
+      }
+      gb += g;
+    }
+    for (int c = 0; c < f; ++c) {
+      gw[static_cast<size_t>(c)] += options_.l2 * coef_[static_cast<size_t>(c)];
+      coef_[static_cast<size_t>(c)] -=
+          options_.learning_rate * gw[static_cast<size_t>(c)];
+    }
+    intercept_ -= options_.learning_rate * gb;
+  }
+  return Status::OK();
+}
+
+double LogisticRegressionClassifier::DecisionFunction(
+    const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!coef_.empty()) << "predict before fit";
+  const std::vector<double> sx = scaler_.Transform(x);
+  double z = intercept_;
+  for (size_t c = 0; c < coef_.size(); ++c) z += coef_[c] * sx[c];
+  return z;
+}
+
+double LogisticRegressionClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  return 1.0 / (1.0 + std::exp(-DecisionFunction(x)));
+}
+
+Status KnnClassifier::Fit(const MlData& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  if (k_ < 1) return Status::InvalidArgument("k must be >= 1");
+  scaler_.Fit(data);
+  train_ = scaler_.TransformAll(data);
+  return Status::OK();
+}
+
+double KnnClassifier::PredictProba(const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!train_.x.empty()) << "predict before fit";
+  const std::vector<double> sx = scaler_.Transform(x);
+  const int64_t k = std::min<int64_t>(k_, train_.num_rows());
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int64_t>> dist;
+  dist.reserve(train_.x.size());
+  for (int64_t i = 0; i < train_.num_rows(); ++i) {
+    const auto& row = train_.x[static_cast<size_t>(i)];
+    double d = 0.0;
+    for (size_t c = 0; c < sx.size(); ++c) {
+      const double diff = row[c] - sx[c];
+      d += diff * diff;
+    }
+    dist.emplace_back(d, i);
+  }
+  std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
+  double positives = 0.0;
+  for (int64_t i = 0; i < k; ++i) {
+    if (train_.y[static_cast<size_t>(dist[static_cast<size_t>(i)].second)] >
+        0.5) {
+      positives += 1.0;
+    }
+  }
+  return positives / static_cast<double>(k);
+}
+
+}  // namespace ml
+}  // namespace tablegan

@@ -1,0 +1,56 @@
+#ifndef TABLEGAN_ML_LOGISTIC_H_
+#define TABLEGAN_ML_LOGISTIC_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace tablegan {
+namespace ml {
+
+struct LogisticOptions {
+  double learning_rate = 0.5;
+  int epochs = 200;
+  double l2 = 1e-4;
+};
+
+/// L2-regularized logistic regression fitted by full-batch gradient
+/// descent on standardized features. Baseline linear classifier of the
+/// substrate; also used as the propensity model idea behind eval/pMSE.
+class LogisticRegressionClassifier : public Classifier {
+ public:
+  explicit LogisticRegressionClassifier(LogisticOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const MlData& data) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+  /// Linear score w.x + b before the sigmoid.
+  double DecisionFunction(const std::vector<double>& x) const;
+
+ private:
+  LogisticOptions options_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Brute-force k-nearest-neighbours classifier over standardized
+/// features (majority probability of the k closest training rows).
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(int k = 5) : k_(k) {}
+
+  Status Fit(const MlData& data) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  int k_;
+  StandardScaler scaler_;
+  MlData train_;  // standardized copy
+};
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_LOGISTIC_H_

@@ -1,0 +1,124 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace ml {
+
+ConfusionCounts Confusion(const std::vector<int>& y_true,
+                          const std::vector<int>& y_pred) {
+  TABLEGAN_CHECK(y_true.size() == y_pred.size());
+  ConfusionCounts c;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const bool t = y_true[i] != 0;
+    const bool p = y_pred[i] != 0;
+    if (t && p) ++c.tp;
+    else if (!t && p) ++c.fp;
+    else if (!t && !p) ++c.tn;
+    else ++c.fn;
+  }
+  return c;
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  TABLEGAN_CHECK(!y_true.empty());
+  ConfusionCounts c = Confusion(y_true, y_pred);
+  return static_cast<double>(c.tp + c.tn) /
+         static_cast<double>(y_true.size());
+}
+
+double Precision(const ConfusionCounts& c) {
+  const int64_t denom = c.tp + c.fp;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double Recall(const ConfusionCounts& c) {
+  const int64_t denom = c.tp + c.fn;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double F1Score(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred) {
+  ConfusionCounts c = Confusion(y_true, y_pred);
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double AucRoc(const std::vector<int>& y_true,
+              const std::vector<double>& scores) {
+  TABLEGAN_CHECK(y_true.size() == scores.size());
+  const size_t n = y_true.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Midrank assignment for ties.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) /
+                           2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  int64_t pos = 0, neg = 0;
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (y_true[k] != 0) {
+      ++pos;
+      rank_sum_pos += rank[k];
+    } else {
+      ++neg;
+    }
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(pos) * (static_cast<double>(pos) + 1) /
+                       2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double MeanRelativeError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred, double eps) {
+  TABLEGAN_CHECK(y_true.size() == y_pred.size() && !y_true.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    acc += std::fabs(y_true[i] - y_pred[i]) /
+           std::max(std::fabs(y_true[i]), eps);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred) {
+  TABLEGAN_CHECK(y_true.size() == y_pred.size() && !y_true.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    acc += std::fabs(y_true[i] - y_pred[i]);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred) {
+  TABLEGAN_CHECK(y_true.size() == y_pred.size() && !y_true.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(y_true.size()));
+}
+
+}  // namespace ml
+}  // namespace tablegan

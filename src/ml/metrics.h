@@ -1,0 +1,48 @@
+#ifndef TABLEGAN_ML_METRICS_H_
+#define TABLEGAN_ML_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tablegan {
+namespace ml {
+
+/// Binary-classification counts for label 1 = positive.
+struct ConfusionCounts {
+  int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+};
+
+ConfusionCounts Confusion(const std::vector<int>& y_true,
+                          const std::vector<int>& y_pred);
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred);
+double Precision(const ConfusionCounts& c);
+double Recall(const ConfusionCounts& c);
+
+/// F-1 score — the paper's classification model-compatibility metric
+/// (harmonic mean of precision and recall, footnote 5).
+double F1Score(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred);
+
+/// Area under the ROC curve from real-valued scores, computed by the
+/// rank statistic (ties get midranks). Used for the membership-attack
+/// evaluation (paper Table 6). Returns 0.5 when one class is absent.
+double AucRoc(const std::vector<int>& y_true,
+              const std::vector<double>& scores);
+
+/// Mean relative error — the paper's regression model-compatibility
+/// metric: mean(|y - yhat| / max(|y|, eps)).
+double MeanRelativeError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred,
+                         double eps = 1e-8);
+
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred);
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred);
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_METRICS_H_

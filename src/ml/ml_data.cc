@@ -1,0 +1,79 @@
+#include "ml/ml_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace ml {
+
+Result<MlData> TableToMlData(const data::Table& table, int target_col,
+                             const std::vector<int>& drop_cols) {
+  if (target_col < 0 || target_col >= table.num_columns()) {
+    return Status::InvalidArgument("target column out of range");
+  }
+  std::vector<bool> keep(static_cast<size_t>(table.num_columns()), true);
+  keep[static_cast<size_t>(target_col)] = false;
+  for (int c : drop_cols) {
+    if (c < 0 || c >= table.num_columns()) {
+      return Status::InvalidArgument("drop column out of range");
+    }
+    keep[static_cast<size_t>(c)] = false;
+  }
+  MlData out;
+  out.x.resize(static_cast<size_t>(table.num_rows()));
+  out.y.resize(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    auto& row = out.x[static_cast<size_t>(r)];
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (keep[static_cast<size_t>(c)]) row.push_back(table.Get(r, c));
+    }
+    out.y[static_cast<size_t>(r)] = table.Get(r, target_col);
+  }
+  return out;
+}
+
+void StandardScaler::Fit(const MlData& data) {
+  TABLEGAN_CHECK(data.num_rows() > 0);
+  const int f = data.num_features();
+  mean_.assign(static_cast<size_t>(f), 0.0);
+  inv_std_.assign(static_cast<size_t>(f), 1.0);
+  for (const auto& row : data.x) {
+    for (int j = 0; j < f; ++j) mean_[static_cast<size_t>(j)] += row[static_cast<size_t>(j)];
+  }
+  const double n = static_cast<double>(data.num_rows());
+  for (double& m : mean_) m /= n;
+  std::vector<double> var(static_cast<size_t>(f), 0.0);
+  for (const auto& row : data.x) {
+    for (int j = 0; j < f; ++j) {
+      const double d = row[static_cast<size_t>(j)] - mean_[static_cast<size_t>(j)];
+      var[static_cast<size_t>(j)] += d * d;
+    }
+  }
+  for (int j = 0; j < f; ++j) {
+    const double sd = std::sqrt(var[static_cast<size_t>(j)] / n);
+    inv_std_[static_cast<size_t>(j)] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::Transform(
+    const std::vector<double>& row) const {
+  TABLEGAN_CHECK(row.size() == mean_.size());
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+MlData StandardScaler::TransformAll(const MlData& data) const {
+  MlData out;
+  out.y = data.y;
+  out.x.reserve(data.x.size());
+  for (const auto& row : data.x) out.x.push_back(Transform(row));
+  return out;
+}
+
+}  // namespace ml
+}  // namespace tablegan

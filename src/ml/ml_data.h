@@ -1,0 +1,50 @@
+#ifndef TABLEGAN_ML_ML_DATA_H_
+#define TABLEGAN_ML_ML_DATA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace ml {
+
+/// Dense feature matrix + target vector used by every model in the ML
+/// substrate. Rows are records; the target has been split out.
+struct MlData {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  int64_t num_rows() const { return static_cast<int64_t>(x.size()); }
+  int num_features() const {
+    return x.empty() ? 0 : static_cast<int>(x[0].size());
+  }
+};
+
+/// Extracts features/target from a table. `target_col` becomes y; it and
+/// every column in `drop_cols` are excluded from x. This mirrors the
+/// paper's protocol, e.g. the classification label is dropped from the
+/// features, and the salary column is dropped when predicting the
+/// salary-derived high_salary label (otherwise the task is trivial).
+Result<MlData> TableToMlData(const data::Table& table, int target_col,
+                             const std::vector<int>& drop_cols = {});
+
+/// Per-feature standardization (zero mean, unit variance), fitted on
+/// training data and applied to train/test alike. Gradient-based models
+/// (MLP, linear family, SVM) fit it internally.
+class StandardScaler {
+ public:
+  void Fit(const MlData& data);
+  bool fitted() const { return !mean_.empty(); }
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  MlData TransformAll(const MlData& data) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_ML_DATA_H_

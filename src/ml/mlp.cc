@@ -1,0 +1,80 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace tablegan {
+namespace ml {
+
+Status MlpClassifier::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  const int f = data.num_features();
+  scaler_.Fit(data);
+  const MlData scaled = scaler_.TransformAll(data);
+
+  Rng rng(options_.seed);
+  net_ = std::make_unique<nn::Sequential>();
+  int in = f;
+  for (int h : options_.hidden_sizes) {
+    net_->Emplace<nn::Dense>(in, h);
+    net_->Emplace<nn::ReLU>();
+    in = h;
+  }
+  net_->Emplace<nn::Dense>(in, 1);  // logits head
+  nn::XavierInitialize(net_.get(), &rng);
+
+  nn::Adam optimizer(net_->Parameters(), net_->Gradients(),
+                     options_.learning_rate, 0.9f, 0.999f);
+  const int64_t batch = std::min<int64_t>(options_.batch_size, n);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (int64_t start = 0; start + batch <= n; start += batch) {
+      Tensor xb({batch, f});
+      Tensor yb({batch, 1});
+      for (int64_t b = 0; b < batch; ++b) {
+        const auto& row = scaled.x[static_cast<size_t>(
+            order[static_cast<size_t>(start + b)])];
+        for (int j = 0; j < f; ++j) {
+          xb.at2(b, j) = static_cast<float>(row[static_cast<size_t>(j)]);
+        }
+        yb[b] = static_cast<float>(
+            scaled.y[static_cast<size_t>(order[static_cast<size_t>(start + b)])]);
+      }
+      Tensor logits = net_->Forward(xb, /*training=*/true);
+      Tensor grad;
+      nn::SigmoidBceWithLogits(logits, yb, &grad);
+      net_->ZeroGrad();
+      net_->Backward(grad);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+double MlpClassifier::PredictProba(const std::vector<double>& x) const {
+  TABLEGAN_CHECK(net_ != nullptr) << "predict before fit";
+  const std::vector<double> scaled = scaler_.Transform(x);
+  Tensor xb({1, static_cast<int64_t>(scaled.size())});
+  for (size_t j = 0; j < scaled.size(); ++j) {
+    xb[static_cast<int64_t>(j)] = static_cast<float>(scaled[j]);
+  }
+  // Sequential caches activations per Forward; cast away const is avoided
+  // by requiring a mutable net. Predictions re-run Forward in inference
+  // mode.
+  Tensor logits = net_->Forward(xb, /*training=*/false);
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logits[0])));
+}
+
+}  // namespace ml
+}  // namespace tablegan

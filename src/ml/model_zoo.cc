@@ -1,0 +1,157 @@
+#include "ml/model_zoo.h"
+
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_models.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace tablegan {
+namespace ml {
+namespace {
+
+ClassifierSpec TreeSpec(int depth) {
+  return {"tree/depth=" + std::to_string(depth), [depth] {
+            TreeOptions o;
+            o.max_depth = depth;
+            o.min_samples_leaf = 2;
+            return std::make_unique<DecisionTreeClassifier>(o);
+          }};
+}
+
+ClassifierSpec ForestSpec(int trees, int depth) {
+  return {"forest/trees=" + std::to_string(trees) +
+              ",depth=" + std::to_string(depth),
+          [trees, depth] {
+            ForestOptions o;
+            o.num_trees = trees;
+            o.tree.max_depth = depth;
+            o.tree.min_samples_leaf = 2;
+            return std::make_unique<RandomForestClassifier>(o);
+          }};
+}
+
+ClassifierSpec BoostSpec(int estimators, double lr) {
+  return {"adaboost/n=" + std::to_string(estimators) +
+              ",lr=" + std::to_string(lr),
+          [estimators, lr] {
+            AdaBoostOptions o;
+            o.num_estimators = estimators;
+            o.learning_rate = lr;
+            return std::make_unique<AdaBoostClassifier>(o);
+          }};
+}
+
+ClassifierSpec MlpSpec(std::vector<int> hidden, float lr) {
+  std::string name = "mlp/h=";
+  for (size_t i = 0; i < hidden.size(); ++i) {
+    if (i) name += "-";
+    name += std::to_string(hidden[i]);
+  }
+  name += ",lr=" + std::to_string(lr);
+  return {name, [hidden, lr] {
+            MlpOptions o;
+            o.hidden_sizes = hidden;
+            o.learning_rate = lr;
+            o.epochs = 15;
+            return std::make_unique<MlpClassifier>(o);
+          }};
+}
+
+}  // namespace
+
+std::vector<ClassifierSpec> ModelCompatibilityClassifiers() {
+  std::vector<ClassifierSpec> specs;
+  for (int depth : {2, 3, 4, 5, 6, 8, 10, 12, 15, 20}) {
+    specs.push_back(TreeSpec(depth));
+  }
+  specs.push_back(ForestSpec(5, 4));
+  specs.push_back(ForestSpec(5, 8));
+  specs.push_back(ForestSpec(10, 4));
+  specs.push_back(ForestSpec(10, 6));
+  specs.push_back(ForestSpec(10, 8));
+  specs.push_back(ForestSpec(10, 12));
+  specs.push_back(ForestSpec(15, 6));
+  specs.push_back(ForestSpec(15, 10));
+  specs.push_back(ForestSpec(20, 8));
+  specs.push_back(ForestSpec(20, 12));
+  specs.push_back(BoostSpec(10, 1.0));
+  specs.push_back(BoostSpec(20, 1.0));
+  specs.push_back(BoostSpec(30, 1.0));
+  specs.push_back(BoostSpec(50, 1.0));
+  specs.push_back(BoostSpec(20, 0.5));
+  specs.push_back(BoostSpec(30, 0.5));
+  specs.push_back(BoostSpec(50, 0.5));
+  specs.push_back(BoostSpec(20, 1.5));
+  specs.push_back(BoostSpec(30, 1.5));
+  specs.push_back(BoostSpec(50, 1.5));
+  specs.push_back(MlpSpec({16}, 1e-3f));
+  specs.push_back(MlpSpec({32}, 1e-3f));
+  specs.push_back(MlpSpec({64}, 1e-3f));
+  specs.push_back(MlpSpec({32, 16}, 1e-3f));
+  specs.push_back(MlpSpec({64, 32}, 1e-3f));
+  specs.push_back(MlpSpec({16}, 1e-2f));
+  specs.push_back(MlpSpec({32}, 1e-2f));
+  specs.push_back(MlpSpec({64}, 1e-2f));
+  specs.push_back(MlpSpec({32, 16}, 1e-2f));
+  specs.push_back(MlpSpec({64}, 3e-3f));
+  return specs;
+}
+
+std::vector<RegressorSpec> ModelCompatibilityRegressors() {
+  std::vector<RegressorSpec> specs;
+  for (double l2 : {1e-8, 1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 0.3, 1.0, 3.0,
+                    10.0}) {
+    specs.push_back({"linear/l2=" + std::to_string(l2), [l2] {
+                       return std::make_unique<LinearRegression>(l2);
+                     }});
+  }
+  for (double alpha : {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+                       30.0}) {
+    specs.push_back({"lasso/alpha=" + std::to_string(alpha), [alpha] {
+                       return std::make_unique<LassoRegression>(alpha);
+                     }});
+  }
+  const double pa_params[10][2] = {
+      {0.1, 0.05}, {0.1, 0.1}, {0.3, 0.05}, {0.3, 0.1}, {1.0, 0.05},
+      {1.0, 0.1},  {1.0, 0.2}, {3.0, 0.1},  {3.0, 0.2}, {10.0, 0.1}};
+  for (const auto& p : pa_params) {
+    const double c = p[0], eps = p[1];
+    specs.push_back({"pa/C=" + std::to_string(c) +
+                         ",eps=" + std::to_string(eps),
+                     [c, eps] {
+                       return std::make_unique<PassiveAggressiveRegressor>(
+                           c, eps);
+                     }});
+  }
+  const double huber_params[10][2] = {
+      {1.0, 0.05}, {1.0, 0.1},  {1.35, 0.05}, {1.35, 0.1}, {1.35, 0.2},
+      {1.8, 0.05}, {1.8, 0.1},  {2.5, 0.1},   {2.5, 0.2},  {3.0, 0.1}};
+  for (const auto& p : huber_params) {
+    const double delta = p[0], lr = p[1];
+    specs.push_back({"huber/delta=" + std::to_string(delta) +
+                         ",lr=" + std::to_string(lr),
+                     [delta, lr] {
+                       return std::make_unique<HuberRegressor>(delta, lr);
+                     }});
+  }
+  return specs;
+}
+
+std::vector<ClassifierSpec> MembershipAttackClassifiers() {
+  std::vector<ClassifierSpec> specs;
+  specs.push_back(MlpSpec({32}, 1e-3f));
+  specs.push_back(TreeSpec(6));
+  specs.push_back(BoostSpec(30, 1.0));
+  specs.push_back(ForestSpec(15, 8));
+  specs.push_back({"svm/C=1", [] {
+                     SvmOptions o;
+                     o.c = 1.0;
+                     return std::make_unique<LinearSvmClassifier>(o);
+                   }});
+  return specs;
+}
+
+}  // namespace ml
+}  // namespace tablegan

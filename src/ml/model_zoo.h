@@ -1,0 +1,45 @@
+#ifndef TABLEGAN_ML_MODEL_ZOO_H_
+#define TABLEGAN_ML_MODEL_ZOO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace tablegan {
+namespace ml {
+
+/// The paper's model-compatibility protocol (§5.2.2) fixes an algorithm
+/// and parameter setup, trains it once on the original table and once on
+/// the released table, and compares scores — 4 algorithms x 10 parameter
+/// setups = 40 points per plot, grid search explicitly excluded. These
+/// factories enumerate that grid.
+
+struct ClassifierSpec {
+  std::string name;  // e.g. "tree/depth=4"
+  std::function<std::unique_ptr<Classifier>()> make;
+};
+
+struct RegressorSpec {
+  std::string name;
+  std::function<std::unique_ptr<Regressor>()> make;
+};
+
+/// 40 classification setups: decision tree, random forest, AdaBoost and
+/// MLP, 10 parameterizations each (Figure 5).
+std::vector<ClassifierSpec> ModelCompatibilityClassifiers();
+
+/// 40 regression setups: linear, Lasso, passive-aggressive and Huber
+/// regression, 10 parameterizations each (Figure 6).
+std::vector<RegressorSpec> ModelCompatibilityRegressors();
+
+/// Attack-model family for the membership-inference experiment (§5.3.2):
+/// MLP, decision tree, AdaBoost, random forest and SVM candidates.
+std::vector<ClassifierSpec> MembershipAttackClassifiers();
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_MODEL_ZOO_H_

@@ -1,0 +1,52 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace ml {
+
+Status RandomForestClassifier::Fit(const MlData& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  trees_.clear();
+  Rng rng(options_.seed);
+  const int64_t n = data.num_rows();
+  const int64_t sample_n = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(n) * options_.subsample));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    MlData boot;
+    boot.x.reserve(static_cast<size_t>(sample_n));
+    boot.y.reserve(static_cast<size_t>(sample_n));
+    for (int64_t i = 0; i < sample_n; ++i) {
+      const auto j = static_cast<size_t>(rng.NextUint64(
+          static_cast<uint64_t>(n)));
+      boot.x.push_back(data.x[j]);
+      boot.y.push_back(data.y[j]);
+    }
+    TreeOptions topt = options_.tree;
+    if (topt.max_features == 0) {
+      topt.max_features = std::max(
+          1, static_cast<int>(std::sqrt(
+                 static_cast<double>(data.num_features()))));
+    }
+    topt.seed = rng.NextUint64();
+    DecisionTreeClassifier tree(topt);
+    TABLEGAN_RETURN_NOT_OK(tree.Fit(boot));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForestClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!trees_.empty()) << "predict before fit";
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.PredictProba(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace ml
+}  // namespace tablegan

@@ -1,0 +1,39 @@
+#ifndef TABLEGAN_ML_RANDOM_FOREST_H_
+#define TABLEGAN_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace tablegan {
+namespace ml {
+
+struct ForestOptions {
+  int num_trees = 50;
+  TreeOptions tree;
+  /// Bootstrap sample fraction per tree.
+  double subsample = 1.0;
+  uint64_t seed = 7;
+};
+
+/// Bagged CART ensemble with per-split feature subsampling (defaults to
+/// sqrt(f) when tree.max_features == 0). One of the paper's four
+/// model-compatibility classifiers.
+class RandomForestClassifier : public Classifier {
+ public:
+  explicit RandomForestClassifier(ForestOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const MlData& data) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTreeClassifier> trees_;
+};
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_RANDOM_FOREST_H_

@@ -1,0 +1,68 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tablegan {
+namespace ml {
+
+Status LinearSvmClassifier::Fit(const MlData& data) {
+  const int64_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training data");
+  const int f = data.num_features();
+  scaler_.Fit(data);
+  const MlData sd = scaler_.TransformAll(data);
+
+  coef_.assign(static_cast<size_t>(f), 0.0);
+  intercept_ = 0.0;
+  const double lambda = 1.0 / (options_.c * static_cast<double>(n));
+  Rng rng(options_.seed);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  int64_t t = 0;
+  for (int e = 0; e < options_.epochs; ++e) {
+    rng.Shuffle(&order);
+    for (int64_t i : order) {
+      ++t;
+      const double eta = options_.learning_rate /
+                         (1.0 + lambda * options_.learning_rate *
+                                    static_cast<double>(t));
+      const auto& row = sd.x[static_cast<size_t>(i)];
+      const double y = sd.y[static_cast<size_t>(i)] > 0.5 ? 1.0 : -1.0;
+      double margin = intercept_;
+      for (int j = 0; j < f; ++j) {
+        margin += coef_[static_cast<size_t>(j)] * row[static_cast<size_t>(j)];
+      }
+      // L2 shrinkage every step; hinge subgradient when violating.
+      for (int j = 0; j < f; ++j) {
+        coef_[static_cast<size_t>(j)] *= 1.0 - eta * lambda;
+      }
+      if (y * margin < 1.0) {
+        for (int j = 0; j < f; ++j) {
+          coef_[static_cast<size_t>(j)] += eta * y * row[static_cast<size_t>(j)];
+        }
+        intercept_ += eta * y;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LinearSvmClassifier::DecisionFunction(
+    const std::vector<double>& x) const {
+  TABLEGAN_CHECK(!coef_.empty()) << "predict before fit";
+  const std::vector<double> sx = scaler_.Transform(x);
+  double margin = intercept_;
+  for (size_t j = 0; j < coef_.size(); ++j) margin += coef_[j] * sx[j];
+  return margin;
+}
+
+double LinearSvmClassifier::PredictProba(const std::vector<double>& x) const {
+  return 1.0 / (1.0 + std::exp(-2.0 * DecisionFunction(x)));
+}
+
+}  // namespace ml
+}  // namespace tablegan

@@ -1,0 +1,42 @@
+#ifndef TABLEGAN_ML_SVM_H_
+#define TABLEGAN_ML_SVM_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace tablegan {
+namespace ml {
+
+struct SvmOptions {
+  double c = 1.0;          // inverse regularization strength
+  int epochs = 20;
+  double learning_rate = 0.05;
+  uint64_t seed = 29;
+};
+
+/// Linear soft-margin SVM trained with Pegasos-style SGD on the hinge
+/// loss. Part of the membership-attack model family (paper §5.3.2 uses
+/// SVM among the attack classifiers). PredictProba reports a logistic
+/// squashing of the margin.
+class LinearSvmClassifier : public Classifier {
+ public:
+  explicit LinearSvmClassifier(SvmOptions options = {}) : options_(options) {}
+
+  Status Fit(const MlData& data) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+  /// Signed margin w.x + b (before squashing).
+  double DecisionFunction(const std::vector<double>& x) const;
+
+ private:
+  SvmOptions options_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace ml
+}  // namespace tablegan
+
+#endif  // TABLEGAN_ML_SVM_H_

@@ -1,0 +1,79 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace tablegan {
+namespace nn {
+
+Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  TABLEGAN_CHECK(grad_output.SameShape(cached_input_));
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor LeakyReLU::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0f) out[i] *= negative_slope_;
+  }
+  return out;
+}
+
+Tensor LeakyReLU::Backward(const Tensor& grad_output) {
+  TABLEGAN_CHECK(grad_output.SameShape(cached_input_));
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad[i] *= negative_slope_;
+  }
+  return grad;
+}
+
+Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  TABLEGAN_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= 1.0f - cached_output_[i] * cached_output_[i];
+  }
+  return grad;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  TABLEGAN_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= cached_output_[i] * (1.0f - cached_output_[i]);
+  }
+  return grad;
+}
+
+}  // namespace nn
+}  // namespace tablegan

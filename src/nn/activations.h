@@ -1,0 +1,64 @@
+#ifndef TABLEGAN_NN_ACTIVATIONS_H_
+#define TABLEGAN_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace tablegan {
+namespace nn {
+
+/// ReLU — the DCGAN generator activation [Nair & Hinton 2010].
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// LeakyReLU — the DCGAN discriminator activation [Maas et al. 2013].
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.2f)
+      : negative_slope_(negative_slope) {}
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  float negative_slope_;
+  Tensor cached_input_;
+};
+
+/// Tanh — the generator output activation; its [-1, 1] range matches the
+/// attribute-wise min-max normalization of records (paper §3.2).
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Sigmoid — probability head of the discriminator/classifier. (Training
+/// uses the fused logits losses in loss.h for stability; this layer exists
+/// for inference-time probability outputs.)
+class Sigmoid : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_ACTIVATIONS_H_

@@ -1,0 +1,139 @@
+#include "nn/batch_norm.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tablegan {
+namespace nn {
+namespace {
+
+// Iterates a NCHW or NF tensor grouping elements by feature/channel `c`.
+// Calls fn(c, element_index) for every element.
+template <typename Fn>
+void ForEachByChannel(const std::vector<int64_t>& shape, Fn fn) {
+  if (shape.size() == 2) {
+    const int64_t n = shape[0], f = shape[1];
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < f; ++c) fn(c, i * f + c);
+    }
+  } else {
+    const int64_t n = shape[0], ch = shape[1], spatial = shape[2] * shape[3];
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < ch; ++c) {
+        const int64_t base = (i * ch + c) * spatial;
+        for (int64_t s = 0; s < spatial; ++s) fn(c, base + s);
+      }
+    }
+  }
+}
+
+int64_t ElementsPerChannel(const std::vector<int64_t>& shape) {
+  if (shape.size() == 2) return shape[0];
+  return shape[0] * shape[2] * shape[3];
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(int64_t num_features, float eps, float momentum)
+    : num_features_(num_features),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::Full({num_features}, 1.0f)),
+      beta_({num_features}),
+      grad_gamma_({num_features}),
+      grad_beta_({num_features}),
+      running_mean_({num_features}),
+      running_var_(Tensor::Full({num_features}, 1.0f)) {}
+
+Tensor BatchNorm::Forward(const Tensor& input, bool training) {
+  TABLEGAN_CHECK(input.rank() == 2 || input.rank() == 4)
+      << "BatchNorm input " << ShapeToString(input.shape());
+  const int64_t features = input.rank() == 2 ? input.dim(1) : input.dim(1);
+  TABLEGAN_CHECK(features == num_features_);
+  cached_shape_ = input.shape();
+  cached_training_ = training;
+  const int64_t m = ElementsPerChannel(input.shape());
+  TABLEGAN_CHECK(m > 0);
+
+  Tensor mean({num_features_}), var({num_features_});
+  if (training) {
+    ForEachByChannel(input.shape(),
+                     [&](int64_t c, int64_t i) { mean[c] += input[i]; });
+    for (int64_t c = 0; c < num_features_; ++c) {
+      mean[c] /= static_cast<float>(m);
+    }
+    ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
+      const float d = input[i] - mean[c];
+      var[c] += d * d;
+    });
+    for (int64_t c = 0; c < num_features_; ++c) {
+      var[c] /= static_cast<float>(m);
+      running_mean_[c] = momentum_ * running_mean_[c] +
+                         (1.0f - momentum_) * mean[c];
+      running_var_[c] = momentum_ * running_var_[c] +
+                        (1.0f - momentum_) * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  cached_inv_std_ = Tensor({num_features_});
+  for (int64_t c = 0; c < num_features_; ++c) {
+    cached_inv_std_[c] = 1.0f / std::sqrt(var[c] + eps_);
+  }
+  cached_xhat_ = Tensor(input.shape());
+  Tensor output(input.shape());
+  ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
+    const float xhat = (input[i] - mean[c]) * cached_inv_std_[c];
+    cached_xhat_[i] = xhat;
+    output[i] = gamma_[c] * xhat + beta_[c];
+  });
+  return output;
+}
+
+Tensor BatchNorm::Backward(const Tensor& grad_output) {
+  TABLEGAN_CHECK(grad_output.shape() == cached_shape_);
+  const int64_t m = ElementsPerChannel(cached_shape_);
+
+  Tensor sum_dy({num_features_}), sum_dy_xhat({num_features_});
+  ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {
+    sum_dy[c] += grad_output[i];
+    sum_dy_xhat[c] += grad_output[i] * cached_xhat_[i];
+  });
+  for (int64_t c = 0; c < num_features_; ++c) {
+    grad_beta_[c] += sum_dy[c];
+    grad_gamma_[c] += sum_dy_xhat[c];
+  }
+
+  Tensor grad_input(cached_shape_);
+  if (cached_training_) {
+    const float inv_m = 1.0f / static_cast<float>(m);
+    ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {
+      grad_input[i] = gamma_[c] * cached_inv_std_[c] *
+                      (grad_output[i] - sum_dy[c] * inv_m -
+                       cached_xhat_[i] * sum_dy_xhat[c] * inv_m);
+    });
+  } else {
+    // Inference-mode statistics are constants w.r.t. the input.
+    ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {
+      grad_input[i] = gamma_[c] * cached_inv_std_[c] * grad_output[i];
+    });
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> BatchNorm::Parameters() { return {&gamma_, &beta_}; }
+
+std::vector<Tensor*> BatchNorm::Gradients() {
+  return {&grad_gamma_, &grad_beta_};
+}
+
+std::string BatchNorm::name() const {
+  std::ostringstream os;
+  os << "BatchNorm(" << num_features_ << ")";
+  return os.str();
+}
+
+}  // namespace nn
+}  // namespace tablegan

@@ -1,0 +1,56 @@
+#ifndef TABLEGAN_NN_BATCH_NORM_H_
+#define TABLEGAN_NN_BATCH_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace tablegan {
+namespace nn {
+
+/// Batch normalization [Ioffe & Szegedy 2015], one of the DCGAN
+/// architectural ingredients the paper adopts (§4.1).
+///
+/// Works on rank-4 NCHW inputs (normalizing per channel over N*H*W) and
+/// on rank-2 [N, F] inputs (normalizing per feature over N). Training
+/// mode uses batch statistics and maintains running estimates with
+/// momentum; inference mode uses the running estimates.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(int64_t num_features, float eps = 1e-5f,
+                     float momentum = 0.9f);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> Parameters() override;
+  std::vector<Tensor*> Gradients() override;
+  std::vector<Tensor*> Buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+  std::string name() const override;
+
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int64_t num_features_;
+  float eps_, momentum_;
+  Tensor gamma_, beta_;
+  Tensor grad_gamma_, grad_beta_;
+  Tensor running_mean_, running_var_;
+
+  // Cached forward state (training mode) for the backward pass.
+  Tensor cached_xhat_;       // normalized input, same shape as input
+  Tensor cached_inv_std_;    // [num_features]
+  std::vector<int64_t> cached_shape_;
+  bool cached_training_ = false;
+};
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_BATCH_NORM_H_

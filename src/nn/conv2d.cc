@@ -1,0 +1,109 @@
+#include "nn/conv2d.h"
+
+#include <sstream>
+
+#include "tensor/matmul.h"
+
+namespace tablegan {
+namespace nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_({out_channels, in_channels * kernel * kernel}),
+      bias_({bias ? out_channels : 0}),
+      grad_weight_({out_channels, in_channels * kernel * kernel}),
+      grad_bias_({bias ? out_channels : 0}) {}
+
+Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+  TABLEGAN_CHECK(input.rank() == 4 && input.dim(1) == in_channels_)
+      << "Conv2d input " << ShapeToString(input.shape());
+  cached_input_ = input;
+  const int64_t n = input.dim(0);
+  ops::Conv2dGeometry g{in_channels_, input.dim(2), input.dim(3), kernel_,
+                        stride_, padding_};
+  const int64_t oh = g.out_h(), ow = g.out_w(), spatial = oh * ow;
+  TABLEGAN_CHECK(oh > 0 && ow > 0);
+  Tensor output({n, out_channels_, oh, ow});
+  if (cols_.size() != g.patch_size() * spatial) {
+    cols_ = Tensor({g.patch_size(), spatial});
+  }
+  const int64_t in_sample = in_channels_ * g.in_h * g.in_w;
+  for (int64_t i = 0; i < n; ++i) {
+    ops::Im2Col(g, input.data() + i * in_sample, cols_.data());
+    float* out_slice = output.data() + i * out_channels_ * spatial;
+    ops::RawGemmNN(out_channels_, spatial, g.patch_size(), weight_.data(),
+                   cols_.data(), out_slice, /*accumulate=*/false);
+    if (has_bias_) {
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        const float b = bias_[c];
+        float* row = out_slice + c * spatial;
+        for (int64_t s = 0; s < spatial; ++s) row[s] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  TABLEGAN_CHECK(!input.empty()) << "Backward before Forward";
+  const int64_t n = input.dim(0);
+  ops::Conv2dGeometry g{in_channels_, input.dim(2), input.dim(3), kernel_,
+                        stride_, padding_};
+  const int64_t oh = g.out_h(), ow = g.out_w(), spatial = oh * ow;
+  TABLEGAN_CHECK(grad_output.rank() == 4 && grad_output.dim(0) == n &&
+                 grad_output.dim(1) == out_channels_ &&
+                 grad_output.dim(2) == oh && grad_output.dim(3) == ow);
+
+  Tensor grad_input(input.shape());
+  Tensor grad_cols({g.patch_size(), spatial});
+  const int64_t in_sample = in_channels_ * g.in_h * g.in_w;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* go_slice = grad_output.data() + i * out_channels_ * spatial;
+    // dW += dOut * cols^T    (recompute cols; cheaper than caching N copies)
+    ops::Im2Col(g, input.data() + i * in_sample, cols_.data());
+    ops::RawGemmNT(out_channels_, g.patch_size(), spatial, go_slice,
+                   cols_.data(), grad_weight_.data(), /*accumulate=*/true);
+    if (has_bias_) {
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        const float* row = go_slice + c * spatial;
+        float acc = 0.0f;
+        for (int64_t s = 0; s < spatial; ++s) acc += row[s];
+        grad_bias_[c] += acc;
+      }
+    }
+    // dCols = W^T * dOut; dInput = col2im(dCols)
+    ops::RawGemmTN(g.patch_size(), spatial, out_channels_, weight_.data(),
+                   go_slice, grad_cols.data(), /*accumulate=*/false);
+    ops::Col2Im(g, grad_cols.data(), grad_input.data() + i * in_sample);
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> Conv2d::Parameters() {
+  std::vector<Tensor*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+std::vector<Tensor*> Conv2d::Gradients() {
+  std::vector<Tensor*> p{&grad_weight_};
+  if (has_bias_) p.push_back(&grad_bias_);
+  return p;
+}
+
+std::string Conv2d::name() const {
+  std::ostringstream os;
+  os << "Conv2d(" << in_channels_ << "->" << out_channels_ << ",k" << kernel_
+     << ",s" << stride_ << ",p" << padding_ << ")";
+  return os.str();
+}
+
+}  // namespace nn
+}  // namespace tablegan

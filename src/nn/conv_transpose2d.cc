@@ -1,0 +1,128 @@
+#include "nn/conv_transpose2d.h"
+
+#include <sstream>
+
+#include "tensor/matmul.h"
+
+namespace tablegan {
+namespace nn {
+
+ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
+                                 int64_t kernel, int64_t stride,
+                                 int64_t padding, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_({in_channels, out_channels * kernel * kernel}),
+      bias_({bias ? out_channels : 0}),
+      grad_weight_({in_channels, out_channels * kernel * kernel}),
+      grad_bias_({bias ? out_channels : 0}) {}
+
+ops::Conv2dGeometry ConvTranspose2d::OutputGeometry(int64_t in_h,
+                                                    int64_t in_w) const {
+  const int64_t out_h = (in_h - 1) * stride_ - 2 * padding_ + kernel_;
+  const int64_t out_w = (in_w - 1) * stride_ - 2 * padding_ + kernel_;
+  ops::Conv2dGeometry g{out_channels_, out_h, out_w, kernel_, stride_,
+                        padding_};
+  TABLEGAN_CHECK(g.out_h() == in_h && g.out_w() == in_w)
+      << "incompatible transposed-conv geometry";
+  return g;
+}
+
+Tensor ConvTranspose2d::Forward(const Tensor& input, bool /*training*/) {
+  TABLEGAN_CHECK(input.rank() == 4 && input.dim(1) == in_channels_)
+      << "ConvTranspose2d input " << ShapeToString(input.shape());
+  cached_input_ = input;
+  const int64_t n = input.dim(0);
+  const int64_t in_h = input.dim(2), in_w = input.dim(3);
+  const int64_t in_spatial = in_h * in_w;
+  ops::Conv2dGeometry g = OutputGeometry(in_h, in_w);
+  const int64_t out_spatial = g.in_h * g.in_w;
+
+  Tensor output({n, out_channels_, g.in_h, g.in_w});
+  if (cols_.size() != g.patch_size() * in_spatial) {
+    cols_ = Tensor({g.patch_size(), in_spatial});
+  }
+  const int64_t in_sample = in_channels_ * in_spatial;
+  const int64_t out_sample = out_channels_ * out_spatial;
+  for (int64_t i = 0; i < n; ++i) {
+    // cols = W^T * x ; output = col2im(cols)
+    ops::RawGemmTN(g.patch_size(), in_spatial, in_channels_, weight_.data(),
+                   input.data() + i * in_sample, cols_.data(),
+                   /*accumulate=*/false);
+    ops::Col2Im(g, cols_.data(), output.data() + i * out_sample);
+    if (has_bias_) {
+      float* out_slice = output.data() + i * out_sample;
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        const float b = bias_[c];
+        float* row = out_slice + c * out_spatial;
+        for (int64_t s = 0; s < out_spatial; ++s) row[s] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  TABLEGAN_CHECK(!input.empty()) << "Backward before Forward";
+  const int64_t n = input.dim(0);
+  const int64_t in_h = input.dim(2), in_w = input.dim(3);
+  const int64_t in_spatial = in_h * in_w;
+  ops::Conv2dGeometry g = OutputGeometry(in_h, in_w);
+  const int64_t out_spatial = g.in_h * g.in_w;
+  TABLEGAN_CHECK(grad_output.rank() == 4 && grad_output.dim(0) == n &&
+                 grad_output.dim(1) == out_channels_ &&
+                 grad_output.dim(2) == g.in_h && grad_output.dim(3) == g.in_w);
+
+  Tensor grad_input(input.shape());
+  const int64_t in_sample = in_channels_ * in_spatial;
+  const int64_t out_sample = out_channels_ * out_spatial;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* go_slice = grad_output.data() + i * out_sample;
+    // cols = im2col(dOut) over the *output* geometry.
+    ops::Im2Col(g, go_slice, cols_.data());
+    // dX = W * cols
+    ops::RawGemmNN(in_channels_, in_spatial, g.patch_size(), weight_.data(),
+                   cols_.data(), grad_input.data() + i * in_sample,
+                   /*accumulate=*/false);
+    // dW += x * cols^T
+    ops::RawGemmNT(in_channels_, g.patch_size(), in_spatial,
+                   input.data() + i * in_sample, cols_.data(),
+                   grad_weight_.data(), /*accumulate=*/true);
+    if (has_bias_) {
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        const float* row = go_slice + c * out_spatial;
+        float acc = 0.0f;
+        for (int64_t s = 0; s < out_spatial; ++s) acc += row[s];
+        grad_bias_[c] += acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> ConvTranspose2d::Parameters() {
+  std::vector<Tensor*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+std::vector<Tensor*> ConvTranspose2d::Gradients() {
+  std::vector<Tensor*> p{&grad_weight_};
+  if (has_bias_) p.push_back(&grad_bias_);
+  return p;
+}
+
+std::string ConvTranspose2d::name() const {
+  std::ostringstream os;
+  os << "ConvTranspose2d(" << in_channels_ << "->" << out_channels_ << ",k"
+     << kernel_ << ",s" << stride_ << ",p" << padding_ << ")";
+  return os.str();
+}
+
+}  // namespace nn
+}  // namespace tablegan

@@ -1,0 +1,42 @@
+#ifndef TABLEGAN_NN_DENSE_H_
+#define TABLEGAN_NN_DENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace tablegan {
+namespace nn {
+
+/// Fully-connected layer: y = x W^T + b over rank-2 [batch, in] inputs.
+/// Used for the generator's latent projection and the discriminator /
+/// classifier heads.
+class Dense : public Layer {
+ public:
+  Dense(int64_t in_features, int64_t out_features, bool bias = true);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> Parameters() override;
+  std::vector<Tensor*> Gradients() override;
+  std::string name() const override;
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  int64_t in_features_, out_features_;
+  bool has_bias_;
+  Tensor weight_;       // [out, in]
+  Tensor bias_;         // [out]
+  Tensor grad_weight_, grad_bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_DENSE_H_

@@ -1,0 +1,69 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "nn/batch_norm.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+
+namespace tablegan {
+namespace nn {
+namespace {
+
+void FillNormal(Tensor* t, float mean, float stddev, Rng* rng) {
+  for (int64_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+}
+
+void FillUniform(Tensor* t, float lo, float hi, Rng* rng) {
+  for (int64_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+}  // namespace
+
+void DcganInitialize(Layer* layer, Rng* rng) {
+  if (auto* seq = dynamic_cast<Sequential*>(layer)) {
+    for (int i = 0; i < seq->num_layers(); ++i) {
+      DcganInitialize(seq->layer(i), rng);
+    }
+  } else if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+    FillNormal(&conv->weight(), 0.0f, 0.02f, rng);
+    if (conv->has_bias()) conv->bias().SetZero();
+  } else if (auto* deconv = dynamic_cast<ConvTranspose2d*>(layer)) {
+    FillNormal(&deconv->weight(), 0.0f, 0.02f, rng);
+    if (deconv->has_bias()) deconv->bias().SetZero();
+  } else if (auto* dense = dynamic_cast<Dense*>(layer)) {
+    FillNormal(&dense->weight(), 0.0f, 0.02f, rng);
+    if (dense->has_bias()) dense->bias().SetZero();
+  } else if (auto* bn = dynamic_cast<BatchNorm*>(layer)) {
+    FillNormal(&bn->gamma(), 1.0f, 0.02f, rng);
+    bn->beta().SetZero();
+  }
+  // Activations / reshapes have no parameters.
+}
+
+void XavierInitialize(Layer* layer, Rng* rng) {
+  if (auto* seq = dynamic_cast<Sequential*>(layer)) {
+    for (int i = 0; i < seq->num_layers(); ++i) {
+      XavierInitialize(seq->layer(i), rng);
+    }
+  } else if (auto* dense = dynamic_cast<Dense*>(layer)) {
+    const int64_t fan_in = dense->weight().dim(1);
+    const int64_t fan_out = dense->weight().dim(0);
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    FillUniform(&dense->weight(), -bound, bound, rng);
+    if (dense->has_bias()) dense->bias().SetZero();
+  } else if (auto* bn = dynamic_cast<BatchNorm*>(layer)) {
+    bn->gamma().Fill(1.0f);
+    bn->beta().SetZero();
+  }
+}
+
+}  // namespace nn
+}  // namespace tablegan

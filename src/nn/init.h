@@ -1,0 +1,24 @@
+#ifndef TABLEGAN_NN_INIT_H_
+#define TABLEGAN_NN_INIT_H_
+
+#include "common/random.h"
+#include "nn/layer.h"
+
+namespace tablegan {
+namespace nn {
+
+/// Applies the DCGAN weight initialization [Radford et al. 2015] that the
+/// paper's architecture inherits: conv / transposed-conv / dense weights
+/// ~ N(0, 0.02^2), BatchNorm gamma ~ N(1, 0.02^2), all biases/betas zero.
+///
+/// Works on any layer tree (dispatches on dynamic type); call it on each
+/// Sequential after construction.
+void DcganInitialize(Layer* layer, Rng* rng);
+
+/// Xavier/Glorot uniform init for plain MLPs (the ML substrate).
+void XavierInitialize(Layer* layer, Rng* rng);
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_INIT_H_

@@ -1,0 +1,53 @@
+#ifndef TABLEGAN_NN_LAYER_H_
+#define TABLEGAN_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace nn {
+
+/// Base class of every neural-network layer.
+///
+/// Layers follow a strict caller protocol: one Forward() followed by at
+/// most one Backward() on the same activation (layers cache whatever they
+/// need for the backward pass during Forward). Parameter gradients
+/// *accumulate* across Backward() calls until ZeroGrad(); this is what
+/// lets table-GAN back-propagate the generator loss through a frozen
+/// discriminator/classifier and later discard those gradients.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `training` selects batch statistics in
+  /// BatchNorm; inference uses running statistics.
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput for the cached forward activation.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters and matching gradient buffers (same order,
+  /// same shapes). Default: none.
+  virtual std::vector<Tensor*> Parameters() { return {}; }
+  virtual std::vector<Tensor*> Gradients() { return {}; }
+
+  /// Non-learnable persistent state (e.g. BatchNorm running statistics)
+  /// that model serialization must capture alongside Parameters().
+  virtual std::vector<Tensor*> Buffers() { return {}; }
+
+  /// Human-readable layer name for debugging ("Conv2d(1->64,k4,s2,p1)").
+  virtual std::string name() const = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (Tensor* g : Gradients()) g->SetZero();
+  }
+};
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_LAYER_H_

@@ -1,0 +1,60 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace nn {
+
+float SigmoidBceWithLogits(const Tensor& logits, const Tensor& targets,
+                           Tensor* grad) {
+  TABLEGAN_CHECK(logits.SameShape(targets));
+  const int64_t n = logits.size();
+  TABLEGAN_CHECK(n > 0);
+  *grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float z = logits[i];
+    const float t = targets[i];
+    // log(1 + exp(-|z|)) + max(z, 0) - z*t  is the stable BCE form.
+    loss += std::log1p(std::exp(-std::fabs(z))) + std::max(z, 0.0f) - z * t;
+    const float sig = 1.0f / (1.0f + std::exp(-z));
+    (*grad)[i] = (sig - t) * inv_n;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float L1Loss(const Tensor& predictions, const Tensor& targets, Tensor* grad) {
+  TABLEGAN_CHECK(predictions.SameShape(targets));
+  const int64_t n = predictions.size();
+  TABLEGAN_CHECK(n > 0);
+  *grad = Tensor(predictions.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = predictions[i] - targets[i];
+    loss += std::fabs(d);
+    (*grad)[i] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) * inv_n;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float MseLoss(const Tensor& predictions, const Tensor& targets, Tensor* grad) {
+  TABLEGAN_CHECK(predictions.SameShape(targets));
+  const int64_t n = predictions.size();
+  TABLEGAN_CHECK(n > 0);
+  *grad = Tensor(predictions.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = predictions[i] - targets[i];
+    loss += static_cast<double>(d) * d;
+    (*grad)[i] = 2.0f * d * inv_n;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+}  // namespace nn
+}  // namespace tablegan

@@ -1,0 +1,33 @@
+#ifndef TABLEGAN_NN_LOSS_H_
+#define TABLEGAN_NN_LOSS_H_
+
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace nn {
+
+/// Loss functions return the scalar loss and write dLoss/dLogits (or
+/// dLoss/dPredictions) into `grad`. All are averaged over the batch, so
+/// gradients are already scaled by 1/N.
+
+/// Binary cross-entropy on raw logits with a fused sigmoid (numerically
+/// stable). `targets` in [0,1], same shape as `logits`. This implements
+/// both directions of the original GAN loss (Eq. 1): the discriminator
+/// maximizes log D(x) + log(1 - D(G(z))) and the generator uses the
+/// standard non-saturating form (maximize log D(G(z))), which is what
+/// DCGAN implementations optimize in practice.
+float SigmoidBceWithLogits(const Tensor& logits, const Tensor& targets,
+                           Tensor* grad);
+
+/// Mean absolute error — the discrepancy |l(x) - C(remove(x))| of the
+/// paper's classification loss (Eq. 5). The gradient w.r.t. `predictions`
+/// is sign(pred - target)/N.
+float L1Loss(const Tensor& predictions, const Tensor& targets, Tensor* grad);
+
+/// Mean squared error (used by the MLP substrate and in tests).
+float MseLoss(const Tensor& predictions, const Tensor& targets, Tensor* grad);
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_LOSS_H_

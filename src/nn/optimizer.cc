@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace nn {
+
+Optimizer::Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  TABLEGAN_CHECK(params_.size() == grads_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    TABLEGAN_CHECK(params_[i]->SameShape(*grads_[i]))
+        << "parameter/gradient shape mismatch at index " << i;
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor* g : grads_) g->SetZero();
+}
+
+Sgd::Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
+         float momentum)
+    : Optimizer(std::move(params), std::move(grads)),
+      lr_(lr),
+      momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Tensor* p : params_) velocity_.emplace_back(p->shape());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    if (momentum_ == 0.0f) {
+      for (int64_t j = 0; j < p.size(); ++j) p[j] -= lr_ * g[j];
+    } else {
+      Tensor& v = velocity_[i];
+      for (int64_t j = 0; j < p.size(); ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        p[j] -= lr_ * v[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
+           float beta1, float beta2, float eps)
+    : Optimizer(std::move(params), std::move(grads)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Tensor* p : params_) {
+    m_.emplace_back(p->shape());
+    v_.emplace_back(p->shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      p[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace tablegan

@@ -1,0 +1,63 @@
+#ifndef TABLEGAN_NN_OPTIMIZER_H_
+#define TABLEGAN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace nn {
+
+/// Base optimizer over (parameter, gradient) tensor pairs. The trainer
+/// binds a network's Parameters()/Gradients() once; Step() applies one
+/// update and the caller zeroes gradients between updates.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+ protected:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+};
+
+/// Plain SGD with optional momentum (used by the ML substrate's MLP and
+/// in optimizer convergence tests).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
+      float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam [Kingma & Ba]. table-GAN trains all three networks with Adam at
+/// the DCGAN defaults (lr 2e-4, beta1 0.5, beta2 0.999) per paper §5.1.5.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+       float lr = 2e-4f, float beta1 = 0.5f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_OPTIMIZER_H_

@@ -1,0 +1,47 @@
+#ifndef TABLEGAN_NN_RESHAPE_H_
+#define TABLEGAN_NN_RESHAPE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace tablegan {
+namespace nn {
+
+/// Reshapes each sample to a fixed per-sample shape (the batch dimension
+/// is preserved). Flatten is Reshape({total}); the generator uses
+/// Reshape({C, H, W}) after its latent projection.
+class Reshape : public Layer {
+ public:
+  /// `sample_shape` excludes the leading batch dimension.
+  explicit Reshape(std::vector<int64_t> sample_shape);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  std::vector<int64_t> sample_shape_;
+  int64_t sample_size_;
+  std::vector<int64_t> cached_input_shape_;
+};
+
+/// Flattens [N, ...] to [N, total]. The output of the discriminator's
+/// convolution stack passes through this before the sigmoid head; the
+/// flattened activations are the "extracted features" f of the paper's
+/// information loss (Eq. 2-3).
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int64_t> cached_input_shape_;
+};
+
+}  // namespace nn
+}  // namespace tablegan
+
+#endif  // TABLEGAN_NN_RESHAPE_H_

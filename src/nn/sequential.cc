@@ -1,0 +1,58 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+namespace tablegan {
+namespace nn {
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, training);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Tensor*> Sequential::Parameters() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::Gradients() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->Gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::Buffers() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* b : layer->Buffers()) out.push_back(b);
+  }
+  return out;
+}
+
+std::string Sequential::name() const {
+  std::ostringstream os;
+  os << "Sequential[";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i) os << ", ";
+    os << layers_[i]->name();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace nn
+}  // namespace tablegan

@@ -1,0 +1,131 @@
+#include "privacy/anonymizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+#include "privacy/mondrian.h"
+
+namespace tablegan {
+namespace privacy {
+namespace {
+
+// Greedily merges adjacent equivalence classes until `ok(partition)`
+// holds (or only one class remains). Classes produced by Mondrian are
+// QID-adjacent in creation order, so merging neighbors keeps
+// generalization loss low.
+Partition MergeUntil(Partition partition,
+                     const std::function<bool(const Partition&)>& ok) {
+  while (partition.size() > 1 && !ok(partition)) {
+    // Find the first violating class by bisection over a copy: simply
+    // merge the smallest class with its neighbor — cheap and effective.
+    size_t smallest = 0;
+    for (size_t i = 1; i < partition.size(); ++i) {
+      if (partition[i].size() < partition[smallest].size()) smallest = i;
+    }
+    const size_t neighbor = smallest + 1 < partition.size() ? smallest + 1
+                                                            : smallest - 1;
+    auto& dst = partition[std::min(smallest, neighbor)];
+    auto& src = partition[std::max(smallest, neighbor)];
+    dst.insert(dst.end(), src.begin(), src.end());
+    partition.erase(partition.begin() +
+                    static_cast<int64_t>(std::max(smallest, neighbor)));
+  }
+  return partition;
+}
+
+std::vector<int> SensitiveColumns(const data::Table& table) {
+  return table.schema().ColumnsWithRole(data::ColumnRole::kSensitive);
+}
+
+}  // namespace
+
+Result<AnonymizationResult> ArxAnonymize(const data::Table& table,
+                                         const ArxOptions& options) {
+  TABLEGAN_ASSIGN_OR_RETURN(Partition partition,
+                            MondrianPartition(table, options.k));
+  const std::vector<int> sensitive = SensitiveColumns(table);
+  if (options.l > 1) {
+    partition = MergeUntil(std::move(partition), [&](const Partition& p) {
+      for (int col : sensitive) {
+        if (!SatisfiesLDiversity(table, p, col, options.l)) return false;
+      }
+      return true;
+    });
+  }
+  if (options.t > 0.0) {
+    partition = MergeUntil(std::move(partition), [&](const Partition& p) {
+      for (int col : sensitive) {
+        if (!SatisfiesTCloseness(table, p, col, options.t)) return false;
+      }
+      return true;
+    });
+  }
+  AnonymizationResult out{GeneralizeQids(table, partition),
+                          std::move(partition)};
+  return out;
+}
+
+Result<AnonymizationResult> DpAnonymize(const data::Table& table,
+                                        const DpOptions& options) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  TABLEGAN_ASSIGN_OR_RETURN(Partition partition,
+                            MondrianPartition(table, options.k));
+  const std::vector<int> sensitive = SensitiveColumns(table);
+  if (options.delta_disclosure > 0.0) {
+    partition = MergeUntil(std::move(partition), [&](const Partition& p) {
+      for (int col : sensitive) {
+        if (!SatisfiesDeltaDisclosure(table, p, col,
+                                      options.delta_disclosure)) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  data::Table released = GeneralizeQids(table, partition);
+
+  // Laplace perturbation of released QID centroids: scale = range/eps.
+  Rng rng(options.seed);
+  auto laplace = [&rng](double scale) {
+    const double u = rng.NextDouble() - 0.5;
+    return -scale * (u < 0 ? -1.0 : 1.0) *
+           std::log(1.0 - 2.0 * std::fabs(u));
+  };
+  const std::vector<int> qids =
+      table.schema().ColumnsWithRole(data::ColumnRole::kQuasiIdentifier);
+  for (int col : qids) {
+    const auto& values = table.column(col);
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double scale = (hi - lo) / options.epsilon;
+    const bool discrete =
+        table.schema().column(col).type != data::ColumnType::kContinuous;
+    for (int64_t r = 0; r < released.num_rows(); ++r) {
+      double v = released.Get(r, col) + laplace(scale);
+      v = std::clamp(v, lo, hi);
+      if (discrete) v = std::round(v);
+      released.Set(r, col, v);
+    }
+  }
+  // The "d" relaxation: a fraction d of rows is released unperturbed
+  // (sampled uniformly from the original table).
+  const auto swaps = static_cast<int64_t>(
+      options.d * static_cast<double>(released.num_rows()));
+  for (int64_t s = 0; s < swaps; ++s) {
+    const auto r = static_cast<int64_t>(
+        rng.NextUint64(static_cast<uint64_t>(released.num_rows())));
+    for (int col : qids) released.Set(r, col, table.Get(r, col));
+  }
+  AnonymizationResult out{std::move(released), std::move(partition)};
+  return out;
+}
+
+}  // namespace privacy
+}  // namespace tablegan

@@ -1,0 +1,59 @@
+#ifndef TABLEGAN_PRIVACY_ANONYMIZER_H_
+#define TABLEGAN_PRIVACY_ANONYMIZER_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "privacy/partition.h"
+
+namespace tablegan {
+namespace privacy {
+
+/// Our substitute for the ARX anonymization tool (paper §5.1.3). Two
+/// pipelines are offered, mirroring the paper's two ARX baselines:
+///
+///  1. k-anonymity + t-closeness: Mondrian partition with parameter k,
+///     then greedy merging of equivalence classes until every class
+///     passes the t-closeness EMD test on every sensitive attribute.
+///  2. (epsilon, d)-differential privacy + delta-disclosure: the
+///     partition is additionally required to satisfy delta-disclosure
+///     (classes merged until it does), and released QID centroids are
+///     perturbed with Laplace(range/epsilon) noise; a fraction d of the
+///     released rows is resampled uniformly from the table (the "d"
+///     relaxation). Sensitive attributes remain unmodified in both
+///     pipelines, as in ARX.
+struct ArxOptions {
+  int k = 5;
+  /// t-closeness bound; <= 0 disables the t-closeness pass.
+  double t = 0.01;
+  /// l-diversity bound; <= 1 disables the l-diversity pass.
+  int l = 0;
+  uint64_t seed = 31;
+};
+
+struct DpOptions {
+  double epsilon = 1.0;
+  double d = 1e-6;
+  /// delta-disclosure bound; <= 0 disables that pass.
+  double delta_disclosure = 1.0;
+  int k = 5;  // base partition parameter
+  uint64_t seed = 37;
+};
+
+struct AnonymizationResult {
+  data::Table released;
+  Partition partition;
+};
+
+/// Pipeline 1: k-anonymity (+ optional l-diversity / t-closeness).
+Result<AnonymizationResult> ArxAnonymize(const data::Table& table,
+                                         const ArxOptions& options);
+
+/// Pipeline 2: (epsilon, d)-DP-style release with delta-disclosure.
+Result<AnonymizationResult> DpAnonymize(const data::Table& table,
+                                        const DpOptions& options);
+
+}  // namespace privacy
+}  // namespace tablegan
+
+#endif  // TABLEGAN_PRIVACY_ANONYMIZER_H_

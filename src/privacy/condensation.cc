@@ -1,0 +1,181 @@
+#include "privacy/condensation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace privacy {
+namespace internal_condensation {
+
+void JacobiEigen(std::vector<double> a, int n, std::vector<double>* eigvals,
+                 std::vector<double>* eigvecs, int sweeps) {
+  eigvecs->assign(static_cast<size_t>(n * n), 0.0);
+  for (int i = 0; i < n; ++i) (*eigvecs)[static_cast<size_t>(i * n + i)] = 1.0;
+  auto idx = [n](int i, int j) { return static_cast<size_t>(i * n + j); };
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += a[idx(p, q)] * a[idx(p, q)];
+    }
+    if (off < 1e-20) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a[idx(p, q)];
+        if (std::fabs(apq) < 1e-18) continue;
+        const double theta = (a[idx(q, q)] - a[idx(p, p)]) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q.
+        for (int i = 0; i < n; ++i) {
+          const double aip = a[idx(i, p)], aiq = a[idx(i, q)];
+          a[idx(i, p)] = c * aip - s * aiq;
+          a[idx(i, q)] = s * aip + c * aiq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double api = a[idx(p, i)], aqi = a[idx(q, i)];
+          a[idx(p, i)] = c * api - s * aqi;
+          a[idx(q, i)] = s * api + c * aqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = (*eigvecs)[idx(i, p)];
+          const double viq = (*eigvecs)[idx(i, q)];
+          (*eigvecs)[idx(i, p)] = c * vip - s * viq;
+          (*eigvecs)[idx(i, q)] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  eigvals->assign(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) (*eigvals)[static_cast<size_t>(i)] = a[idx(i, i)];
+}
+
+}  // namespace internal_condensation
+
+Result<data::Table> CondensationSynthesize(
+    const data::Table& table, const CondensationOptions& options) {
+  const int64_t n = table.num_rows();
+  const int f = table.num_columns();
+  if (n == 0) return Status::InvalidArgument("empty table");
+  if (options.group_size < 2) {
+    return Status::InvalidArgument("group_size must be >= 2");
+  }
+  Rng rng(options.seed);
+
+  // Column stats for standardized distances and output clamping.
+  std::vector<double> lo(static_cast<size_t>(f)), hi(static_cast<size_t>(f)),
+      inv_span(static_cast<size_t>(f));
+  for (int c = 0; c < f; ++c) {
+    const auto& col = table.column(c);
+    lo[static_cast<size_t>(c)] = *std::min_element(col.begin(), col.end());
+    hi[static_cast<size_t>(c)] = *std::max_element(col.begin(), col.end());
+    const double span =
+        hi[static_cast<size_t>(c)] - lo[static_cast<size_t>(c)];
+    inv_span[static_cast<size_t>(c)] = span > 0.0 ? 1.0 / span : 0.0;
+  }
+
+  // Greedy clustering: random seed record, take the group_size-1 nearest
+  // unused records (normalized Euclidean).
+  std::vector<int64_t> unused(static_cast<size_t>(n));
+  std::iota(unused.begin(), unused.end(), int64_t{0});
+  rng.Shuffle(&unused);
+  std::vector<std::vector<int64_t>> groups;
+  while (!unused.empty()) {
+    const int64_t seed_row = unused.back();
+    unused.pop_back();
+    const int64_t take = std::min<int64_t>(
+        options.group_size - 1, static_cast<int64_t>(unused.size()));
+    std::vector<std::pair<double, size_t>> dist;
+    dist.reserve(unused.size());
+    for (size_t u = 0; u < unused.size(); ++u) {
+      double d = 0.0;
+      for (int c = 0; c < f; ++c) {
+        const double diff = (table.Get(seed_row, c) -
+                             table.Get(unused[u], c)) *
+                            inv_span[static_cast<size_t>(c)];
+        d += diff * diff;
+      }
+      dist.emplace_back(d, u);
+    }
+    std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
+    std::vector<int64_t> group{seed_row};
+    std::vector<size_t> taken;
+    for (int64_t i = 0; i < take; ++i) {
+      group.push_back(unused[dist[static_cast<size_t>(i)].second]);
+      taken.push_back(dist[static_cast<size_t>(i)].second);
+    }
+    std::sort(taken.rbegin(), taken.rend());
+    for (size_t u : taken) {
+      unused[u] = unused.back();
+      unused.pop_back();
+    }
+    groups.push_back(std::move(group));
+  }
+
+  // Condense each group to (mean, covariance) and synthesize.
+  data::Table out(table.schema());
+  for (const auto& group : groups) {
+    const auto m = static_cast<double>(group.size());
+    std::vector<double> mean(static_cast<size_t>(f), 0.0);
+    for (int64_t r : group) {
+      for (int c = 0; c < f; ++c) {
+        mean[static_cast<size_t>(c)] += table.Get(r, c);
+      }
+    }
+    for (double& v : mean) v /= m;
+    std::vector<double> cov(static_cast<size_t>(f * f), 0.0);
+    for (int64_t r : group) {
+      for (int a = 0; a < f; ++a) {
+        const double da = table.Get(r, a) - mean[static_cast<size_t>(a)];
+        for (int b = a; b < f; ++b) {
+          const double db = table.Get(r, b) - mean[static_cast<size_t>(b)];
+          cov[static_cast<size_t>(a * f + b)] += da * db;
+        }
+      }
+    }
+    for (int a = 0; a < f; ++a) {
+      for (int b = a; b < f; ++b) {
+        cov[static_cast<size_t>(a * f + b)] /= m;
+        cov[static_cast<size_t>(b * f + a)] =
+            cov[static_cast<size_t>(a * f + b)];
+      }
+    }
+    std::vector<double> eigvals, eigvecs;
+    internal_condensation::JacobiEigen(cov, f, &eigvals, &eigvecs);
+
+    std::vector<double> row(static_cast<size_t>(f));
+    for (size_t s = 0; s < group.size(); ++s) {
+      row = mean;
+      for (int e = 0; e < f; ++e) {
+        const double lambda = std::max(0.0, eigvals[static_cast<size_t>(e)]);
+        if (lambda <= 0.0) continue;
+        // U(-a, a) with a = sqrt(3*lambda) has variance lambda.
+        const double coeff =
+            rng.Uniform(-1.0, 1.0) * std::sqrt(3.0 * lambda);
+        for (int c = 0; c < f; ++c) {
+          row[static_cast<size_t>(c)] +=
+              coeff * eigvecs[static_cast<size_t>(c * f + e)];
+        }
+      }
+      for (int c = 0; c < f; ++c) {
+        double v = std::clamp(row[static_cast<size_t>(c)],
+                              lo[static_cast<size_t>(c)],
+                              hi[static_cast<size_t>(c)]);
+        if (table.schema().column(c).type != data::ColumnType::kContinuous) {
+          v = std::round(v);
+        }
+        row[static_cast<size_t>(c)] = v;
+      }
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace privacy
+}  // namespace tablegan

@@ -1,0 +1,39 @@
+#ifndef TABLEGAN_PRIVACY_CONDENSATION_H_
+#define TABLEGAN_PRIVACY_CONDENSATION_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace privacy {
+
+/// The condensation synthesis baseline [Aggarwal & Yu 2004] (paper
+/// §5.1.3): records are grouped into clusters of `group_size` similar
+/// records; each group is condensed to its first- and second-order
+/// statistics (mean vector and covariance matrix), and synthetic records
+/// are drawn along the group's covariance eigenvectors with uniform
+/// coefficients whose variances match the eigenvalues — preserving both
+/// moments in expectation while never releasing a real record.
+struct CondensationOptions {
+  int group_size = 100;  // paper tests 100 and 50
+  uint64_t seed = 43;
+};
+
+Result<data::Table> CondensationSynthesize(const data::Table& table,
+                                           const CondensationOptions& options);
+
+namespace internal_condensation {
+
+/// Cyclic Jacobi eigendecomposition of a symmetric n x n matrix (row
+/// major). Outputs eigenvalues and matching column eigenvectors
+/// (v[i*n+j] = component i of eigenvector j). Exposed for testing.
+void JacobiEigen(std::vector<double> a, int n, std::vector<double>* eigvals,
+                 std::vector<double>* eigvecs, int sweeps = 30);
+
+}  // namespace internal_condensation
+
+}  // namespace privacy
+}  // namespace tablegan
+
+#endif  // TABLEGAN_PRIVACY_CONDENSATION_H_

@@ -1,0 +1,93 @@
+#include "privacy/dcr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tablegan {
+namespace privacy {
+
+std::vector<int> QidAndSensitiveColumns(const data::Schema& schema) {
+  std::vector<int> out =
+      schema.ColumnsWithRole(data::ColumnRole::kQuasiIdentifier);
+  for (int c : schema.ColumnsWithRole(data::ColumnRole::kSensitive)) {
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> SensitiveOnlyColumns(const data::Schema& schema) {
+  return schema.ColumnsWithRole(data::ColumnRole::kSensitive);
+}
+
+Result<DcrResult> ComputeDcr(const data::Table& original,
+                             const data::Table& released,
+                             const std::vector<int>& columns) {
+  if (original.num_rows() == 0 || released.num_rows() == 0) {
+    return Status::InvalidArgument("empty table in DCR computation");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("no columns selected for DCR");
+  }
+  for (int c : columns) {
+    if (c < 0 || c >= original.num_columns() || c >= released.num_columns()) {
+      return Status::OutOfRange("DCR column out of range");
+    }
+  }
+  const size_t f = columns.size();
+  // Normalization constants fitted on the original table.
+  std::vector<double> lo(f), inv_span(f);
+  for (size_t j = 0; j < f; ++j) {
+    const auto& col = original.column(columns[j]);
+    const double mn = *std::min_element(col.begin(), col.end());
+    const double mx = *std::max_element(col.begin(), col.end());
+    lo[j] = mn;
+    inv_span[j] = mx > mn ? 1.0 / (mx - mn) : 0.0;
+  }
+
+  // Pre-normalize both tables into dense row-major buffers.
+  const int64_t n = original.num_rows();
+  const int64_t m = released.num_rows();
+  std::vector<float> orig(static_cast<size_t>(n) * f);
+  std::vector<float> rel(static_cast<size_t>(m) * f);
+  for (int64_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < f; ++j) {
+      orig[static_cast<size_t>(r) * f + j] = static_cast<float>(
+          (original.Get(r, columns[j]) - lo[j]) * inv_span[j]);
+    }
+  }
+  for (int64_t r = 0; r < m; ++r) {
+    for (size_t j = 0; j < f; ++j) {
+      rel[static_cast<size_t>(r) * f + j] = static_cast<float>(
+          (released.Get(r, columns[j]) - lo[j]) * inv_span[j]);
+    }
+  }
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    const float* a = orig.data() + static_cast<size_t>(r) * f;
+    float best = std::numeric_limits<float>::max();
+    for (int64_t s = 0; s < m; ++s) {
+      const float* b = rel.data() + static_cast<size_t>(s) * f;
+      float d = 0.0f;
+      for (size_t j = 0; j < f; ++j) {
+        const float diff = a[j] - b[j];
+        d += diff * diff;
+      }
+      best = std::min(best, d);
+    }
+    const double dist = std::sqrt(static_cast<double>(best));
+    sum += dist;
+    sum_sq += dist * dist;
+  }
+  DcrResult out;
+  out.mean = sum / static_cast<double>(n);
+  out.stddev =
+      std::sqrt(std::max(0.0, sum_sq / static_cast<double>(n) -
+                                  out.mean * out.mean));
+  return out;
+}
+
+}  // namespace privacy
+}  // namespace tablegan

@@ -1,0 +1,36 @@
+#ifndef TABLEGAN_PRIVACY_DCR_H_
+#define TABLEGAN_PRIVACY_DCR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace privacy {
+
+/// Distance to the closest record (paper §5.1.2 / Table 5): for every
+/// record of `original`, the Euclidean distance — after attribute-wise
+/// min-max normalization fitted on `original` — to its nearest record in
+/// `released`, summarized as mean ± population standard deviation. A
+/// small mean or a large std-dev flags privacy risk (some released
+/// records sit on top of real ones).
+struct DcrResult {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes DCR over the given column subset (e.g. QIDs + sensitive, or
+/// sensitive only, matching the two blocks of Table 5).
+Result<DcrResult> ComputeDcr(const data::Table& original,
+                             const data::Table& released,
+                             const std::vector<int>& columns);
+
+/// Convenience: columns with QID+sensitive roles / sensitive role only.
+std::vector<int> QidAndSensitiveColumns(const data::Schema& schema);
+std::vector<int> SensitiveOnlyColumns(const data::Schema& schema);
+
+}  // namespace privacy
+}  // namespace tablegan
+
+#endif  // TABLEGAN_PRIVACY_DCR_H_

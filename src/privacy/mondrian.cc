@@ -1,0 +1,141 @@
+#include "privacy/mondrian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace privacy {
+namespace {
+
+struct MondrianContext {
+  const data::Table& table;
+  std::vector<int> qids;
+  std::vector<double> col_span;  // global ranges for normalization
+  int k;
+  Partition result;
+
+  void Split(std::vector<int64_t> rows) {
+    if (static_cast<int>(rows.size()) < 2 * k) {
+      result.push_back(std::move(rows));
+      return;
+    }
+    // Widest normalized QID range within this partition.
+    int best_qid = -1;
+    double best_width = 0.0;
+    for (size_t qi = 0; qi < qids.size(); ++qi) {
+      const int col = qids[qi];
+      double lo = table.Get(rows[0], col), hi = lo;
+      for (int64_t r : rows) {
+        const double v = table.Get(r, col);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      const double span = col_span[qi];
+      const double width = span > 0.0 ? (hi - lo) / span : 0.0;
+      if (width > best_width) {
+        best_width = width;
+        best_qid = col;
+      }
+    }
+    if (best_qid < 0 || best_width <= 0.0) {
+      result.push_back(std::move(rows));  // all QIDs constant: one class
+      return;
+    }
+    // Median split (strict partition: <= median goes left).
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (int64_t r : rows) values.push_back(table.Get(r, best_qid));
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<int64_t>(values.size() / 2),
+                     values.end());
+    const double median = values[values.size() / 2];
+    std::vector<int64_t> left, right;
+    for (int64_t r : rows) {
+      if (table.Get(r, best_qid) < median) {
+        left.push_back(r);
+      } else {
+        right.push_back(r);
+      }
+    }
+    if (static_cast<int>(left.size()) < k ||
+        static_cast<int>(right.size()) < k) {
+      // Try the other tie-breaking direction before giving up.
+      left.clear();
+      right.clear();
+      for (int64_t r : rows) {
+        if (table.Get(r, best_qid) <= median) {
+          left.push_back(r);
+        } else {
+          right.push_back(r);
+        }
+      }
+      if (static_cast<int>(left.size()) < k ||
+          static_cast<int>(right.size()) < k) {
+        result.push_back(std::move(rows));
+        return;
+      }
+    }
+    Split(std::move(left));
+    Split(std::move(right));
+  }
+};
+
+}  // namespace
+
+Result<Partition> MondrianPartition(const data::Table& table, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (table.num_rows() < k) {
+    return Status::InvalidArgument("fewer rows than k");
+  }
+  std::vector<int> qids =
+      table.schema().ColumnsWithRole(data::ColumnRole::kQuasiIdentifier);
+  if (qids.empty()) {
+    return Status::FailedPrecondition("schema declares no QID columns");
+  }
+  MondrianContext ctx{table, qids, {}, k, {}};
+  for (int col : qids) {
+    const auto& values = table.column(col);
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    ctx.col_span.push_back(hi - lo);
+  }
+  std::vector<int64_t> all(static_cast<size_t>(table.num_rows()));
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    all[static_cast<size_t>(i)] = i;
+  }
+  ctx.Split(std::move(all));
+  return ctx.result;
+}
+
+data::Table GeneralizeQids(const data::Table& table,
+                           const Partition& partition) {
+  data::Table out = table.SelectRows([&] {
+    std::vector<int64_t> all(static_cast<size_t>(table.num_rows()));
+    for (int64_t i = 0; i < table.num_rows(); ++i) {
+      all[static_cast<size_t>(i)] = i;
+    }
+    return all;
+  }());
+  const std::vector<int> qids =
+      table.schema().ColumnsWithRole(data::ColumnRole::kQuasiIdentifier);
+  for (const auto& group : partition) {
+    for (int col : qids) {
+      double mean = 0.0;
+      for (int64_t r : group) mean += table.Get(r, col);
+      mean /= static_cast<double>(group.size());
+      if (table.schema().column(col).type != data::ColumnType::kContinuous) {
+        mean = std::round(mean);
+      }
+      for (int64_t r : group) out.Set(r, col, mean);
+    }
+  }
+  return out;
+}
+
+}  // namespace privacy
+}  // namespace tablegan

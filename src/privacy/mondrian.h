@@ -1,0 +1,29 @@
+#ifndef TABLEGAN_PRIVACY_MONDRIAN_H_
+#define TABLEGAN_PRIVACY_MONDRIAN_H_
+
+#include "common/status.h"
+#include "data/table.h"
+#include "privacy/partition.h"
+
+namespace tablegan {
+namespace privacy {
+
+/// Multidimensional Mondrian partitioning [LeFevre et al.]: recursively
+/// splits the record set at the median of the QID with the widest
+/// normalized range, stopping when a further split would violate
+/// k-anonymity. This is the generalization engine our ARX-substitute
+/// anonymizer is built on (paper baseline, §5.1.3).
+Result<Partition> MondrianPartition(const data::Table& table, int k);
+
+/// Materializes a released table from a partition: each QID cell is
+/// replaced by its equivalence-class mean (rounded for discrete /
+/// categorical QIDs — the numeric counterpart of the paper's label
+/// encoding of generalized values, footnote 6); sensitive attributes are
+/// left untouched, exactly as ARX does.
+data::Table GeneralizeQids(const data::Table& table,
+                           const Partition& partition);
+
+}  // namespace privacy
+}  // namespace tablegan
+
+#endif  // TABLEGAN_PRIVACY_MONDRIAN_H_

@@ -1,0 +1,115 @@
+#include "privacy/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace privacy {
+namespace {
+
+// Histogram of `col` restricted to `rows` (nullptr = all rows) over
+// `bins` equal-width bins spanning the global column range.
+std::vector<double> BinnedDistribution(const data::Table& table,
+                                       const std::vector<int64_t>* rows,
+                                       int col, int bins) {
+  const auto& values = table.column(col);
+  TABLEGAN_CHECK(!values.empty());
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::vector<double> hist(static_cast<size_t>(bins), 0.0);
+  const double span = hi - lo;
+  auto add = [&](double v) {
+    int b = span > 0.0 ? static_cast<int>((v - lo) / span *
+                                          static_cast<double>(bins))
+                       : 0;
+    b = std::clamp(b, 0, bins - 1);
+    hist[static_cast<size_t>(b)] += 1.0;
+  };
+  double total = 0.0;
+  if (rows == nullptr) {
+    for (double v : values) add(v);
+    total = static_cast<double>(values.size());
+  } else {
+    for (int64_t r : *rows) add(values[static_cast<size_t>(r)]);
+    total = static_cast<double>(rows->size());
+  }
+  if (total > 0.0) {
+    for (double& h : hist) h /= total;
+  }
+  return hist;
+}
+
+}  // namespace
+
+bool SatisfiesKAnonymity(const Partition& partition, int k) {
+  for (const auto& group : partition) {
+    if (static_cast<int>(group.size()) < k) return false;
+  }
+  return !partition.empty();
+}
+
+bool SatisfiesLDiversity(const data::Table& table,
+                         const Partition& partition, int sensitive_col,
+                         int l) {
+  for (const auto& group : partition) {
+    std::set<double> distinct;
+    for (int64_t r : group) {
+      distinct.insert(table.Get(r, sensitive_col));
+      if (static_cast<int>(distinct.size()) >= l) break;
+    }
+    if (static_cast<int>(distinct.size()) < l) return false;
+  }
+  return !partition.empty();
+}
+
+double OrderedEmd(const data::Table& table, const std::vector<int64_t>& rows,
+                  int sensitive_col, int bins) {
+  const std::vector<double> local =
+      BinnedDistribution(table, &rows, sensitive_col, bins);
+  const std::vector<double> global =
+      BinnedDistribution(table, nullptr, sensitive_col, bins);
+  // Ordered-domain EMD = normalized L1 distance of the CDFs.
+  double emd = 0.0, cum = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    cum += local[static_cast<size_t>(b)] - global[static_cast<size_t>(b)];
+    emd += std::fabs(cum);
+  }
+  return emd / static_cast<double>(bins - 1);
+}
+
+bool SatisfiesTCloseness(const data::Table& table,
+                         const Partition& partition, int sensitive_col,
+                         double t, int bins) {
+  for (const auto& group : partition) {
+    if (OrderedEmd(table, group, sensitive_col, bins) > t) return false;
+  }
+  return !partition.empty();
+}
+
+bool SatisfiesDeltaDisclosure(const data::Table& table,
+                              const Partition& partition, int sensitive_col,
+                              double delta, int bins) {
+  const std::vector<double> global =
+      BinnedDistribution(table, nullptr, sensitive_col, bins);
+  for (const auto& group : partition) {
+    const std::vector<double> local =
+        BinnedDistribution(table, &group, sensitive_col, bins);
+    for (int b = 0; b < bins; ++b) {
+      const double p = local[static_cast<size_t>(b)];
+      const double q = global[static_cast<size_t>(b)];
+      if (p <= 0.0) continue;  // only observed values constrain
+      if (q <= 0.0) return false;
+      if (std::fabs(std::log(p / q)) >= delta) return false;
+    }
+  }
+  return !partition.empty();
+}
+
+}  // namespace privacy
+}  // namespace tablegan

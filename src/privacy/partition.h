@@ -1,0 +1,49 @@
+#ifndef TABLEGAN_PRIVACY_PARTITION_H_
+#define TABLEGAN_PRIVACY_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+
+namespace tablegan {
+namespace privacy {
+
+/// A partition of table rows into equivalence classes: groups of records
+/// indistinguishable w.r.t. their (generalized) QIDs — the core artifact
+/// of the generalization-based privacy models in paper §2.1.
+using Partition = std::vector<std::vector<int64_t>>;
+
+/// True iff every class has at least k members (k-anonymity).
+bool SatisfiesKAnonymity(const Partition& partition, int k);
+
+/// True iff within every class, `sensitive_col` takes at least l distinct
+/// values (l-diversity [Machanavajjhala et al.]).
+bool SatisfiesLDiversity(const data::Table& table,
+                         const Partition& partition, int sensitive_col,
+                         int l);
+
+/// Earth-mover's distance between the distribution of `sensitive_col`
+/// inside a class and its global distribution, computed on the ordered
+/// domain (numeric EMD via cumulative sums over `bins` equal-width bins,
+/// normalized to [0,1]).
+double OrderedEmd(const data::Table& table, const std::vector<int64_t>& rows,
+                  int sensitive_col, int bins = 16);
+
+/// True iff every class has OrderedEmd <= t for `sensitive_col`
+/// (t-closeness [Li et al. 2007]).
+bool SatisfiesTCloseness(const data::Table& table,
+                         const Partition& partition, int sensitive_col,
+                         double t, int bins = 16);
+
+/// delta-disclosure [Brickell & Shmatikov]: for every class and every
+/// observed sensitive value v, |log(P(v|class) / P(v))| < delta. Values
+/// are bucketed into `bins` bins for continuous attributes.
+bool SatisfiesDeltaDisclosure(const data::Table& table,
+                              const Partition& partition, int sensitive_col,
+                              double delta, int bins = 16);
+
+}  // namespace privacy
+}  // namespace tablegan
+
+#endif  // TABLEGAN_PRIVACY_PARTITION_H_

@@ -1,0 +1,52 @@
+#include "privacy/risk.h"
+
+#include <algorithm>
+
+namespace tablegan {
+namespace privacy {
+
+ProsecutorRisk ComputeProsecutorRisk(const Partition& partition, int k) {
+  ProsecutorRisk out;
+  int64_t total = 0, below = 0;
+  double risk_sum = 0.0;
+  for (const auto& group : partition) {
+    const auto size = static_cast<int64_t>(group.size());
+    if (size == 0) continue;
+    const double risk = 1.0 / static_cast<double>(size);
+    risk_sum += risk * static_cast<double>(size);
+    out.maximum = std::max(out.maximum, risk);
+    total += size;
+    if (size < k) below += size;
+  }
+  if (total > 0) {
+    out.average = risk_sum / static_cast<double>(total);
+    out.fraction_below_k =
+        static_cast<double>(below) / static_cast<double>(total);
+  }
+  return out;
+}
+
+double ComputeJournalistRisk(const Partition& partition) {
+  size_t smallest = 0;
+  for (const auto& group : partition) {
+    if (group.empty()) continue;
+    if (smallest == 0 || group.size() < smallest) smallest = group.size();
+  }
+  return smallest == 0 ? 0.0 : 1.0 / static_cast<double>(smallest);
+}
+
+double ComputeMarketerRisk(const Partition& partition) {
+  int64_t total = 0;
+  int64_t classes = 0;
+  for (const auto& group : partition) {
+    if (group.empty()) continue;
+    total += static_cast<int64_t>(group.size());
+    ++classes;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(classes) /
+                          static_cast<double>(total);
+}
+
+}  // namespace privacy
+}  // namespace tablegan

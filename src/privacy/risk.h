@@ -1,0 +1,39 @@
+#ifndef TABLEGAN_PRIVACY_RISK_H_
+#define TABLEGAN_PRIVACY_RISK_H_
+
+#include "data/table.h"
+#include "privacy/partition.h"
+
+namespace tablegan {
+namespace privacy {
+
+/// Prosecutor-model re-identification risk (paper §2.2): the attacker
+/// knows every target's QIDs, so a record's risk is 1/|matching
+/// equivalence class|. Only applies to generalization-based releases —
+/// table-GAN has no one-to-one correspondence, which is exactly why the
+/// paper switches to DCR for it.
+struct ProsecutorRisk {
+  double average = 0.0;  // mean per-record risk
+  double maximum = 0.0;  // worst-case record
+  /// Fraction of records whose class is smaller than k (given below).
+  double fraction_below_k = 0.0;
+};
+
+ProsecutorRisk ComputeProsecutorRisk(const Partition& partition, int k);
+
+/// Journalist-model risk (paper §2.2): the attacker has no specific
+/// target and matches against an external register; the standard
+/// conservative estimate is the risk of the *smallest* equivalence
+/// class, 1/min|class|.
+double ComputeJournalistRisk(const Partition& partition);
+
+/// Marketer-model risk (paper §2.2): the attacker wants to re-identify
+/// as many records as possible; the expected fraction of re-identified
+/// records is (#classes)/(#records) — each class contributes one
+/// expected hit.
+double ComputeMarketerRisk(const Partition& partition);
+
+}  // namespace privacy
+}  // namespace tablegan
+
+#endif  // TABLEGAN_PRIVACY_RISK_H_

@@ -1,0 +1,94 @@
+#include "privacy/sdc_micro.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace privacy {
+
+void MicroAggregateColumn(data::Table* table, int col, int group) {
+  TABLEGAN_CHECK(group >= 1);
+  const int64_t n = table->num_rows();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return table->Get(a, col) < table->Get(b, col);
+  });
+  const bool discrete =
+      table->schema().column(col).type != data::ColumnType::kContinuous;
+  for (int64_t start = 0; start < n; start += group) {
+    const int64_t end = std::min<int64_t>(n, start + group);
+    double mean = 0.0;
+    for (int64_t i = start; i < end; ++i) {
+      mean += table->Get(order[static_cast<size_t>(i)], col);
+    }
+    mean /= static_cast<double>(end - start);
+    if (discrete) mean = std::round(mean);
+    for (int64_t i = start; i < end; ++i) {
+      table->Set(order[static_cast<size_t>(i)], col, mean);
+    }
+  }
+}
+
+void PramColumn(data::Table* table, int col, double pd, double alpha,
+                Rng* rng) {
+  TABLEGAN_CHECK(pd >= 0.0 && pd <= 1.0);
+  const int64_t n = table->num_rows();
+  // Empirical marginal over observed levels.
+  std::vector<double> levels;
+  std::vector<double> counts;
+  for (int64_t r = 0; r < n; ++r) {
+    const double v = table->Get(r, col);
+    auto it = std::find(levels.begin(), levels.end(), v);
+    if (it == levels.end()) {
+      levels.push_back(v);
+      counts.push_back(1.0);
+    } else {
+      counts[static_cast<size_t>(it - levels.begin())] += 1.0;
+    }
+  }
+  // alpha < 1 flattens the resampling distribution toward uniform.
+  std::vector<double> weights(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    weights[i] = std::pow(counts[i], alpha);
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    if (rng->NextBool(pd)) continue;  // retained
+    table->Set(r, col, levels[static_cast<size_t>(
+                           rng->NextCategorical(weights))]);
+  }
+}
+
+Result<data::Table> SdcMicroPerturb(const data::Table& table,
+                                    const SdcMicroOptions& options) {
+  if (options.aggregation_group < 1) {
+    return Status::InvalidArgument("aggregation_group must be >= 1");
+  }
+  if (options.pram_pd < 0.0 || options.pram_pd > 1.0) {
+    return Status::InvalidArgument("pram_pd must be in [0, 1]");
+  }
+  data::Table out = table.SelectRows([&] {
+    std::vector<int64_t> all(static_cast<size_t>(table.num_rows()));
+    std::iota(all.begin(), all.end(), int64_t{0});
+    return all;
+  }());
+  Rng rng(options.seed);
+  const data::Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const data::ColumnSpec& spec = schema.column(c);
+    if (spec.role == data::ColumnRole::kLabel) continue;
+    if (spec.type == data::ColumnType::kCategorical &&
+        spec.role == data::ColumnRole::kSensitive) {
+      PramColumn(&out, c, options.pram_pd, options.pram_alpha, &rng);
+    } else {
+      MicroAggregateColumn(&out, c, options.aggregation_group);
+    }
+  }
+  return out;
+}
+
+}  // namespace privacy
+}  // namespace tablegan

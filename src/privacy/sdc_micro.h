@@ -1,0 +1,44 @@
+#ifndef TABLEGAN_PRIVACY_SDC_MICRO_H_
+#define TABLEGAN_PRIVACY_SDC_MICRO_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace privacy {
+
+/// Our substitute for the sdcMicro R package baseline (paper §5.1.3):
+/// micro-aggregation perturbs the QIDs and continuous sensitive
+/// attributes, PRAM post-randomizes the categorical sensitive
+/// attributes — note that unlike ARX, sdcMicro perturbs sensitive
+/// attributes too.
+struct SdcMicroOptions {
+  /// Micro-aggregation group size (records per aggregate).
+  int aggregation_group = 3;
+  /// PRAM retention probability pd: a categorical cell keeps its value
+  /// with probability pd and is resampled from the column's empirical
+  /// marginal otherwise.
+  double pram_pd = 0.5;
+  /// Weight alpha of the marginal used for resampling (alpha = 1 is the
+  /// plain invariant marginal; smaller alpha flattens it toward uniform).
+  double pram_alpha = 1.0;
+  uint64_t seed = 41;
+};
+
+/// Micro-aggregation of a single numeric column: records are sorted by
+/// value, grouped in runs of `group` and replaced by the group mean.
+void MicroAggregateColumn(data::Table* table, int col, int group);
+
+/// PRAM on a single categorical column.
+void PramColumn(data::Table* table, int col, double pd, double alpha,
+                Rng* rng);
+
+/// Full sdcMicro-style release over all QID and sensitive columns.
+Result<data::Table> SdcMicroPerturb(const data::Table& table,
+                                    const SdcMicroOptions& options);
+
+}  // namespace privacy
+}  // namespace tablegan
+
+#endif  // TABLEGAN_PRIVACY_SDC_MICRO_H_

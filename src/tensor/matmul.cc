@@ -1,0 +1,118 @@
+#include "tensor/matmul.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+
+namespace tablegan {
+namespace ops {
+namespace {
+
+// Inner kernel: row-major C[m,n] += A[m,k] * B[k,n], cache-blocked over k
+// and n. The j-loop is a contiguous fused multiply-add that the compiler
+// auto-vectorizes.
+void GemmKernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                const float* b, float* c) {
+  constexpr int64_t kBlockK = 256;
+  constexpr int64_t kBlockN = 512;
+  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const int64_t k1 = std::min(k, k0 + kBlockK);
+    for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+      const int64_t n1 = std::min(n, n0 + kBlockN);
+      for (int64_t i = 0; i < m; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float av = alpha * arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + kk * n;
+          for (int64_t j = n0; j < n1; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c) {
+  TABLEGAN_CHECK(a.rank() == 2 && b.rank() == 2 && c->rank() == 2);
+  const int64_t m = transpose_a ? a.dim(1) : a.dim(0);
+  const int64_t k = transpose_a ? a.dim(0) : a.dim(1);
+  const int64_t kb = transpose_b ? b.dim(1) : b.dim(0);
+  const int64_t n = transpose_b ? b.dim(0) : b.dim(1);
+  TABLEGAN_CHECK(k == kb) << "inner dimensions differ: " << k << " vs " << kb;
+  TABLEGAN_CHECK(c->dim(0) == m && c->dim(1) == n)
+      << "output shape " << ShapeToString(c->shape()) << " expected ["
+      << m << ", " << n << "]";
+
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    ScaleInPlace(beta, c);
+  }
+  if (m == 0 || n == 0 || k == 0) return;
+
+  // Materializing the transposed operand keeps the hot kernel contiguous;
+  // the copy is O(m*k) versus the O(m*k*n) multiply.
+  const Tensor* pa = &a;
+  const Tensor* pb = &b;
+  Tensor at, bt;
+  if (transpose_a) {
+    at = Transpose2D(a);
+    pa = &at;
+  }
+  if (transpose_b) {
+    bt = Transpose2D(b);
+    pb = &bt;
+  }
+  GemmKernel(m, n, k, alpha, pa->data(), pb->data(), c->data());
+}
+
+void RawGemmNN(int64_t m, int64_t n, int64_t k, const float* a,
+               const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  GemmKernel(m, n, k, 1.0f, a, b, c);
+}
+
+void RawGemmNT(int64_t m, int64_t n, int64_t k, const float* a,
+               const float* b, float* c, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+void RawGemmTN(int64_t m, int64_t n, int64_t k, const float* a,
+               const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (int64_t l = 0; l < k; ++l) {
+    const float* arow = a + l * m;
+    const float* brow = b + l * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TABLEGAN_CHECK(a.rank() == 2 && b.rank() == 2);
+  Tensor c({a.dim(0), b.dim(1)});
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  return c;
+}
+
+}  // namespace ops
+}  // namespace tablegan

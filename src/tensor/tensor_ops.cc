@@ -1,0 +1,183 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tablegan {
+namespace ops {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  TABLEGAN_CHECK(a.SameShape(b))
+      << "shape mismatch: " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) po[i] += pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) po[i] -= pb[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = a;
+  float* po = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) po[i] += s;
+  return out;
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  Tensor out = a;
+  float* po = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) po[i] *= s;
+  return out;
+}
+
+void AxpyInPlace(const Tensor& a, float scale, Tensor* out) {
+  CheckSameShape(a, *out);
+  const float* pa = a.data();
+  float* po = out->data();
+  for (int64_t i = 0; i < out->size(); ++i) po[i] += scale * pa[i];
+}
+
+void ScaleInPlace(float s, Tensor* out) {
+  float* po = out->data();
+  for (int64_t i = 0; i < out->size(); ++i) po[i] *= s;
+}
+
+float Sum(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float Mean(const Tensor& a) {
+  TABLEGAN_CHECK(a.size() > 0);
+  return Sum(a) / static_cast<float>(a.size());
+}
+
+float Max(const Tensor& a) {
+  TABLEGAN_CHECK(a.size() > 0);
+  float m = a[0];
+  for (int64_t i = 1; i < a.size(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+float Min(const Tensor& a) {
+  TABLEGAN_CHECK(a.size() > 0);
+  float m = a[0];
+  for (int64_t i = 1; i < a.size(); ++i) m = std::min(m, a[i]);
+  return m;
+}
+
+float Norm2(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float SquaredDistance(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+Tensor ColumnMean(const Tensor& a) {
+  TABLEGAN_CHECK(a.rank() == 2);
+  int64_t n = a.dim(0), f = a.dim(1);
+  TABLEGAN_CHECK(n > 0);
+  Tensor out({f});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * f;
+    for (int64_t j = 0; j < f; ++j) out[j] += row[j];
+  }
+  ScaleInPlace(1.0f / static_cast<float>(n), &out);
+  return out;
+}
+
+Tensor ColumnStd(const Tensor& a) {
+  TABLEGAN_CHECK(a.rank() == 2);
+  int64_t n = a.dim(0), f = a.dim(1);
+  TABLEGAN_CHECK(n > 0);
+  Tensor mean = ColumnMean(a);
+  Tensor out({f});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * f;
+    for (int64_t j = 0; j < f; ++j) {
+      float d = row[j] - mean[j];
+      out[j] += d * d;
+    }
+  }
+  for (int64_t j = 0; j < f; ++j) {
+    out[j] = std::sqrt(out[j] / static_cast<float>(n));
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  TABLEGAN_CHECK(a.rank() == 2);
+  int64_t r = a.dim(0), c = a.dim(1);
+  Tensor out({c, r});
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) out.at2(j, i) = a.at2(i, j);
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  TABLEGAN_CHECK(!parts.empty());
+  int64_t cols = parts[0].dim(1);
+  int64_t rows = 0;
+  for (const Tensor& p : parts) {
+    TABLEGAN_CHECK(p.rank() == 2 && p.dim(1) == cols);
+    rows += p.dim(0);
+  }
+  Tensor out({rows, cols});
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), out.data() + offset);
+    offset += p.size();
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
+  TABLEGAN_CHECK(a.rank() == 2);
+  TABLEGAN_CHECK(0 <= begin && begin <= end && end <= a.dim(0));
+  int64_t cols = a.dim(1);
+  Tensor out({end - begin, cols});
+  std::copy(a.data() + begin * cols, a.data() + end * cols, out.data());
+  return out;
+}
+
+}  // namespace ops
+}  // namespace tablegan

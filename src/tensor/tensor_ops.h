@@ -1,0 +1,54 @@
+#ifndef TABLEGAN_TENSOR_TENSOR_OPS_H_
+#define TABLEGAN_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace ops {
+
+/// Elementwise kernels. All binary ops require identical shapes.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+/// out += a * scale  (axpy). Shapes must match.
+void AxpyInPlace(const Tensor& a, float scale, Tensor* out);
+/// out *= s.
+void ScaleInPlace(float s, Tensor* out);
+
+/// Reductions over the whole tensor.
+float Sum(const Tensor& a);
+float Mean(const Tensor& a);
+float Max(const Tensor& a);
+float Min(const Tensor& a);
+
+/// L2 norm of the flattened tensor.
+float Norm2(const Tensor& a);
+
+/// Squared L2 distance between two same-shaped tensors.
+float SquaredDistance(const Tensor& a, const Tensor& b);
+
+/// Row-wise (axis-0) statistics of a rank-2 tensor [n, f]: returns a
+/// rank-1 tensor of length f.
+Tensor ColumnMean(const Tensor& a);
+/// Population standard deviation per column (divides by n, matching the
+/// paper's SD[f] over a mini-batch).
+Tensor ColumnStd(const Tensor& a);
+
+/// Transpose of a rank-2 tensor.
+Tensor Transpose2D(const Tensor& a);
+
+/// Concatenates rank-2 tensors with equal column counts along axis 0.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Extracts rows [begin, end) of a rank-2 tensor.
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
+
+}  // namespace ops
+}  // namespace tablegan
+
+#endif  // TABLEGAN_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+namespace tablegan {
+namespace bench {
+namespace {
+
+data::Table MonotoneTable(int64_t rows) {
+  data::Schema schema({
+      {"q", data::ColumnType::kDiscrete,
+       data::ColumnRole::kQuasiIdentifier, {}},
+      {"v", data::ColumnType::kContinuous, data::ColumnRole::kSensitive, {}},
+      {"y", data::ColumnType::kDiscrete, data::ColumnRole::kLabel, {}},
+  });
+  data::Table t(schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    t.AppendRow({static_cast<double>(i % 7), static_cast<double>(i),
+                 i > rows / 2 ? 1.0 : 0.0});
+  }
+  return t;
+}
+
+TEST(BenchUtilTest, ColumnCdfIsMonotoneFromZeroishToOne) {
+  data::Table t = MonotoneTable(100);
+  const std::vector<double> cdf = ColumnCdf(t, 1, 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_LE(cdf.front(), 0.05);
+  EXPECT_EQ(cdf.back(), 1.0);
+}
+
+TEST(BenchUtilTest, KsDistanceProperties) {
+  const std::vector<double> a{0.1, 0.5, 0.9};
+  const std::vector<double> b{0.2, 0.4, 1.0};
+  EXPECT_EQ(KsDistance(a, a), 0.0);
+  EXPECT_NEAR(KsDistance(a, b), 0.1, 1e-12);
+  EXPECT_EQ(KsDistance(a, b), KsDistance(b, a));
+}
+
+TEST(BenchUtilTest, UniformCdfForUniformColumn) {
+  data::Table t = MonotoneTable(1000);
+  const std::vector<double> cdf = ColumnCdf(t, 1, 11);
+  for (int p = 0; p < 11; ++p) {
+    EXPECT_NEAR(cdf[static_cast<size_t>(p)], p / 10.0, 0.02);
+  }
+}
+
+TEST(BenchUtilTest, DefaultFractionsAreSane) {
+  for (const std::string& name : data::DatasetNames()) {
+    const double f = DefaultFraction(name);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(BenchUtilTest, CompatPointsOnIdenticalTablesSitOnDiagonal) {
+  // released == original => every (x, y) pair must be exactly equal
+  // (training is deterministic given the spec's internal seeds).
+  data::Table t = MonotoneTable(200);
+  data::Table test = MonotoneTable(60);
+  auto points = ClassificationCompat(t, t, test, /*label_col=*/2,
+                                     /*drop_col=*/-1);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  ASSERT_EQ(points->size(), 40u);
+  EXPECT_EQ(MeanDiagonalGap(*points), 0.0);
+}
+
+TEST(BenchUtilTest, RegressionCompatRunsOnLinearTarget) {
+  data::Table t = MonotoneTable(200);
+  data::Table test = MonotoneTable(60);
+  auto points = RegressionCompat(t, t, test, /*regression_col=*/1,
+                                 /*label_col=*/2);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 40u);
+  EXPECT_EQ(MeanDiagonalGap(*points), 0.0);
+  for (const auto& p : *points) {
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.y));
+  }
+}
+
+TEST(BenchUtilTest, FormatDoubleRounds) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tablegan

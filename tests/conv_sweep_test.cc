@@ -1,0 +1,120 @@
+// Property-style sweep over convolution geometries: forward shapes,
+// gradient correctness, and conv/transposed-conv adjointness across
+// kernel/stride/padding/channel combinations (TEST_P per paper
+// architecture building block).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/init.h"
+#include "test_util.h"
+
+namespace tablegan {
+namespace {
+
+// (in_channels, out_channels, kernel, stride, padding, in_h)
+using ConvGeom = std::tuple<int, int, int, int, int, int>;
+
+class ConvSweepTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(ConvSweepTest, ForwardShapeMatchesFormula) {
+  const auto [ic, oc, k, s, p, h] = GetParam();
+  Rng rng(1);
+  nn::Conv2d conv(ic, oc, k, s, p);
+  nn::DcganInitialize(&conv, &rng);
+  Tensor x = Tensor::Uniform({2, ic, h, h}, -1, 1, &rng);
+  Tensor y = conv.Forward(x, true);
+  const int64_t expected = (h + 2 * p - k) / s + 1;
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, oc, expected, expected}));
+}
+
+TEST_P(ConvSweepTest, GradientsMatchFiniteDifferences) {
+  const auto [ic, oc, k, s, p, h] = GetParam();
+  Rng rng(2);
+  nn::Conv2d conv(ic, oc, k, s, p);
+  nn::DcganInitialize(&conv, &rng);
+  for (int64_t i = 0; i < conv.weight().size(); ++i) {
+    conv.weight()[i] *= 10.0f;  // lift gradients above fp noise
+  }
+  testing_util::GradCheckLayer(
+      &conv, Tensor::Uniform({2, ic, h, h}, -1, 1, &rng), 1e-2, 5e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvSweepTest,
+    ::testing::Values(ConvGeom{1, 2, 3, 1, 0, 5},   // valid conv
+                      ConvGeom{1, 2, 3, 1, 1, 5},   // same conv
+                      ConvGeom{2, 3, 4, 2, 1, 8},   // DCGAN block
+                      ConvGeom{3, 2, 2, 2, 0, 4},   // non-overlapping
+                      ConvGeom{1, 4, 5, 1, 2, 6},   // big kernel
+                      ConvGeom{2, 2, 1, 1, 0, 3},   // 1x1 conv
+                      ConvGeom{1, 3, 4, 4, 0, 8},   // stride = kernel
+                      ConvGeom{4, 1, 3, 2, 1, 7})); // odd size
+
+class DeconvSweepTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(DeconvSweepTest, ForwardShapeMatchesFormula) {
+  const auto [ic, oc, k, s, p, h] = GetParam();
+  Rng rng(3);
+  nn::ConvTranspose2d deconv(ic, oc, k, s, p);
+  nn::DcganInitialize(&deconv, &rng);
+  Tensor x = Tensor::Uniform({2, ic, h, h}, -1, 1, &rng);
+  Tensor y = deconv.Forward(x, true);
+  const int64_t expected = (h - 1) * s - 2 * p + k;
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, oc, expected, expected}));
+}
+
+TEST_P(DeconvSweepTest, GradientsMatchFiniteDifferences) {
+  const auto [ic, oc, k, s, p, h] = GetParam();
+  Rng rng(4);
+  nn::ConvTranspose2d deconv(ic, oc, k, s, p);
+  nn::DcganInitialize(&deconv, &rng);
+  for (int64_t i = 0; i < deconv.weight().size(); ++i) {
+    deconv.weight()[i] *= 10.0f;
+  }
+  testing_util::GradCheckLayer(
+      &deconv, Tensor::Uniform({2, ic, h, h}, -1, 1, &rng), 1e-2, 5e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DeconvSweepTest,
+    ::testing::Values(ConvGeom{2, 1, 4, 2, 1, 2},   // DCGAN upsample
+                      ConvGeom{1, 2, 4, 2, 1, 4},
+                      ConvGeom{3, 2, 3, 1, 1, 5},   // same-size deconv
+                      ConvGeom{2, 3, 2, 2, 0, 3},   // exact doubling
+                      ConvGeom{1, 1, 3, 3, 0, 2},   // stride 3
+                      ConvGeom{4, 2, 5, 1, 2, 4})); // big kernel
+
+TEST(ConvAdjointTest, DeconvForwardIsConvBackwardData) {
+  // For matching weights, ConvTranspose2d::Forward must equal the data
+  // gradient of Conv2d with the same geometry: <conv(x), y> = <x, deconv(y)>.
+  Rng rng(5);
+  const int ic = 3, oc = 2, k = 4, s = 2, p = 1, h = 8;
+  nn::Conv2d conv(ic, oc, k, s, p, /*bias=*/false);
+  nn::DcganInitialize(&conv, &rng);
+  nn::ConvTranspose2d deconv(oc, ic, k, s, p, /*bias=*/false);
+  // deconv.weight is [oc, ic*k*k]; conv.weight is [oc, ic*k*k]: identical
+  // layout under our conventions.
+  for (int64_t i = 0; i < conv.weight().size(); ++i) {
+    deconv.weight()[i] = conv.weight()[i];
+  }
+  Tensor x = Tensor::Uniform({1, ic, h, h}, -1, 1, &rng);
+  Tensor cx = conv.Forward(x, true);
+  Tensor y = Tensor::Uniform(cx.shape(), -1, 1, &rng);
+  Tensor dy = deconv.Forward(y, true);
+  ASSERT_EQ(dy.shape(), x.shape());
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < cx.size(); ++i) {
+    lhs += static_cast<double>(cx[i]) * y[i];
+  }
+  for (int64_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * dy[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::fabs(lhs)));
+}
+
+}  // namespace
+}  // namespace tablegan

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "data/csv.h"
+#include "data/normalizer.h"
+#include "data/record_matrix.h"
+#include "data/schema.h"
+#include "data/split.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace data {
+namespace {
+
+Schema TinySchema() {
+  return Schema({
+      {"age", ColumnType::kDiscrete, ColumnRole::kQuasiIdentifier, {}},
+      {"color", ColumnType::kCategorical, ColumnRole::kSensitive,
+       {"red", "green", "blue"}},
+      {"salary", ColumnType::kContinuous, ColumnRole::kSensitive, {}},
+      {"label", ColumnType::kDiscrete, ColumnRole::kLabel, {}},
+  });
+}
+
+Table TinyTable() {
+  Table t(TinySchema());
+  t.AppendRow({25, 0, 1000.5, 0});
+  t.AppendRow({30, 1, 2000.25, 1});
+  t.AppendRow({35, 2, 1500.0, 0});
+  t.AppendRow({40, 1, 3000.75, 1});
+  return t;
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TinySchema();
+  EXPECT_EQ(*s.FindColumn("salary"), 2);
+  EXPECT_FALSE(s.FindColumn("nope").ok());
+}
+
+TEST(SchemaTest, ColumnsWithRole) {
+  Schema s = TinySchema();
+  EXPECT_EQ(s.ColumnsWithRole(ColumnRole::kQuasiIdentifier),
+            (std::vector<int>{0}));
+  EXPECT_EQ(s.ColumnsWithRole(ColumnRole::kSensitive),
+            (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.ColumnsWithRole(ColumnRole::kLabel), (std::vector<int>{3}));
+}
+
+TEST(SchemaTest, Equals) {
+  EXPECT_TRUE(TinySchema().Equals(TinySchema()));
+  Schema other = TinySchema();
+  other.AddColumn({"x", ColumnType::kDiscrete, ColumnRole::kSensitive, {}});
+  EXPECT_FALSE(TinySchema().Equals(other));
+}
+
+TEST(TableTest, RowAccessors) {
+  Table t = TinyTable();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.Get(1, 2), 2000.25);
+  t.Set(1, 2, 9.0);
+  EXPECT_EQ(t.Get(1, 2), 9.0);
+  EXPECT_EQ(t.Row(0), (std::vector<double>{25, 0, 1000.5, 0}));
+}
+
+TEST(TableTest, SelectRowsAndColumns) {
+  Table t = TinyTable();
+  Table sub = t.SelectRows({3, 1});
+  EXPECT_EQ(sub.num_rows(), 2);
+  EXPECT_EQ(sub.Get(0, 0), 40);
+  EXPECT_EQ(sub.Get(1, 0), 30);
+  auto cols = t.SelectColumns({2, 0});
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->num_columns(), 2);
+  EXPECT_EQ(cols->schema().column(0).name, "salary");
+  EXPECT_EQ(cols->Get(2, 1), 35);
+  EXPECT_FALSE(t.SelectColumns({9}).ok());
+}
+
+TEST(TableTest, ConcatRows) {
+  Table t = TinyTable();
+  auto cat = Table::ConcatRows({t, t});
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat->num_rows(), 8);
+  EXPECT_EQ(cat->Get(7, 0), 40);
+}
+
+TEST(TableTest, ConcatRowsRejectsSchemaMismatch) {
+  Table t = TinyTable();
+  Schema other({{"x", ColumnType::kDiscrete, ColumnRole::kSensitive, {}}});
+  EXPECT_FALSE(Table::ConcatRows({t, Table(other)}).ok());
+}
+
+TEST(CsvTest, RoundTrips) {
+  const std::string path = ::testing::TempDir() + "/tablegan_csv_test.csv";
+  Table t = TinyTable();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(TinySchema(), path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 4);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(back->Get(r, c), t.Get(r, c), 1e-9) << r << "," << c;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsBadHeader) {
+  const std::string path = ::testing::TempDir() + "/tablegan_csv_bad.csv";
+  Table t = TinyTable();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  Schema wrong({{"zzz", ColumnType::kDiscrete, ColumnRole::kSensitive, {}}});
+  EXPECT_FALSE(ReadCsv(wrong, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(NormalizerTest, TransformsToUnitRange) {
+  Table t = TinyTable();
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  for (int64_t i = 0; i < enc->size(); ++i) {
+    EXPECT_GE((*enc)[i], -1.0f);
+    EXPECT_LE((*enc)[i], 1.0f);
+  }
+  // Column extremes map to exactly -1 / +1.
+  EXPECT_FLOAT_EQ(enc->at2(0, 0), -1.0f);  // age 25 is the min
+  EXPECT_FLOAT_EQ(enc->at2(3, 0), 1.0f);   // age 40 is the max
+}
+
+TEST(NormalizerTest, RoundTripsExactlyOnFittedData) {
+  Table t = TinyTable();
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  auto back = norm.InverseTransform(*enc, t.schema());
+  ASSERT_TRUE(back.ok());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_columns(); ++c) {
+      EXPECT_NEAR(back->Get(r, c), t.Get(r, c), 1e-3)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(NormalizerTest, InverseRoundsDiscreteAndClamps) {
+  Table t = TinyTable();
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  Tensor enc({1, 4});
+  enc.at2(0, 0) = 0.8f;    // between discrete levels -> rounded
+  enc.at2(0, 1) = 2.0f;    // out of range -> clamped to max level
+  enc.at2(0, 2) = -1.5f;   // clamped to min
+  enc.at2(0, 3) = -0.9f;
+  auto back = norm.InverseTransform(enc, t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Get(0, 0), std::round(25.0 + 0.9 * 15.0 / 1.0));
+  EXPECT_EQ(back->Get(0, 1), 2.0);       // max color level
+  EXPECT_EQ(back->Get(0, 2), 1000.5);    // min salary
+  EXPECT_EQ(back->Get(0, 3), 0.0);
+}
+
+TEST(NormalizerTest, ConstantColumnMapsToZero) {
+  Schema s({{"c", ColumnType::kContinuous, ColumnRole::kSensitive, {}}});
+  Table t(s);
+  t.AppendRow({7.0});
+  t.AppendRow({7.0});
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ((*enc)[0], 0.0f);
+  auto back = norm.InverseTransform(*enc, s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Get(0, 0), 7.0);
+}
+
+TEST(NormalizerTest, NormalizeRowMatchesTransform) {
+  Table t = TinyTable();
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  const std::vector<double> row = norm.NormalizeRow(t.Row(2));
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(row[static_cast<size_t>(c)], enc->at2(2, c), 1e-6);
+  }
+}
+
+class CodecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecTest, RoundTripsThroughMatrices) {
+  const int attrs = GetParam();
+  const int side = RecordMatrixCodec::ChooseSide(attrs);
+  RecordMatrixCodec codec(attrs, side);
+  Rng rng(static_cast<uint64_t>(attrs));
+  Tensor records = Tensor::Uniform({5, attrs}, -1.0f, 1.0f, &rng);
+  auto mats = codec.ToMatrices(records);
+  ASSERT_TRUE(mats.ok());
+  EXPECT_EQ(mats->shape(),
+            (std::vector<int64_t>{5, 1, side, side}));
+  // Padding cells are zero.
+  for (int64_t i = attrs; i < side * side; ++i) {
+    EXPECT_EQ((*mats)[i], 0.0f);
+  }
+  auto back = codec.FromMatrices(*mats);
+  ASSERT_TRUE(back.ok());
+  for (int64_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i], records[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AttributeCounts, CodecTest,
+                         ::testing::Values(1, 4, 15, 16, 17, 24, 33, 64,
+                                           100, 256));
+
+TEST(CodecTest, ChooseSidePowersOfTwo) {
+  EXPECT_EQ(RecordMatrixCodec::ChooseSide(1), 4);
+  EXPECT_EQ(RecordMatrixCodec::ChooseSide(16), 4);
+  EXPECT_EQ(RecordMatrixCodec::ChooseSide(17), 8);
+  EXPECT_EQ(RecordMatrixCodec::ChooseSide(64), 8);
+  EXPECT_EQ(RecordMatrixCodec::ChooseSide(65), 16);
+  EXPECT_EQ(RecordMatrixCodec::ChooseSide(256), 16);
+}
+
+TEST(SplitTest, TrainTestProportions) {
+  Table t(TinySchema());
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({static_cast<double>(i), 0, static_cast<double>(i), 0});
+  }
+  Rng rng(3);
+  TrainTestSplit split = SplitTrainTest(t, 0.2, &rng);
+  EXPECT_EQ(split.test.num_rows(), 20);
+  EXPECT_EQ(split.train.num_rows(), 80);
+  // Disjoint and covering.
+  std::set<double> seen;
+  for (int64_t r = 0; r < split.train.num_rows(); ++r) {
+    seen.insert(split.train.Get(r, 0));
+  }
+  for (int64_t r = 0; r < split.test.num_rows(); ++r) {
+    EXPECT_EQ(seen.count(split.test.Get(r, 0)), 0u);
+    seen.insert(split.test.Get(r, 0));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SplitTest, ChunksCoverTable) {
+  Table t(TinySchema());
+  for (int i = 0; i < 10; ++i) {
+    t.AppendRow({static_cast<double>(i), 0, 0, 0});
+  }
+  std::vector<Table> chunks = SplitChunks(t, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  int64_t total = 0;
+  for (const auto& c : chunks) total += c.num_rows();
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(chunks[0].Get(0, 0), 0.0);
+  EXPECT_EQ(chunks[2].Get(chunks[2].num_rows() - 1, 0), 9.0);
+}
+
+TEST(SplitTest, MoreChunksThanRowsClamps) {
+  Table t(TinySchema());
+  t.AppendRow({1, 0, 0, 0});
+  t.AppendRow({2, 0, 0, 0});
+  std::vector<Table> chunks = SplitChunks(t, 10);
+  EXPECT_EQ(chunks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace tablegan

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "data/datasets.h"
+
+namespace tablegan {
+namespace data {
+namespace {
+
+// Paper Table 3: (#QIDs, #sensitive) per dataset.
+struct TableThreeRow {
+  const char* name;
+  int qids;
+  int sensitive;
+  int64_t paper_rows;
+  int64_t paper_test_rows;
+};
+
+class DatasetTest : public ::testing::TestWithParam<TableThreeRow> {};
+
+TEST_P(DatasetTest, MatchesPaperTableThreeStructure) {
+  const TableThreeRow row = GetParam();
+  auto ds = MakeDataset(row.name, /*scale=*/0.02, /*seed=*/7);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  const Schema& schema = ds->train.schema();
+  EXPECT_EQ(static_cast<int>(
+                schema.ColumnsWithRole(ColumnRole::kQuasiIdentifier).size()),
+            row.qids);
+  EXPECT_EQ(static_cast<int>(
+                schema.ColumnsWithRole(ColumnRole::kSensitive).size()),
+            row.sensitive);
+  EXPECT_EQ(schema.ColumnsWithRole(ColumnRole::kLabel).size(), 1u);
+  EXPECT_EQ(*PaperRowCount(row.name), row.paper_rows);
+  EXPECT_EQ(*PaperTestRowCount(row.name), row.paper_test_rows);
+}
+
+TEST_P(DatasetTest, LabelIsBinaryAndRoughlyBalanced) {
+  const TableThreeRow row = GetParam();
+  auto ds = MakeDataset(row.name, 0.05, 11);
+  ASSERT_TRUE(ds.ok());
+  int64_t positives = 0;
+  for (int64_t r = 0; r < ds->train.num_rows(); ++r) {
+    const double v = ds->train.Get(r, ds->label_col);
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+    if (v == 1.0) ++positives;
+  }
+  const double frac =
+      static_cast<double>(positives) / static_cast<double>(ds->train.num_rows());
+  EXPECT_GT(frac, 0.1);
+  EXPECT_LT(frac, 0.9);
+}
+
+TEST_P(DatasetTest, TrainAndTestShareSchema) {
+  const TableThreeRow row = GetParam();
+  auto ds = MakeDataset(row.name, 0.02, 13);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->train.schema().Equals(ds->test.schema()));
+  EXPECT_GT(ds->test.num_rows(), 0);
+}
+
+TEST_P(DatasetTest, DeterministicForSeed) {
+  const TableThreeRow row = GetParam();
+  auto a = MakeDataset(row.name, 0.01, 21);
+  auto b = MakeDataset(row.name, 0.01, 21);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->train.num_rows(), b->train.num_rows());
+  for (int64_t r = 0; r < a->train.num_rows(); ++r) {
+    for (int c = 0; c < a->train.num_columns(); ++c) {
+      EXPECT_EQ(a->train.Get(r, c), b->train.Get(r, c));
+    }
+  }
+}
+
+TEST_P(DatasetTest, CategoricalColumnsStayWithinLevels) {
+  const TableThreeRow row = GetParam();
+  auto ds = MakeDataset(row.name, 0.02, 17);
+  ASSERT_TRUE(ds.ok());
+  const Schema& schema = ds->train.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type != ColumnType::kCategorical) continue;
+    for (int64_t r = 0; r < ds->train.num_rows(); ++r) {
+      const double v = ds->train.Get(r, c);
+      EXPECT_EQ(v, std::floor(v));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, schema.column(c).num_categories());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, DatasetTest,
+    ::testing::Values(TableThreeRow{"lacity", 2, 21, 15000, 3000},
+                      TableThreeRow{"adult", 5, 9, 32561, 16281},
+                      TableThreeRow{"health", 4, 28, 9813, 1963},
+                      TableThreeRow{"airline", 2, 30, 1000000, 200000}),
+    [](const ::testing::TestParamInfo<TableThreeRow>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(DatasetRegistryTest, RejectsUnknownNameAndBadScale) {
+  EXPECT_FALSE(MakeDataset("mnist", 0.1, 1).ok());
+  EXPECT_FALSE(MakeDataset("adult", 0.0, 1).ok());
+  EXPECT_FALSE(MakeDataset("adult", 1.5, 1).ok());
+}
+
+TEST(DatasetRegistryTest, NamesListsAllFour) {
+  const auto names = DatasetNames();
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+            (std::set<std::string>{"lacity", "adult", "health", "airline"}));
+}
+
+TEST(DatasetSemanticsTest, LaCitySalaryCorrelatesWithQuarters) {
+  auto ds = MakeDataset("lacity", 0.05, 3);
+  ASSERT_TRUE(ds.ok());
+  const Schema& schema = ds->train.schema();
+  const int base = *schema.FindColumn("base_salary");
+  const int q1 = *schema.FindColumn("q1_payment");
+  double sum_b = 0, sum_q = 0, sum_bb = 0, sum_qq = 0, sum_bq = 0;
+  const auto n = static_cast<double>(ds->train.num_rows());
+  for (int64_t r = 0; r < ds->train.num_rows(); ++r) {
+    const double b = ds->train.Get(r, base);
+    const double q = ds->train.Get(r, q1);
+    sum_b += b;
+    sum_q += q;
+    sum_bb += b * b;
+    sum_qq += q * q;
+    sum_bq += b * q;
+  }
+  const double cov = sum_bq / n - (sum_b / n) * (sum_q / n);
+  const double var_b = sum_bb / n - (sum_b / n) * (sum_b / n);
+  const double var_q = sum_qq / n - (sum_q / n) * (sum_q / n);
+  const double corr = cov / std::sqrt(var_b * var_q);
+  EXPECT_GT(corr, 0.8);  // quarterly payments track base salary
+}
+
+TEST(DatasetSemanticsTest, HealthDiabetesCorrelatesWithGlucose) {
+  auto ds = MakeDataset("health", 0.1, 5);
+  ASSERT_TRUE(ds.ok());
+  const int glucose = *ds->train.schema().FindColumn("glucose");
+  double mean_pos = 0, mean_neg = 0;
+  int64_t n_pos = 0, n_neg = 0;
+  for (int64_t r = 0; r < ds->train.num_rows(); ++r) {
+    if (ds->train.Get(r, ds->label_col) > 0.5) {
+      mean_pos += ds->train.Get(r, glucose);
+      ++n_pos;
+    } else {
+      mean_neg += ds->train.Get(r, glucose);
+      ++n_neg;
+    }
+  }
+  ASSERT_GT(n_pos, 0);
+  ASSERT_GT(n_neg, 0);
+  EXPECT_GT(mean_pos / n_pos, mean_neg / n_neg + 10.0);
+}
+
+TEST(DatasetSemanticsTest, AirlineFareGrowsWithDistance) {
+  auto ds = MakeDataset("airline", 0.001, 9);
+  ASSERT_TRUE(ds.ok());
+  const int dist = *ds->train.schema().FindColumn("distance_miles");
+  const int fare = *ds->train.schema().FindColumn("itin_fare");
+  // Rank correlation proxy: fare mean in the top distance quartile beats
+  // the bottom quartile.
+  std::vector<std::pair<double, double>> pairs;
+  for (int64_t r = 0; r < ds->train.num_rows(); ++r) {
+    pairs.emplace_back(ds->train.Get(r, dist), ds->train.Get(r, fare));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  const size_t q = pairs.size() / 4;
+  double low = 0, high = 0;
+  for (size_t i = 0; i < q; ++i) low += pairs[i].second;
+  for (size_t i = pairs.size() - q; i < pairs.size(); ++i) {
+    high += pairs[i].second;
+  }
+  EXPECT_GT(high / q, low / q * 1.3);
+}
+
+TEST(DatasetSemanticsTest, RegressionTargetsConfigured) {
+  EXPECT_GE(MakeDataset("lacity", 0.01, 1)->regression_col, 0);
+  EXPECT_GE(MakeDataset("adult", 0.01, 1)->regression_col, 0);
+  EXPECT_GE(MakeDataset("airline", 0.001, 1)->regression_col, 0);
+  EXPECT_EQ(MakeDataset("health", 0.01, 1)->regression_col, -1);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace tablegan

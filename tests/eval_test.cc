@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "eval/fidelity.h"
+
+namespace tablegan {
+namespace eval {
+namespace {
+
+data::Schema TwoColSchema() {
+  return data::Schema({
+      {"x", data::ColumnType::kContinuous, data::ColumnRole::kSensitive, {}},
+      {"k", data::ColumnType::kDiscrete, data::ColumnRole::kSensitive, {}},
+  });
+}
+
+data::Table GaussianTable(int64_t rows, double mean, double rho,
+                          uint64_t seed) {
+  // Column k is positively correlated with x when rho > 0.
+  data::Table t(TwoColSchema());
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    const double x = rng.Gaussian(mean, 1.0);
+    const double noise = rng.Gaussian(0.0, 1.0);
+    const double k = std::round(3.0 * (rho * x + (1.0 - rho) * noise));
+    t.AppendRow({x, k});
+  }
+  return t;
+}
+
+TEST(KsTest, ZeroForIdenticalColumns) {
+  data::Table t = GaussianTable(200, 0.0, 0.5, 1);
+  auto ks = ColumnKsDistance(t, t, 0);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(*ks, 0.0);
+}
+
+TEST(KsTest, DetectsMeanShift) {
+  data::Table a = GaussianTable(500, 0.0, 0.0, 2);
+  data::Table b = GaussianTable(500, 3.0, 0.0, 3);
+  auto ks = ColumnKsDistance(a, b, 0);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_GT(*ks, 0.7);  // 3-sigma shift separates CDFs strongly
+}
+
+TEST(KsTest, SmallForSameDistribution) {
+  data::Table a = GaussianTable(2000, 0.0, 0.0, 4);
+  data::Table b = GaussianTable(2000, 0.0, 0.0, 5);
+  auto ks = ColumnKsDistance(a, b, 0);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_LT(*ks, 0.08);
+}
+
+TEST(KsTest, BoundedByOne) {
+  data::Table a = GaussianTable(50, -100.0, 0.0, 6);
+  data::Table b = GaussianTable(50, 100.0, 0.0, 7);
+  auto ks = ColumnKsDistance(a, b, 0);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_NEAR(*ks, 1.0, 1e-12);
+}
+
+TEST(TvTest, ZeroForIdenticalAndOneForDisjoint) {
+  data::Table a(TwoColSchema());
+  data::Table b(TwoColSchema());
+  for (int i = 0; i < 10; ++i) {
+    a.AppendRow({0.0, static_cast<double>(i % 3)});
+    b.AppendRow({0.0, static_cast<double>(i % 3 + 10)});
+  }
+  EXPECT_EQ(*ColumnTvDistance(a, a, 1), 0.0);
+  EXPECT_NEAR(*ColumnTvDistance(a, b, 1), 1.0, 1e-12);
+}
+
+TEST(TvTest, HalfForHalfOverlap) {
+  data::Table a(TwoColSchema());
+  data::Table b(TwoColSchema());
+  for (int i = 0; i < 100; ++i) {
+    a.AppendRow({0.0, i < 50 ? 0.0 : 1.0});
+    b.AppendRow({0.0, i < 50 ? 0.0 : 2.0});
+  }
+  EXPECT_NEAR(*ColumnTvDistance(a, b, 1), 0.5, 1e-12);
+}
+
+TEST(JsDivergenceTest, ZeroForIdenticalColumns) {
+  data::Table t = GaussianTable(300, 0.0, 0.5, 30);
+  auto js = ColumnJsDivergence(t, t, 0);
+  ASSERT_TRUE(js.ok());
+  EXPECT_NEAR(*js, 0.0, 1e-12);
+}
+
+TEST(JsDivergenceTest, OneForDisjointSupports) {
+  data::Table a = GaussianTable(300, -50.0, 0.0, 31);
+  data::Table b = GaussianTable(300, 50.0, 0.0, 32);
+  auto js = ColumnJsDivergence(a, b, 0);
+  ASSERT_TRUE(js.ok());
+  EXPECT_GT(*js, 0.95);
+  EXPECT_LE(*js, 1.0 + 1e-9);
+}
+
+TEST(JsDivergenceTest, MonotoneInMeanShift) {
+  data::Table base = GaussianTable(600, 0.0, 0.0, 33);
+  data::Table near = GaussianTable(600, 0.5, 0.0, 34);
+  data::Table far = GaussianTable(600, 3.0, 0.0, 35);
+  auto js_near = ColumnJsDivergence(base, near, 0);
+  auto js_far = ColumnJsDivergence(base, far, 0);
+  ASSERT_TRUE(js_near.ok() && js_far.ok());
+  EXPECT_LT(*js_near, *js_far);
+}
+
+TEST(JsDivergenceTest, RejectsBadBins) {
+  data::Table t = GaussianTable(50, 0.0, 0.0, 36);
+  EXPECT_FALSE(ColumnJsDivergence(t, t, 0, 1).ok());
+}
+
+TEST(CorrelationDifferenceTest, ZeroForSameTable) {
+  data::Table t = GaussianTable(300, 0.0, 0.8, 8);
+  auto diff = CorrelationDifference(t, t);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0.0);
+}
+
+TEST(CorrelationDifferenceTest, DetectsBrokenCorrelation) {
+  data::Table correlated = GaussianTable(1000, 0.0, 0.9, 9);
+  data::Table independent = GaussianTable(1000, 0.0, 0.0, 10);
+  auto diff = CorrelationDifference(correlated, independent);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_GT(*diff, 0.4);
+}
+
+TEST(CorrelationDifferenceTest, ConstantColumnsContributeZero) {
+  data::Table a(TwoColSchema());
+  data::Table b(TwoColSchema());
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    a.AppendRow({rng.Gaussian(0, 1), 7.0});
+    b.AppendRow({rng.Gaussian(0, 1), 7.0});
+  }
+  auto diff = CorrelationDifference(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0.0);
+}
+
+TEST(PmseTest, NearZeroForSameDistribution) {
+  data::Table a = GaussianTable(400, 0.0, 0.5, 12);
+  data::Table b = GaussianTable(400, 0.0, 0.5, 13);
+  auto pmse = PropensityMse(a, b);
+  ASSERT_TRUE(pmse.ok());
+  EXPECT_LT(*pmse, 0.02);
+}
+
+TEST(PmseTest, LargeForSeparableTables) {
+  data::Table a = GaussianTable(400, -4.0, 0.0, 14);
+  data::Table b = GaussianTable(400, 4.0, 0.0, 15);
+  auto pmse = PropensityMse(a, b);
+  ASSERT_TRUE(pmse.ok());
+  EXPECT_GT(*pmse, 0.2);  // near the 0.25 ceiling
+}
+
+TEST(PmseTest, RejectsSchemaMismatch) {
+  data::Table a = GaussianTable(20, 0.0, 0.0, 16);
+  data::Schema other({{"z", data::ColumnType::kContinuous,
+                       data::ColumnRole::kSensitive, {}}});
+  data::Table b(other);
+  b.AppendRow({0.0});
+  EXPECT_FALSE(PropensityMse(a, b).ok());
+}
+
+TEST(FidelityReportTest, AggregatesAllMetrics) {
+  data::Table a = GaussianTable(300, 0.0, 0.6, 17);
+  data::Table b = GaussianTable(300, 0.5, 0.6, 18);
+  auto report = EvaluateFidelity(a, b);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->columns.size(), 2u);
+  EXPECT_EQ(report->columns[0].name, "x");
+  EXPECT_GT(report->columns[0].ks, 0.0);
+  EXPECT_EQ(report->columns[0].tv, 0.0);   // continuous: TV not computed
+  EXPECT_GT(report->columns[1].tv, 0.0);   // discrete column has TV
+  EXPECT_GE(report->worst_ks, report->mean_ks);
+  EXPECT_GE(report->pmse, 0.0);
+  EXPECT_LE(report->pmse, 0.25 + 1e-9);
+}
+
+TEST(FidelityReportTest, IdenticalTablesScoreZeroish) {
+  data::Table t = GaussianTable(200, 0.0, 0.5, 19);
+  auto report = EvaluateFidelity(t, t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->mean_ks, 0.0);
+  EXPECT_EQ(report->correlation_difference, 0.0);
+  EXPECT_LT(report->pmse, 0.01);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace tablegan

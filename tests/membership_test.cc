@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/membership_attack.h"
+#include "core/table_gan.h"
+#include "data/datasets.h"
+#include "data/split.h"
+
+namespace tablegan {
+namespace core {
+namespace {
+
+data::Table TwoClusterTable(int64_t rows, uint64_t seed) {
+  data::Schema schema({
+      {"q", data::ColumnType::kDiscrete,
+       data::ColumnRole::kQuasiIdentifier, {}},
+      {"a", data::ColumnType::kContinuous, data::ColumnRole::kSensitive, {}},
+      {"b", data::ColumnType::kContinuous, data::ColumnRole::kSensitive, {}},
+      {"y", data::ColumnType::kDiscrete, data::ColumnRole::kLabel, {}},
+  });
+  data::Table t(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    const bool pos = rng.NextBool(0.5);
+    const double c = pos ? 2.0 : -2.0;
+    t.AppendRow({static_cast<double>(rng.UniformInt(0, 9)),
+                 rng.Gaussian(c, 1.0), rng.Gaussian(-c, 1.0),
+                 pos ? 1.0 : 0.0});
+  }
+  return t;
+}
+
+TableGanOptions FastOptions() {
+  TableGanOptions o;
+  o.base_channels = 8;
+  o.epochs = 3;
+  o.batch_size = 32;
+  o.latent_dim = 16;
+  return o;
+}
+
+TEST(MembershipAttackTest, RejectsUnfittedTargetOrTinyTestSet) {
+  TableGan gan(FastOptions());
+  data::Table train = TwoClusterTable(64, 1);
+  data::Table test = TwoClusterTable(64, 2);
+  MembershipAttackOptions options;
+  options.shadow_options = FastOptions();
+  EXPECT_FALSE(
+      RunMembershipAttack(&gan, train, test, 3, options).ok());
+  ASSERT_TRUE(gan.Fit(train, 3).ok());
+  data::Table tiny = TwoClusterTable(10, 3);
+  EXPECT_FALSE(RunMembershipAttack(&gan, train, tiny, 3, options).ok());
+}
+
+TEST(MembershipAttackTest, EndToEndProducesValidScores) {
+  data::Table train = TwoClusterTable(192, 4);
+  data::Table test = TwoClusterTable(128, 5);
+  TableGan gan(FastOptions());
+  ASSERT_TRUE(gan.Fit(train, 3).ok());
+
+  MembershipAttackOptions options;
+  options.num_shadow_gans = 1;
+  options.shadow_table_rows = 128;
+  options.shadow_options = FastOptions();
+  options.eval_records_per_side = 50;
+  auto result = RunMembershipAttack(&gan, train, test, 3, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->f1, 0.0);
+  EXPECT_LE(result->f1, 1.0);
+  EXPECT_GE(result->auc_roc, 0.0);
+  EXPECT_LE(result->auc_roc, 1.0);
+}
+
+TEST(MembershipAttackTest, DeterministicForFixedSeeds) {
+  data::Table train = TwoClusterTable(128, 6);
+  data::Table test = TwoClusterTable(96, 7);
+  auto run = [&]() {
+    TableGan gan(FastOptions());
+    EXPECT_TRUE(gan.Fit(train, 3).ok());
+    MembershipAttackOptions options;
+    options.num_shadow_gans = 1;
+    options.shadow_table_rows = 96;
+    options.shadow_options = FastOptions();
+    options.eval_records_per_side = 40;
+    auto result = RunMembershipAttack(&gan, train, test, 3, options);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  const MembershipAttackResult a = run();
+  const MembershipAttackResult b = run();
+  EXPECT_EQ(a.f1, b.f1);
+  EXPECT_EQ(a.auc_roc, b.auc_roc);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tablegan

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/logistic.h"
+#include "ml/metrics.h"
+
+namespace tablegan {
+namespace ml {
+namespace {
+
+MlData BlobData(int64_t n, uint64_t seed, double gap = 2.0) {
+  Rng rng(seed);
+  MlData d;
+  for (int64_t i = 0; i < n; ++i) {
+    const bool pos = rng.NextBool(0.5);
+    const double cx = pos ? gap : -gap;
+    d.x.push_back({rng.Gaussian(cx, 1.0), rng.Gaussian(-cx, 1.0),
+                   rng.Uniform(-1, 1)});
+    d.y.push_back(pos ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+std::vector<int> TrueLabels(const MlData& d) {
+  std::vector<int> out;
+  for (double y : d.y) out.push_back(y > 0.5 ? 1 : 0);
+  return out;
+}
+
+TEST(LogisticTest, LearnsSeparableBlobs) {
+  LogisticRegressionClassifier model;
+  MlData train = BlobData(400, 1);
+  MlData test = BlobData(200, 2);
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(F1Score(TrueLabels(test), model.PredictAll(test)), 0.9);
+}
+
+TEST(LogisticTest, ProbabilitiesMatchMarginSign) {
+  LogisticRegressionClassifier model;
+  MlData train = BlobData(200, 3);
+  ASSERT_TRUE(model.Fit(train).ok());
+  for (int i = 0; i < 20; ++i) {
+    const auto& x = train.x[static_cast<size_t>(i)];
+    EXPECT_EQ(model.PredictProba(x) > 0.5, model.DecisionFunction(x) > 0.0);
+  }
+}
+
+TEST(LogisticTest, RejectsEmptyData) {
+  LogisticRegressionClassifier model;
+  EXPECT_FALSE(model.Fit(MlData{}).ok());
+}
+
+TEST(KnnTest, PerfectOnTrainingPointsWithKOne) {
+  KnnClassifier knn(1);
+  MlData train = BlobData(100, 4);
+  ASSERT_TRUE(knn.Fit(train).ok());
+  const std::vector<int> truth = TrueLabels(train);
+  EXPECT_EQ(Accuracy(truth, knn.PredictAll(train)), 1.0);
+}
+
+TEST(KnnTest, GeneralizesOnBlobs) {
+  KnnClassifier knn(7);
+  MlData train = BlobData(300, 5);
+  MlData test = BlobData(150, 6);
+  ASSERT_TRUE(knn.Fit(train).ok());
+  EXPECT_GT(F1Score(TrueLabels(test), knn.PredictAll(test)), 0.9);
+}
+
+TEST(KnnTest, ProbaIsKFraction) {
+  // Three close negatives, two close positives => P = 2/5 with k=5.
+  MlData train;
+  train.x = {{0.0}, {0.01}, {-0.01}, {0.02}, {-0.02}, {10.0}};
+  train.y = {1, 1, 0, 0, 0, 1};
+  KnnClassifier knn(5);
+  ASSERT_TRUE(knn.Fit(train).ok());
+  EXPECT_NEAR(knn.PredictProba({0.0}), 0.4, 1e-9);
+}
+
+TEST(GbmRegressorTest, FitsNonlinearFunction) {
+  Rng rng(7);
+  MlData d;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Uniform(-2, 2);
+    const double b = rng.Uniform(-2, 2);
+    d.x.push_back({a, b});
+    d.y.push_back(a * a + std::sin(2.0 * b) + rng.Gaussian(0, 0.05));
+  }
+  GbmOptions options;
+  options.num_estimators = 80;
+  GradientBoostingRegressor gbm(options);
+  ASSERT_TRUE(gbm.Fit(d).ok());
+  // A linear model cannot fit a*a; GBM should get close.
+  EXPECT_LT(MeanAbsoluteError(d.y, gbm.PredictAll(d)), 0.35);
+}
+
+TEST(GbmRegressorTest, MoreStagesFitBetter) {
+  Rng rng(8);
+  MlData d;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(-2, 2);
+    d.x.push_back({a});
+    d.y.push_back(a * a);
+  }
+  GbmOptions few;
+  few.num_estimators = 3;
+  GbmOptions many;
+  many.num_estimators = 60;
+  GradientBoostingRegressor small(few), large(many);
+  ASSERT_TRUE(small.Fit(d).ok());
+  ASSERT_TRUE(large.Fit(d).ok());
+  EXPECT_LT(MeanAbsoluteError(d.y, large.PredictAll(d)),
+            MeanAbsoluteError(d.y, small.PredictAll(d)));
+}
+
+TEST(GbmClassifierTest, LearnsXor) {
+  Rng rng(9);
+  MlData d;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    d.x.push_back({a, b});
+    d.y.push_back((a > 0) != (b > 0) ? 1.0 : 0.0);
+  }
+  GbmOptions options;
+  options.num_estimators = 60;
+  GradientBoostingClassifier gbm(options);
+  ASSERT_TRUE(gbm.Fit(d).ok());
+  EXPECT_GT(Accuracy(TrueLabels(d), gbm.PredictAll(d)), 0.93);
+}
+
+TEST(GbmClassifierTest, SubsamplingStillLearns) {
+  GbmOptions options;
+  options.num_estimators = 40;
+  options.subsample = 0.6;
+  GradientBoostingClassifier gbm(options);
+  MlData train = BlobData(400, 10);
+  MlData test = BlobData(200, 11);
+  ASSERT_TRUE(gbm.Fit(train).ok());
+  EXPECT_GT(F1Score(TrueLabels(test), gbm.PredictAll(test)), 0.9);
+}
+
+TEST(GbmClassifierTest, ProbabilitiesBounded) {
+  GradientBoostingClassifier gbm;
+  MlData train = BlobData(150, 12);
+  ASSERT_TRUE(gbm.Fit(train).ok());
+  for (const auto& row : train.x) {
+    const double p = gbm.PredictProba(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace tablegan

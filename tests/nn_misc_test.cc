@@ -1,0 +1,124 @@
+// Second-round NN coverage: inference-mode BatchNorm backward, Adam
+// bias-correction against hand-computed reference steps, buffer
+// enumeration for serialization, and debug strings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batch_norm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "test_util.h"
+
+namespace tablegan {
+namespace nn {
+namespace {
+
+TEST(BatchNormInference, BackwardUsesRunningStats) {
+  Rng rng(1);
+  BatchNorm bn(2);
+  for (int i = 0; i < 20; ++i) {
+    bn.Forward(Tensor::Normal({32, 2}, 1.0f, 2.0f, &rng), true);
+  }
+  // In inference mode the layer is an affine map; gradcheck must hold.
+  Tensor x = Tensor::Uniform({4, 2}, -1, 1, &rng);
+  Tensor y = bn.Forward(x, /*training=*/false);
+  Tensor w = testing_util::ProbeWeights(y.shape(), &rng);
+  bn.ZeroGrad();
+  Tensor grad = bn.Backward(w);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x;
+    xp[i] += static_cast<float>(eps);
+    const double lp = testing_util::ProbeLoss(bn.Forward(xp, false), w);
+    xp[i] -= static_cast<float>(2 * eps);
+    const double lm = testing_util::ProbeLoss(bn.Forward(xp, false), w);
+    EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-2);
+  }
+}
+
+TEST(AdamReference, FirstStepMatchesHandComputation) {
+  // One Adam step from zero state: m = (1-b1) g, v = (1-b2) g^2;
+  // update = lr * mhat / (sqrt(vhat) + eps) = lr * sign(g) (approx, since
+  // mhat = g, vhat = g^2).
+  Tensor w = Tensor::FromVector({2}, {1.0f, -1.0f});
+  Tensor g = Tensor::FromVector({2}, {0.5f, -2.0f});
+  Adam adam({&w}, {&g}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f);
+  adam.Step();
+  EXPECT_NEAR(w[0], 1.0f - 0.1f, 1e-5f);
+  EXPECT_NEAR(w[1], -1.0f + 0.1f, 1e-5f);
+}
+
+TEST(AdamReference, StateAccumulatesAcrossSteps) {
+  Tensor w({1});
+  Tensor g({1});
+  Adam adam({&w}, {&g}, 0.1f, 0.9f, 0.999f);
+  g[0] = 1.0f;
+  adam.Step();
+  const float after_one = w[0];
+  g[0] = 0.0f;  // zero gradient: momentum keeps moving w
+  adam.Step();
+  EXPECT_LT(w[0], after_one);
+}
+
+TEST(Buffers, SequentialEnumeratesBatchNormBuffers) {
+  Sequential net;
+  net.Emplace<Dense>(4, 4);
+  net.Emplace<BatchNorm>(4);
+  net.Emplace<Dense>(4, 2);
+  net.Emplace<BatchNorm>(2);
+  // Two BatchNorms x (running_mean, running_var).
+  EXPECT_EQ(net.Buffers().size(), 4u);
+  EXPECT_EQ(net.Parameters().size(), 8u);  // 2 dense (w+b) + 2 bn (g+b)
+}
+
+TEST(DebugStrings, LayerNamesAreInformative) {
+  Conv2d conv(1, 8, 4, 2, 1);
+  EXPECT_EQ(conv.name(), "Conv2d(1->8,k4,s2,p1)");
+  Dense dense(3, 7);
+  EXPECT_EQ(dense.name(), "Dense(3->7)");
+  BatchNorm bn(5);
+  EXPECT_EQ(bn.name(), "BatchNorm(5)");
+  Sequential net;
+  net.Emplace<Dense>(2, 2);
+  EXPECT_NE(net.name().find("Dense(2->2)"), std::string::npos);
+}
+
+TEST(DebugStrings, TensorDebugStringTruncates) {
+  Tensor t = Tensor::Full({100}, 1.0f);
+  const std::string s = t.DebugString();
+  EXPECT_NE(s.find("Tensor[100]"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(ZeroGradContract, BackwardAccumulatesUntilCleared) {
+  Rng rng(2);
+  Dense layer(3, 2);
+  XavierInitialize(&layer, &rng);
+  Tensor x = Tensor::Uniform({2, 3}, -1, 1, &rng);
+  Tensor g = Tensor::Full({2, 2}, 1.0f);
+  layer.Forward(x, true);
+  layer.Backward(g);
+  std::vector<float> once(static_cast<size_t>(layer.Gradients()[0]->size()));
+  for (int64_t i = 0; i < layer.Gradients()[0]->size(); ++i) {
+    once[static_cast<size_t>(i)] = (*layer.Gradients()[0])[i];
+  }
+  layer.Forward(x, true);
+  layer.Backward(g);
+  for (int64_t i = 0; i < layer.Gradients()[0]->size(); ++i) {
+    EXPECT_NEAR((*layer.Gradients()[0])[i], 2.0f * once[static_cast<size_t>(i)],
+                1e-4f);
+  }
+  layer.ZeroGrad();
+  for (int64_t i = 0; i < layer.Gradients()[0]->size(); ++i) {
+    EXPECT_EQ((*layer.Gradients()[0])[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace tablegan

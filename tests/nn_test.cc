@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/batch_norm.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/reshape.h"
+#include "nn/sequential.h"
+
+namespace tablegan {
+namespace {
+
+TEST(ShapeTest, Conv2dOutputShape) {
+  Rng rng(1);
+  nn::Conv2d conv(1, 8, 4, 2, 1);
+  Tensor out = conv.Forward(Tensor::Uniform({3, 1, 8, 8}, -1, 1, &rng), true);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{3, 8, 4, 4}));
+}
+
+TEST(ShapeTest, ConvTranspose2dOutputShape) {
+  Rng rng(2);
+  nn::ConvTranspose2d deconv(8, 4, 4, 2, 1);
+  Tensor out =
+      deconv.Forward(Tensor::Uniform({2, 8, 2, 2}, -1, 1, &rng), true);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{2, 4, 4, 4}));
+}
+
+TEST(ShapeTest, ConvThenDeconvRoundTripsShape) {
+  Rng rng(3);
+  nn::Conv2d down(1, 4, 4, 2, 1);
+  nn::ConvTranspose2d up(4, 1, 4, 2, 1);
+  Tensor x = Tensor::Uniform({2, 1, 16, 16}, -1, 1, &rng);
+  Tensor out = up.Forward(down.Forward(x, true), true);
+  EXPECT_EQ(out.shape(), x.shape());
+}
+
+TEST(BatchNormTest, NormalizesBatchInTrainingMode) {
+  Rng rng(4);
+  nn::BatchNorm bn(3);
+  Tensor x = Tensor::Uniform({16, 3, 4, 4}, 3.0f, 9.0f, &rng);
+  Tensor y = bn.Forward(x, /*training=*/true);
+  // Per-channel mean ~0, var ~1.
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    int64_t count = 0;
+    for (int64_t n = 0; n < 16; ++n) {
+      for (int64_t s = 0; s < 16; ++s) {
+        const float v = y[(n * 3 + c) * 16 + s];
+        sum += v;
+        sum_sq += static_cast<double>(v) * v;
+        ++count;
+      }
+    }
+    const double mean = sum / static_cast<double>(count);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / static_cast<double>(count) - mean * mean, 1.0,
+                1e-2);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataMoments) {
+  Rng rng(5);
+  nn::BatchNorm bn(1, 1e-5f, /*momentum=*/0.5f);
+  for (int step = 0; step < 50; ++step) {
+    Tensor x = Tensor::Normal({64, 1}, 4.0f, 2.0f, &rng);
+    bn.Forward(x, /*training=*/true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 4.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 0.8f);
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  Rng rng(6);
+  nn::BatchNorm bn(1);
+  for (int step = 0; step < 30; ++step) {
+    bn.Forward(Tensor::Normal({64, 1}, 2.0f, 1.0f, &rng), true);
+  }
+  // A constant batch in inference mode should map through the running
+  // stats, not collapse to zero.
+  Tensor x = Tensor::Full({4, 1}, 2.0f);
+  Tensor y = bn.Forward(x, /*training=*/false);
+  EXPECT_NEAR(y[0], 0.0f, 0.35f);  // (2 - running_mean)/sqrt(var) ~ 0
+  Tensor x2 = Tensor::Full({4, 1}, 4.0f);
+  Tensor y2 = bn.Forward(x2, /*training=*/false);
+  EXPECT_GT(y2[0], y[0] + 0.5f);
+}
+
+TEST(ActivationTest, Values) {
+  Tensor x = Tensor::FromVector({4}, {-2.0f, -0.5f, 0.5f, 2.0f});
+  nn::ReLU relu;
+  Tensor yr = relu.Forward(x, true);
+  EXPECT_EQ(yr[0], 0.0f);
+  EXPECT_EQ(yr[3], 2.0f);
+  nn::LeakyReLU leaky(0.2f);
+  Tensor yl = leaky.Forward(x, true);
+  EXPECT_NEAR(yl[0], -0.4f, 1e-6f);
+  EXPECT_EQ(yl[2], 0.5f);
+  nn::Tanh tanh_layer;
+  Tensor yt = tanh_layer.Forward(x, true);
+  EXPECT_NEAR(yt[3], std::tanh(2.0f), 1e-6f);
+  nn::Sigmoid sig;
+  Tensor ys = sig.Forward(x, true);
+  EXPECT_NEAR(ys[1], 1.0f / (1.0f + std::exp(0.5f)), 1e-6f);
+}
+
+TEST(SequentialTest, ParametersAggregateAcrossLayers) {
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(4, 8);
+  net.Emplace<nn::ReLU>();
+  net.Emplace<nn::Dense>(8, 2);
+  EXPECT_EQ(net.Parameters().size(), 4u);  // two weights + two biases
+  EXPECT_EQ(net.Gradients().size(), 4u);
+  EXPECT_EQ(net.num_layers(), 3);
+}
+
+TEST(SequentialTest, ZeroGradClearsAll) {
+  Rng rng(7);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(3, 2);
+  nn::XavierInitialize(&net, &rng);
+  Tensor x = Tensor::Uniform({2, 3}, -1, 1, &rng);
+  Tensor y = net.Forward(x, true);
+  net.Backward(Tensor::Full(y.shape(), 1.0f));
+  bool any_nonzero = false;
+  for (Tensor* g : net.Gradients()) {
+    for (int64_t i = 0; i < g->size(); ++i) {
+      if ((*g)[i] != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  net.ZeroGrad();
+  for (Tensor* g : net.Gradients()) {
+    for (int64_t i = 0; i < g->size(); ++i) EXPECT_EQ((*g)[i], 0.0f);
+  }
+}
+
+TEST(InitTest, DcganInitStatistics) {
+  Rng rng(8);
+  nn::Conv2d conv(8, 16, 4, 2, 1);
+  nn::DcganInitialize(&conv, &rng);
+  double sum = 0.0, sum_sq = 0.0;
+  const Tensor& w = conv.weight();
+  for (int64_t i = 0; i < w.size(); ++i) {
+    sum += w[i];
+    sum_sq += static_cast<double>(w[i]) * w[i];
+  }
+  const double n = static_cast<double>(w.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.005);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.02, 0.005);
+  for (int64_t i = 0; i < conv.bias().size(); ++i) {
+    EXPECT_EQ(conv.bias()[i], 0.0f);
+  }
+}
+
+// --- Optimizer convergence on a convex quadratic: minimize ||w - t||^2.
+class OptimizerConvergenceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OptimizerConvergenceTest, ReachesTarget) {
+  Tensor w({8});
+  Tensor grad({8});
+  Tensor target = Tensor::FromVector(
+      {8}, {1, -2, 3, -0.5f, 0.25f, 2, -1, 0});
+  std::unique_ptr<nn::Optimizer> opt;
+  const std::string name = GetParam();
+  if (name == "sgd") {
+    opt = std::make_unique<nn::Sgd>(std::vector<Tensor*>{&w},
+                                    std::vector<Tensor*>{&grad}, 0.1f);
+  } else if (name == "sgd_momentum") {
+    opt = std::make_unique<nn::Sgd>(std::vector<Tensor*>{&w},
+                                    std::vector<Tensor*>{&grad}, 0.05f,
+                                    0.9f);
+  } else {
+    opt = std::make_unique<nn::Adam>(std::vector<Tensor*>{&w},
+                                     std::vector<Tensor*>{&grad}, 0.1f,
+                                     0.9f, 0.999f);
+  }
+  for (int step = 0; step < 500; ++step) {
+    for (int64_t i = 0; i < 8; ++i) grad[i] = 2.0f * (w[i] - target[i]);
+    opt->Step();
+  }
+  for (int64_t i = 0; i < 8; ++i) EXPECT_NEAR(w[i], target[i], 1e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, OptimizerConvergenceTest,
+                         ::testing::Values("sgd", "sgd_momentum", "adam"));
+
+TEST(OptimizerTest, AdamDefaultsMatchPaper) {
+  // Compile-time check that the table-GAN defaults are expressible:
+  Tensor w({2}), g({2});
+  nn::Adam adam({&w}, {&g}, 2e-4f, 0.5f, 0.999f);
+  g[0] = 1.0f;
+  adam.Step();
+  EXPECT_LT(w[0], 0.0f);  // moved against the gradient
+  EXPECT_EQ(w[1], 0.0f);
+}
+
+TEST(OptimizerTest, TrainsXorWithMlp) {
+  Rng rng(9);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(2, 8);
+  net.Emplace<nn::Tanh>();
+  net.Emplace<nn::Dense>(8, 1);
+  nn::XavierInitialize(&net, &rng);
+  nn::Adam adam(net.Parameters(), net.Gradients(), 0.05f, 0.9f, 0.999f);
+  Tensor x = Tensor::FromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y = Tensor::FromVector({4, 1}, {0, 1, 1, 0});
+  float loss = 0.0f;
+  for (int step = 0; step < 800; ++step) {
+    Tensor logits = net.Forward(x, true);
+    Tensor grad;
+    loss = nn::SigmoidBceWithLogits(logits, y, &grad);
+    net.ZeroGrad();
+    net.Backward(grad);
+    adam.Step();
+  }
+  EXPECT_LT(loss, 0.1f);
+}
+
+}  // namespace
+}  // namespace tablegan

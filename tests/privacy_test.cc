@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "data/datasets.h"
+#include "privacy/anonymizer.h"
+#include "privacy/condensation.h"
+#include "privacy/dcr.h"
+#include "privacy/mondrian.h"
+#include "privacy/partition.h"
+#include "privacy/risk.h"
+#include "privacy/sdc_micro.h"
+
+namespace tablegan {
+namespace privacy {
+namespace {
+
+data::Table RandomTable(int64_t rows, uint64_t seed) {
+  data::Schema schema({
+      {"zip", data::ColumnType::kDiscrete,
+       data::ColumnRole::kQuasiIdentifier, {}},
+      {"age", data::ColumnType::kDiscrete,
+       data::ColumnRole::kQuasiIdentifier, {}},
+      {"salary", data::ColumnType::kContinuous,
+       data::ColumnRole::kSensitive, {}},
+      {"disease", data::ColumnType::kCategorical,
+       data::ColumnRole::kSensitive,
+       {"aids", "ebola", "cancer", "heart", "flu"}},
+      {"label", data::ColumnType::kDiscrete, data::ColumnRole::kLabel, {}},
+  });
+  data::Table t(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    t.AppendRow({static_cast<double>(rng.UniformInt(47600, 47999)),
+                 static_cast<double>(rng.UniformInt(20, 65)),
+                 rng.Uniform(2000, 12000),
+                 static_cast<double>(rng.UniformInt(0, 4)),
+                 rng.NextBool(0.5) ? 1.0 : 0.0});
+  }
+  return t;
+}
+
+// ----------------------------------------------------------- partitions
+
+class MondrianKTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MondrianKTest, SatisfiesKAnonymity) {
+  const int k = GetParam();
+  data::Table t = RandomTable(500, static_cast<uint64_t>(k));
+  auto partition = MondrianPartition(t, k);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_TRUE(SatisfiesKAnonymity(*partition, k));
+  // Covers every row exactly once.
+  std::set<int64_t> seen;
+  for (const auto& group : *partition) {
+    for (int64_t r : group) EXPECT_TRUE(seen.insert(r).second);
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST_P(MondrianKTest, LargerKGivesFewerClasses) {
+  const int k = GetParam();
+  data::Table t = RandomTable(500, 99);
+  auto small = MondrianPartition(t, k);
+  auto large = MondrianPartition(t, 4 * k);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GE(small->size(), large->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MondrianKTest, ::testing::Values(2, 5, 15, 50));
+
+TEST(MondrianTest, RejectsBadInputs) {
+  data::Table t = RandomTable(10, 1);
+  EXPECT_FALSE(MondrianPartition(t, 0).ok());
+  EXPECT_FALSE(MondrianPartition(t, 11).ok());
+  data::Schema no_qids({{"s", data::ColumnType::kContinuous,
+                         data::ColumnRole::kSensitive, {}}});
+  data::Table t2(no_qids);
+  t2.AppendRow({1.0});
+  EXPECT_FALSE(MondrianPartition(t2, 1).ok());
+}
+
+TEST(MondrianTest, GeneralizationLeavesSensitiveUntouched) {
+  data::Table t = RandomTable(200, 2);
+  auto partition = MondrianPartition(t, 5);
+  ASSERT_TRUE(partition.ok());
+  data::Table released = GeneralizeQids(t, *partition);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(released.Get(r, 2), t.Get(r, 2));
+    EXPECT_EQ(released.Get(r, 3), t.Get(r, 3));
+  }
+  // QIDs are constant within each class.
+  for (const auto& group : *partition) {
+    for (int64_t r : group) {
+      EXPECT_EQ(released.Get(r, 0), released.Get(group[0], 0));
+      EXPECT_EQ(released.Get(r, 1), released.Get(group[0], 1));
+    }
+  }
+}
+
+TEST(PartitionChecksTest, LDiversity) {
+  data::Table t = RandomTable(100, 3);
+  // One class with all rows: plenty of diversity.
+  Partition all(1);
+  for (int64_t i = 0; i < 100; ++i) all[0].push_back(i);
+  EXPECT_TRUE(SatisfiesLDiversity(t, all, 3, 3));
+  // A class of identical sensitive values fails l=2.
+  data::Table uniform = RandomTable(10, 4);
+  for (int64_t i = 0; i < 10; ++i) uniform.Set(i, 3, 1.0);
+  Partition one(1);
+  for (int64_t i = 0; i < 10; ++i) one[0].push_back(i);
+  EXPECT_FALSE(SatisfiesLDiversity(uniform, one, 3, 2));
+  EXPECT_TRUE(SatisfiesLDiversity(uniform, one, 3, 1));
+}
+
+TEST(PartitionChecksTest, TClosenessWholeTableIsZero) {
+  data::Table t = RandomTable(200, 5);
+  Partition all(1);
+  for (int64_t i = 0; i < 200; ++i) all[0].push_back(i);
+  EXPECT_NEAR(OrderedEmd(t, all[0], 2), 0.0, 1e-12);
+  EXPECT_TRUE(SatisfiesTCloseness(t, all, 2, 0.01));
+}
+
+TEST(PartitionChecksTest, TClosenessFlagsSkewedClass) {
+  data::Table t = RandomTable(200, 6);
+  // Class with only the top-salary rows: far from global distribution.
+  std::vector<std::pair<double, int64_t>> by_salary;
+  for (int64_t i = 0; i < 200; ++i) by_salary.push_back({t.Get(i, 2), i});
+  std::sort(by_salary.begin(), by_salary.end());
+  Partition skew(2);
+  for (int64_t i = 0; i < 180; ++i) skew[0].push_back(by_salary[static_cast<size_t>(i)].second);
+  for (int64_t i = 180; i < 200; ++i) skew[1].push_back(by_salary[static_cast<size_t>(i)].second);
+  EXPECT_FALSE(SatisfiesTCloseness(t, skew, 2, 0.1));
+  EXPECT_TRUE(SatisfiesTCloseness(t, skew, 2, 0.99));
+}
+
+TEST(PartitionChecksTest, DeltaDisclosureDetectsConcentration) {
+  data::Table t = RandomTable(200, 7);
+  Partition all(1);
+  for (int64_t i = 0; i < 200; ++i) all[0].push_back(i);
+  EXPECT_TRUE(SatisfiesDeltaDisclosure(t, all, 3, 0.5));
+  // A single-row class concentrates one disease level entirely.
+  Partition single(2);
+  single[0].push_back(0);
+  for (int64_t i = 1; i < 200; ++i) single[1].push_back(i);
+  EXPECT_FALSE(SatisfiesDeltaDisclosure(t, single, 3, 0.5));
+}
+
+// ----------------------------------------------------------- anonymizers
+
+TEST(ArxTest, PipelineMeetsRequestedInvariants) {
+  data::Table t = RandomTable(400, 8);
+  ArxOptions options;
+  options.k = 5;
+  options.t = 0.5;
+  options.l = 2;
+  auto result = ArxAnonymize(t, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(SatisfiesKAnonymity(result->partition, options.k));
+  for (int col : {2, 3}) {
+    EXPECT_TRUE(
+        SatisfiesTCloseness(t, result->partition, col, options.t));
+    EXPECT_TRUE(SatisfiesLDiversity(t, result->partition, col, options.l));
+  }
+  // Sensitive columns are byte-identical (the ARX property that makes
+  // sensitive-only DCR exactly zero in paper Table 5).
+  auto dcr = ComputeDcr(t, result->released,
+                        SensitiveOnlyColumns(t.schema()));
+  ASSERT_TRUE(dcr.ok());
+  EXPECT_EQ(dcr->mean, 0.0);
+  EXPECT_EQ(dcr->stddev, 0.0);
+}
+
+TEST(DpTest, PerturbsQidsOnly) {
+  data::Table t = RandomTable(300, 9);
+  DpOptions options;
+  options.epsilon = 1.0;
+  options.delta_disclosure = 2.0;
+  auto result = DpAnonymize(t, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool qid_changed = false;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (result->released.Get(r, 0) != t.Get(r, 0) ||
+        result->released.Get(r, 1) != t.Get(r, 1)) {
+      qid_changed = true;
+    }
+    EXPECT_EQ(result->released.Get(r, 2), t.Get(r, 2));
+    EXPECT_EQ(result->released.Get(r, 3), t.Get(r, 3));
+  }
+  EXPECT_TRUE(qid_changed);
+  EXPECT_FALSE(DpAnonymize(t, DpOptions{.epsilon = 0.0}).ok());
+}
+
+TEST(SdcMicroTest, MicroAggregationPreservesColumnMean) {
+  data::Table t = RandomTable(200, 10);
+  const double before =
+      std::accumulate(t.column(2).begin(), t.column(2).end(), 0.0);
+  MicroAggregateColumn(&t, 2, 5);
+  const double after =
+      std::accumulate(t.column(2).begin(), t.column(2).end(), 0.0);
+  EXPECT_NEAR(before, after, 1e-6 * std::fabs(before));
+  // Groups of 5 share values: at most ceil(200/5) distinct values.
+  std::set<double> distinct(t.column(2).begin(), t.column(2).end());
+  EXPECT_LE(distinct.size(), 40u);
+}
+
+TEST(SdcMicroTest, PramStaysWithinObservedLevels) {
+  data::Table t = RandomTable(300, 11);
+  Rng rng(1);
+  PramColumn(&t, 3, 0.3, 1.0, &rng);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    const double v = t.Get(r, 3);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 4.0);
+    EXPECT_EQ(v, std::floor(v));
+  }
+}
+
+TEST(SdcMicroTest, RetentionProbabilityControlsChanges) {
+  data::Table base = RandomTable(500, 12);
+  auto count_changes = [&](double pd) {
+    data::Table t = base.SelectRows([&] {
+      std::vector<int64_t> all;
+      for (int64_t i = 0; i < base.num_rows(); ++i) all.push_back(i);
+      return all;
+    }());
+    Rng rng(2);
+    PramColumn(&t, 3, pd, 1.0, &rng);
+    int changed = 0;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      if (t.Get(r, 3) != base.Get(r, 3)) ++changed;
+    }
+    return changed;
+  };
+  EXPECT_GT(count_changes(0.1), count_changes(0.9));
+  EXPECT_EQ(count_changes(1.0), 0);
+}
+
+TEST(SdcMicroTest, FullPipelinePerturbsButKeepsLabel) {
+  data::Table t = RandomTable(200, 13);
+  SdcMicroOptions options;
+  auto released = SdcMicroPerturb(t, options);
+  ASSERT_TRUE(released.ok());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(released->Get(r, 4), t.Get(r, 4));  // label untouched
+  }
+  EXPECT_FALSE(
+      SdcMicroPerturb(t, SdcMicroOptions{.aggregation_group = 0}).ok());
+}
+
+// ---------------------------------------------------------- condensation
+
+TEST(JacobiTest, DiagonalizesKnownMatrix) {
+  // Symmetric 2x2 with eigenvalues 3 and 1.
+  std::vector<double> a{2, 1, 1, 2};
+  std::vector<double> vals, vecs;
+  internal_condensation::JacobiEigen(a, 2, &vals, &vecs);
+  std::sort(vals.begin(), vals.end());
+  EXPECT_NEAR(vals[0], 1.0, 1e-9);
+  EXPECT_NEAR(vals[1], 3.0, 1e-9);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  Rng rng(14);
+  const int n = 6;
+  std::vector<double> a(static_cast<size_t>(n * n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      a[static_cast<size_t>(i * n + j)] = a[static_cast<size_t>(j * n + i)] =
+          rng.Uniform(-1, 1);
+    }
+  }
+  std::vector<double> vals, vecs;
+  internal_condensation::JacobiEigen(a, n, &vals, &vecs);
+  // A == V diag(vals) V^T.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int e = 0; e < n; ++e) {
+        acc += vecs[static_cast<size_t>(i * n + e)] *
+               vals[static_cast<size_t>(e)] *
+               vecs[static_cast<size_t>(j * n + e)];
+      }
+      EXPECT_NEAR(acc, a[static_cast<size_t>(i * n + j)], 1e-8);
+    }
+  }
+}
+
+TEST(CondensationTest, PreservesGlobalMoments) {
+  data::Table t = RandomTable(400, 15);
+  CondensationOptions options;
+  options.group_size = 50;
+  auto synth = CondensationSynthesize(t, options);
+  ASSERT_TRUE(synth.ok()) << synth.status().ToString();
+  EXPECT_EQ(synth->num_rows(), t.num_rows());
+  // Salary mean/std approximately preserved.
+  auto moments = [](const std::vector<double>& v) {
+    double m = 0, s = 0;
+    for (double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    for (double x : v) s += (x - m) * (x - m);
+    return std::pair<double, double>(
+        m, std::sqrt(s / static_cast<double>(v.size())));
+  };
+  auto [m0, s0] = moments(t.column(2));
+  auto [m1, s1] = moments(synth->column(2));
+  EXPECT_NEAR(m1, m0, 0.1 * s0);
+  EXPECT_NEAR(s1, s0, 0.35 * s0);
+}
+
+TEST(CondensationTest, NeverEmitsRealRecordVerbatimOften) {
+  data::Table t = RandomTable(200, 16);
+  auto synth = CondensationSynthesize(t, CondensationOptions{.group_size = 20});
+  ASSERT_TRUE(synth.ok());
+  auto dcr = ComputeDcr(t, *synth, QidAndSensitiveColumns(t.schema()));
+  ASSERT_TRUE(dcr.ok());
+  EXPECT_GT(dcr->mean, 0.0);
+}
+
+TEST(CondensationTest, RejectsBadGroupSize) {
+  data::Table t = RandomTable(10, 17);
+  EXPECT_FALSE(
+      CondensationSynthesize(t, CondensationOptions{.group_size = 1}).ok());
+}
+
+// ------------------------------------------------------------------- DCR
+
+TEST(DcrTest, ZeroForIdenticalTables) {
+  data::Table t = RandomTable(100, 18);
+  auto dcr = ComputeDcr(t, t, QidAndSensitiveColumns(t.schema()));
+  ASSERT_TRUE(dcr.ok());
+  EXPECT_EQ(dcr->mean, 0.0);
+  EXPECT_EQ(dcr->stddev, 0.0);
+}
+
+TEST(DcrTest, PositiveForDisjointTables) {
+  data::Table a = RandomTable(50, 19);
+  data::Table b = RandomTable(50, 20);
+  for (int64_t r = 0; r < b.num_rows(); ++r) {
+    b.Set(r, 2, b.Get(r, 2) + 50000.0);  // shift salaries far away
+  }
+  auto dcr = ComputeDcr(a, b, {2});
+  ASSERT_TRUE(dcr.ok());
+  EXPECT_GT(dcr->mean, 1.0);
+}
+
+TEST(DcrTest, ScaleInvariantThroughNormalization) {
+  // Scaling a column by 1000x must not change DCR (attribute-wise
+  // normalization, paper §5.1.2).
+  data::Table a = RandomTable(80, 21);
+  data::Table b = RandomTable(80, 22);
+  auto before = ComputeDcr(a, b, {2});
+  data::Table a2 = a.SelectRows([&] {
+    std::vector<int64_t> all;
+    for (int64_t i = 0; i < a.num_rows(); ++i) all.push_back(i);
+    return all;
+  }());
+  data::Table b2 = b.SelectRows([&] {
+    std::vector<int64_t> all;
+    for (int64_t i = 0; i < b.num_rows(); ++i) all.push_back(i);
+    return all;
+  }());
+  for (int64_t r = 0; r < a2.num_rows(); ++r) a2.Set(r, 2, a2.Get(r, 2) * 1000.0);
+  for (int64_t r = 0; r < b2.num_rows(); ++r) b2.Set(r, 2, b2.Get(r, 2) * 1000.0);
+  auto after = ComputeDcr(a2, b2, {2});
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_NEAR(before->mean, after->mean, 1e-4);
+}
+
+TEST(DcrTest, RejectsEmptyInputs) {
+  data::Table t = RandomTable(10, 23);
+  data::Table empty(t.schema());
+  EXPECT_FALSE(ComputeDcr(t, empty, {0}).ok());
+  EXPECT_FALSE(ComputeDcr(t, t, {}).ok());
+  EXPECT_FALSE(ComputeDcr(t, t, {99}).ok());
+}
+
+TEST(DcrTest, ColumnRoleHelpers) {
+  data::Table t = RandomTable(5, 24);
+  EXPECT_EQ(QidAndSensitiveColumns(t.schema()),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(SensitiveOnlyColumns(t.schema()), (std::vector<int>{2, 3}));
+}
+
+// ------------------------------------------------------------------ risk
+
+TEST(RiskTest, ProsecutorRiskFromClassSizes) {
+  Partition p{{0, 1, 2, 3}, {4, 5}};
+  ProsecutorRisk risk = ComputeProsecutorRisk(p, 3);
+  EXPECT_NEAR(risk.maximum, 0.5, 1e-12);
+  EXPECT_NEAR(risk.average, (4 * 0.25 + 2 * 0.5) / 6.0, 1e-12);
+  EXPECT_NEAR(risk.fraction_below_k, 2.0 / 6.0, 1e-12);
+}
+
+TEST(RiskTest, JournalistRiskIsSmallestClassRisk) {
+  Partition p{{0, 1, 2, 3}, {4, 5}, {6, 7, 8}};
+  EXPECT_NEAR(ComputeJournalistRisk(p), 0.5, 1e-12);
+  EXPECT_EQ(ComputeJournalistRisk({}), 0.0);
+}
+
+TEST(RiskTest, MarketerRiskIsClassesOverRecords) {
+  Partition p{{0, 1, 2, 3}, {4, 5}, {6, 7, 8}};
+  EXPECT_NEAR(ComputeMarketerRisk(p), 3.0 / 9.0, 1e-12);
+  // Singleton classes are maximally risky for the marketer too.
+  Partition singletons{{0}, {1}, {2}};
+  EXPECT_EQ(ComputeMarketerRisk(singletons), 1.0);
+}
+
+TEST(RiskTest, ModelsOrderingProsecutorGeJournalistStyle) {
+  // For any partition, marketer risk <= journalist risk and journalist
+  // risk equals the prosecutor maximum.
+  data::Table t = RandomTable(200, 26);
+  auto partition = MondrianPartition(t, 5);
+  ASSERT_TRUE(partition.ok());
+  const ProsecutorRisk prosecutor = ComputeProsecutorRisk(*partition, 5);
+  const double journalist = ComputeJournalistRisk(*partition);
+  const double marketer = ComputeMarketerRisk(*partition);
+  EXPECT_NEAR(journalist, prosecutor.maximum, 1e-12);
+  EXPECT_LE(marketer, journalist + 1e-12);
+}
+
+TEST(RiskTest, MondrianReleaseHasBoundedRisk) {
+  data::Table t = RandomTable(300, 25);
+  auto partition = MondrianPartition(t, 10);
+  ASSERT_TRUE(partition.ok());
+  ProsecutorRisk risk = ComputeProsecutorRisk(*partition, 10);
+  EXPECT_LE(risk.maximum, 0.1 + 1e-12);
+  EXPECT_EQ(risk.fraction_below_k, 0.0);
+}
+
+}  // namespace
+}  // namespace privacy
+}  // namespace tablegan

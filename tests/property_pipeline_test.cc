@@ -1,0 +1,191 @@
+// Property tests over randomly generated schemas and tables: the
+// encode/decode pipeline and every release mechanism must uphold their
+// invariants for arbitrary column mixes, not just the four simulators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/normalizer.h"
+#include "data/record_matrix.h"
+#include "data/schema_text.h"
+#include "privacy/anonymizer.h"
+#include "privacy/mondrian.h"
+#include "privacy/condensation.h"
+#include "privacy/dcr.h"
+#include "privacy/sdc_micro.h"
+
+namespace tablegan {
+namespace {
+
+// Builds a random schema (2-12 columns, random types/roles with at
+// least one QID and one sensitive column) and a random table on it.
+data::Table RandomTable(uint64_t seed, int64_t rows) {
+  Rng rng(seed);
+  const int cols = static_cast<int>(rng.UniformInt(2, 12));
+  data::Schema schema;
+  for (int c = 0; c < cols; ++c) {
+    data::ColumnSpec spec;
+    spec.name = "col" + std::to_string(c);
+    const int type = static_cast<int>(rng.UniformInt(0, 2));
+    spec.type = type == 0   ? data::ColumnType::kContinuous
+                : type == 1 ? data::ColumnType::kDiscrete
+                            : data::ColumnType::kCategorical;
+    if (spec.type == data::ColumnType::kCategorical) {
+      const int levels = static_cast<int>(rng.UniformInt(2, 6));
+      for (int l = 0; l < levels; ++l) {
+        spec.categories.push_back("l" + std::to_string(l));
+      }
+    }
+    // First column QID, second sensitive, rest random.
+    spec.role = c == 0   ? data::ColumnRole::kQuasiIdentifier
+                : c == 1 ? data::ColumnRole::kSensitive
+                : rng.NextBool(0.3)
+                    ? data::ColumnRole::kQuasiIdentifier
+                    : data::ColumnRole::kSensitive;
+    schema.AddColumn(std::move(spec));
+  }
+  data::Table t(schema);
+  std::vector<double> row(static_cast<size_t>(cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const data::ColumnSpec& spec = schema.column(c);
+      switch (spec.type) {
+        case data::ColumnType::kContinuous:
+          row[static_cast<size_t>(c)] = rng.Gaussian(100.0 * c, 10.0 + c);
+          break;
+        case data::ColumnType::kDiscrete:
+          row[static_cast<size_t>(c)] =
+              static_cast<double>(rng.UniformInt(-5, 40));
+          break;
+        case data::ColumnType::kCategorical:
+          row[static_cast<size_t>(c)] = static_cast<double>(
+              rng.UniformInt(0, spec.num_categories() - 1));
+          break;
+      }
+    }
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+class PipelinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelinePropertyTest, NormalizerRoundTripsWithinRounding) {
+  data::Table t = RandomTable(GetParam(), 120);
+  data::MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  auto back = norm.InverseTransform(*enc, t.schema());
+  ASSERT_TRUE(back.ok());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_columns(); ++c) {
+      const double span =
+          norm.column_max(c) - norm.column_min(c);
+      // float32 encoding + discrete rounding bound the error.
+      const double tol =
+          t.schema().column(c).type == data::ColumnType::kContinuous
+              ? std::max(1e-4 * span, 1e-9)
+              : 0.51;
+      EXPECT_NEAR(back->Get(r, c), t.Get(r, c), tol)
+          << "seed " << GetParam() << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, CodecPadsAndRecovers) {
+  data::Table t = RandomTable(GetParam(), 40);
+  data::MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  const int side = data::RecordMatrixCodec::ChooseSide(t.num_columns());
+  data::RecordMatrixCodec codec(t.num_columns(), side);
+  auto mats = codec.ToMatrices(*enc);
+  ASSERT_TRUE(mats.ok());
+  auto back = codec.FromMatrices(*mats);
+  ASSERT_TRUE(back.ok());
+  for (int64_t i = 0; i < enc->size(); ++i) {
+    EXPECT_EQ((*back)[i], (*enc)[i]);
+  }
+}
+
+TEST_P(PipelinePropertyTest, MondrianInvariantsHoldOnRandomTables) {
+  data::Table t = RandomTable(GetParam(), 200);
+  for (int k : {2, 7, 25}) {
+    auto partition = privacy::MondrianPartition(t, k);
+    ASSERT_TRUE(partition.ok());
+    EXPECT_TRUE(privacy::SatisfiesKAnonymity(*partition, k))
+        << "seed " << GetParam() << " k " << k;
+    // Generalized QIDs constant per class; sensitive untouched.
+    data::Table released = privacy::GeneralizeQids(t, *partition);
+    for (int c :
+         t.schema().ColumnsWithRole(data::ColumnRole::kSensitive)) {
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        ASSERT_EQ(released.Get(r, c), t.Get(r, c));
+      }
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, SdcMicroKeepsColumnDomains) {
+  data::Table t = RandomTable(GetParam(), 150);
+  privacy::SdcMicroOptions options;
+  options.seed = GetParam();
+  auto released = privacy::SdcMicroPerturb(t, options);
+  ASSERT_TRUE(released.ok());
+  ASSERT_EQ(released->num_rows(), t.num_rows());
+  for (int c = 0; c < t.num_columns(); ++c) {
+    const auto& orig = t.column(c);
+    const double lo = *std::min_element(orig.begin(), orig.end());
+    const double hi = *std::max_element(orig.begin(), orig.end());
+    for (double v : released->column(c)) {
+      EXPECT_GE(v, lo - 0.51);
+      EXPECT_LE(v, hi + 0.51);
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, CondensationKeepsDomainsAndSize) {
+  data::Table t = RandomTable(GetParam(), 150);
+  privacy::CondensationOptions options;
+  options.group_size = 25;
+  options.seed = GetParam() + 1;
+  auto released = privacy::CondensationSynthesize(t, options);
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(released->num_rows(), t.num_rows());
+  for (int c = 0; c < t.num_columns(); ++c) {
+    const auto& orig = t.column(c);
+    const double lo = *std::min_element(orig.begin(), orig.end());
+    const double hi = *std::max_element(orig.begin(), orig.end());
+    for (double v : released->column(c)) {
+      EXPECT_GE(v, lo - 1e-9);
+      EXPECT_LE(v, hi + 1e-9);
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, DcrIsSymmetricallySaneOnRandomTables) {
+  data::Table a = RandomTable(GetParam(), 60);
+  data::Table b = RandomTable(GetParam(), 60);  // same seed: identical
+  auto cols = privacy::QidAndSensitiveColumns(a.schema());
+  auto self_dcr = privacy::ComputeDcr(a, b, cols);
+  ASSERT_TRUE(self_dcr.ok());
+  EXPECT_EQ(self_dcr->mean, 0.0);
+}
+
+TEST_P(PipelinePropertyTest, SchemaTextRoundTripsRandomSchemas) {
+  data::Table t = RandomTable(GetParam(), 1);
+  auto again = data::ParseSchemaText(data::SchemaToText(t.schema()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(t.schema().Equals(*again));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 110));
+
+}  // namespace
+}  // namespace tablegan

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/schema_text.h"
+
+namespace tablegan {
+namespace data {
+namespace {
+
+constexpr char kSample[] = R"(# demo schema
+age,discrete,qid
+education,categorical,qid,dropout|hs_grad|bachelors
+
+salary,continuous,sensitive
+high_salary,discrete,label
+)";
+
+TEST(SchemaTextTest, ParsesAllFields) {
+  auto schema = ParseSchemaText(kSample);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ASSERT_EQ(schema->num_columns(), 4);
+  EXPECT_EQ(schema->column(0).name, "age");
+  EXPECT_EQ(schema->column(0).type, ColumnType::kDiscrete);
+  EXPECT_EQ(schema->column(0).role, ColumnRole::kQuasiIdentifier);
+  EXPECT_EQ(schema->column(1).categories,
+            (std::vector<std::string>{"dropout", "hs_grad", "bachelors"}));
+  EXPECT_EQ(schema->column(2).type, ColumnType::kContinuous);
+  EXPECT_EQ(schema->column(3).role, ColumnRole::kLabel);
+}
+
+TEST(SchemaTextTest, IgnoresCommentsAndBlankLinesAndWhitespace) {
+  auto schema = ParseSchemaText("  # only a comment\n a , discrete , qid \n");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 1);
+  EXPECT_EQ(schema->column(0).name, "a");
+}
+
+TEST(SchemaTextTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseSchemaText("justaname\n").ok());
+  EXPECT_FALSE(ParseSchemaText("a,floating,qid\n").ok());          // bad type
+  EXPECT_FALSE(ParseSchemaText("a,discrete,owner\n").ok());        // bad role
+  EXPECT_FALSE(ParseSchemaText("a,discrete,qid,x|y\n").ok());      // levels on non-cat
+  EXPECT_FALSE(ParseSchemaText("a,categorical,qid\n").ok());       // cat w/o levels
+  EXPECT_FALSE(ParseSchemaText("a,categorical,qid,x||y\n").ok());  // empty level
+  EXPECT_FALSE(ParseSchemaText(",discrete,qid\n").ok());           // empty name
+  EXPECT_FALSE(ParseSchemaText("# nothing\n").ok());               // no columns
+}
+
+TEST(SchemaTextTest, RoundTripsThroughText) {
+  auto schema = ParseSchemaText(kSample);
+  ASSERT_TRUE(schema.ok());
+  auto again = ParseSchemaText(SchemaToText(*schema));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(schema->Equals(*again));
+  // Categories survive too (Equals does not compare them).
+  EXPECT_EQ(schema->column(1).categories, again->column(1).categories);
+}
+
+class DatasetSchemaTextTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetSchemaTextTest, EveryDatasetSchemaRoundTrips) {
+  auto ds = MakeDataset(GetParam(), 0.01, 1);
+  ASSERT_TRUE(ds.ok());
+  auto again = ParseSchemaText(SchemaToText(ds->train.schema()));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(ds->train.schema().Equals(*again));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DatasetSchemaTextTest,
+                         ::testing::Values("lacity", "adult", "health",
+                                           "airline"));
+
+TEST(SchemaTextTest, ReadSchemaFileReportsMissingFile) {
+  EXPECT_FALSE(ReadSchemaFile("/nonexistent/path.schema").ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace tablegan

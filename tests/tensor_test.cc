@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/im2col.h"
+#include "tensor/matmul.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace tablegan {
+namespace {
+
+TEST(TensorTest, ConstructsZeroFilled) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromVectorAndIndexing) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(0, 0), 1.0f);
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+  EXPECT_EQ(t.at2(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_EQ(r.size(), t.size());
+}
+
+TEST(TensorTest, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t[(((1 * 3) + 2) * 4 + 3) * 5 + 4], 42.0f);
+}
+
+TEST(TensorTest, UniformRespectsBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::Uniform({1000}, -1.0f, 1.0f, &rng);
+  EXPECT_GE(ops::Min(t), -1.0f);
+  EXPECT_LT(ops::Max(t), 1.0f);
+}
+
+TEST(TensorTest, NormalHasRequestedMoments) {
+  Rng rng(6);
+  Tensor t = Tensor::Normal({20000}, 2.0f, 0.5f, &rng);
+  EXPECT_NEAR(ops::Mean(t), 2.0f, 0.02f);
+}
+
+TEST(TensorOpsTest, ElementwiseOps) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  EXPECT_EQ(ops::Add(a, b)[1], 7.0f);
+  EXPECT_EQ(ops::Sub(b, a)[2], 3.0f);
+  EXPECT_EQ(ops::Mul(a, b)[0], 4.0f);
+  EXPECT_EQ(ops::AddScalar(a, 10.0f)[0], 11.0f);
+  EXPECT_EQ(ops::MulScalar(a, -2.0f)[2], -6.0f);
+}
+
+TEST(TensorOpsTest, AxpyAndScale) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor out = Tensor::FromVector({2}, {10, 20});
+  ops::AxpyInPlace(a, 3.0f, &out);
+  EXPECT_EQ(out[0], 13.0f);
+  EXPECT_EQ(out[1], 26.0f);
+  ops::ScaleInPlace(0.5f, &out);
+  EXPECT_EQ(out[0], 6.5f);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({4}, {1, -2, 3, -4});
+  EXPECT_EQ(ops::Sum(a), -2.0f);
+  EXPECT_EQ(ops::Mean(a), -0.5f);
+  EXPECT_EQ(ops::Max(a), 3.0f);
+  EXPECT_EQ(ops::Min(a), -4.0f);
+  EXPECT_NEAR(ops::Norm2(a), std::sqrt(30.0f), 1e-5f);
+}
+
+TEST(TensorOpsTest, SquaredDistance) {
+  Tensor a = Tensor::FromVector({2}, {0, 0});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  EXPECT_NEAR(ops::SquaredDistance(a, b), 25.0f, 1e-5f);
+}
+
+TEST(TensorOpsTest, ColumnStats) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 10, 2, 20, 3, 30});
+  Tensor mean = ops::ColumnMean(a);
+  EXPECT_NEAR(mean[0], 2.0f, 1e-6f);
+  EXPECT_NEAR(mean[1], 20.0f, 1e-6f);
+  Tensor sd = ops::ColumnStd(a);
+  EXPECT_NEAR(sd[0], std::sqrt(2.0f / 3.0f), 1e-5f);
+  EXPECT_NEAR(sd[1], 10.0f * std::sqrt(2.0f / 3.0f), 1e-4f);
+}
+
+TEST(TensorOpsTest, TransposeConcatSlice) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::Transpose2D(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.at2(2, 1), 6.0f);
+  Tensor c = ops::ConcatRows({a, a});
+  EXPECT_EQ(c.dim(0), 4);
+  EXPECT_EQ(c.at2(3, 0), 4.0f);
+  Tensor s = ops::SliceRows(c, 1, 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.at2(0, 0), 4.0f);
+}
+
+// --- GEMM correctness against a naive reference, parameterized over
+// shapes and transpose flags.
+using GemmParam = std::tuple<int, int, int, bool, bool, float, float>;
+
+class GemmTest : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [m, n, k, ta, tb, alpha, beta] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 100 + n * 10 + k));
+  Tensor a = Tensor::Uniform(
+      ta ? std::vector<int64_t>{k, m} : std::vector<int64_t>{m, k}, -1.0f,
+      1.0f, &rng);
+  Tensor b = Tensor::Uniform(
+      tb ? std::vector<int64_t>{n, k} : std::vector<int64_t>{k, n}, -1.0f,
+      1.0f, &rng);
+  Tensor c = Tensor::Uniform({m, n}, -1.0f, 1.0f, &rng);
+  Tensor expected = c;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int l = 0; l < k; ++l) {
+        const float av = ta ? a.at2(l, i) : a.at2(i, l);
+        const float bv = tb ? b.at2(j, l) : b.at2(l, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      expected.at2(i, j) = static_cast<float>(
+          alpha * acc + beta * expected.at2(i, j));
+    }
+  }
+  ops::Gemm(ta, tb, alpha, a, b, beta, &c);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(
+        GemmParam{1, 1, 1, false, false, 1.0f, 0.0f},
+        GemmParam{4, 5, 6, false, false, 1.0f, 0.0f},
+        GemmParam{4, 5, 6, true, false, 1.0f, 0.0f},
+        GemmParam{4, 5, 6, false, true, 1.0f, 0.0f},
+        GemmParam{4, 5, 6, true, true, 1.0f, 0.0f},
+        GemmParam{7, 3, 9, false, false, 2.0f, 1.0f},
+        GemmParam{16, 16, 16, true, true, -0.5f, 0.5f},
+        GemmParam{33, 17, 65, false, false, 1.0f, 0.0f},
+        GemmParam{64, 48, 300, false, false, 1.0f, 1.0f},
+        GemmParam{5, 600, 3, false, true, 1.0f, 0.0f}));
+
+TEST(RawGemmTest, VariantsAgreeWithGemm) {
+  Rng rng(77);
+  const int m = 6, n = 7, k = 8;
+  Tensor a = Tensor::Uniform({m, k}, -1.0f, 1.0f, &rng);
+  Tensor b = Tensor::Uniform({k, n}, -1.0f, 1.0f, &rng);
+  Tensor ref({m, n});
+  ops::Gemm(false, false, 1.0f, a, b, 0.0f, &ref);
+
+  Tensor c1({m, n});
+  ops::RawGemmNN(m, n, k, a.data(), b.data(), c1.data(), false);
+  Tensor bt = ops::Transpose2D(b);
+  Tensor c2({m, n});
+  ops::RawGemmNT(m, n, k, a.data(), bt.data(), c2.data(), false);
+  Tensor at = ops::Transpose2D(a);
+  Tensor c3({m, n});
+  ops::RawGemmTN(m, n, k, at.data(), b.data(), c3.data(), false);
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(c1[i], ref[i], 1e-4f);
+    EXPECT_NEAR(c2[i], ref[i], 1e-4f);
+    EXPECT_NEAR(c3[i], ref[i], 1e-4f);
+  }
+  // Accumulation adds on top.
+  ops::RawGemmNN(m, n, k, a.data(), b.data(), c1.data(), true);
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(c1[i], 2.0f * ref[i], 1e-4f);
+  }
+}
+
+// --- im2col: reconstruct convolution naively and check adjointness.
+TEST(Im2ColTest, MatchesNaiveConvolution) {
+  Rng rng(99);
+  ops::Conv2dGeometry g{2, 6, 6, 3, 2, 1};
+  Tensor img = Tensor::Uniform({g.in_channels, g.in_h, g.in_w}, -1.0f, 1.0f,
+                               &rng);
+  Tensor weight = Tensor::Uniform({4, g.patch_size()}, -1.0f, 1.0f, &rng);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  ops::Im2Col(g, img.data(), cols.data());
+  Tensor out({4, g.out_h() * g.out_w()});
+  ops::RawGemmNN(4, g.out_h() * g.out_w(), g.patch_size(), weight.data(),
+                 cols.data(), out.data(), false);
+  // Naive convolution.
+  for (int oc = 0; oc < 4; ++oc) {
+    for (int64_t oy = 0; oy < g.out_h(); ++oy) {
+      for (int64_t ox = 0; ox < g.out_w(); ++ox) {
+        double acc = 0.0;
+        for (int64_t c = 0; c < g.in_channels; ++c) {
+          for (int64_t ky = 0; ky < g.kernel; ++ky) {
+            for (int64_t kx = 0; kx < g.kernel; ++kx) {
+              const int64_t iy = oy * g.stride + ky - g.padding;
+              const int64_t ix = ox * g.stride + kx - g.padding;
+              if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) continue;
+              const float iv = img[(c * g.in_h + iy) * g.in_w + ix];
+              const float wv =
+                  weight.at2(oc, (c * g.kernel + ky) * g.kernel + kx);
+              acc += static_cast<double>(iv) * wv;
+            }
+          }
+        }
+        EXPECT_NEAR(out.at2(oc, oy * g.out_w() + ox), acc, 1e-4)
+            << oc << "," << oy << "," << ox;
+      }
+    }
+  }
+}
+
+TEST(Im2ColTest, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y.
+  Rng rng(101);
+  ops::Conv2dGeometry g{3, 5, 5, 3, 2, 1};
+  const int64_t cols_size = g.patch_size() * g.out_h() * g.out_w();
+  Tensor x = Tensor::Uniform({g.in_channels * g.in_h * g.in_w}, -1.0f, 1.0f,
+                             &rng);
+  Tensor y = Tensor::Uniform({cols_size}, -1.0f, 1.0f, &rng);
+  Tensor cols({cols_size});
+  ops::Im2Col(g, x.data(), cols.data());
+  Tensor back({g.in_channels * g.in_h * g.in_w});
+  ops::Col2Im(g, y.data(), back.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < cols_size; ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (int64_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2ColTest, GeometryArithmetic) {
+  ops::Conv2dGeometry g{1, 8, 8, 4, 2, 1};
+  EXPECT_EQ(g.out_h(), 4);
+  EXPECT_EQ(g.out_w(), 4);
+  EXPECT_EQ(g.patch_size(), 16);
+}
+
+}  // namespace
+}  // namespace tablegan

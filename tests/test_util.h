@@ -1,0 +1,128 @@
+#ifndef TABLEGAN_TESTS_TEST_UTIL_H_
+#define TABLEGAN_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace testing_util {
+
+/// Scalar probe loss L = sum(w ⊙ y) with fixed random weights w, which
+/// makes dL/dy = w and exercises every output element.
+inline Tensor ProbeWeights(const std::vector<int64_t>& shape, Rng* rng) {
+  return Tensor::Uniform(shape, -1.0f, 1.0f, rng);
+}
+
+inline double ProbeLoss(const Tensor& y, const Tensor& w) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    acc += static_cast<double>(y[i]) * w[i];
+  }
+  return acc;
+}
+
+/// Central-difference gradient check of a layer w.r.t. its input and all
+/// parameters. `input` should avoid activation kinks (e.g. values near 0
+/// for ReLU).
+inline void GradCheckLayer(nn::Layer* layer, const Tensor& input,
+                           double eps = 1e-2, double tol = 2e-2) {
+  Rng rng(12345);
+  Tensor y = layer->Forward(input, /*training=*/true);
+  Tensor w = ProbeWeights(y.shape(), &rng);
+  layer->ZeroGrad();
+  Tensor grad_input = layer->Backward(w);
+
+  auto forward_loss = [&](const Tensor& x) {
+    Tensor out = layer->Forward(x, /*training=*/true);
+    return ProbeLoss(out, w);
+  };
+
+  // Input gradient.
+  Tensor x = input;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double lp = forward_loss(x);
+    x[i] = orig - static_cast<float>(eps);
+    const double lm = forward_loss(x);
+    x[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double analytic = grad_input[i];
+    EXPECT_NEAR(analytic, numeric,
+                tol * std::max(1.0, std::fabs(numeric)))
+        << "input grad mismatch at flat index " << i;
+  }
+
+  // Parameter gradients. (Analytic grads were accumulated above; the
+  // perturbed forwards below do not call Backward, so they stay valid.)
+  std::vector<Tensor*> params = layer->Parameters();
+  std::vector<Tensor*> grads = layer->Gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (size_t p = 0; p < params.size(); ++p) {
+    Tensor* param = params[p];
+    for (int64_t i = 0; i < param->size(); ++i) {
+      const float orig = (*param)[i];
+      (*param)[i] = orig + static_cast<float>(eps);
+      const double lp = forward_loss(input);
+      (*param)[i] = orig - static_cast<float>(eps);
+      const double lm = forward_loss(input);
+      (*param)[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = (*grads[p])[i];
+      EXPECT_NEAR(analytic, numeric,
+                  tol * std::max(1.0, std::fabs(numeric)))
+          << "param " << p << " grad mismatch at flat index " << i;
+    }
+  }
+}
+
+/// Aggregate gradient check for deep stacks: BatchNorm centers
+/// activations at the ReLU/LeakyReLU kink, which makes elementwise
+/// finite differences noisy, so this compares the analytic and numeric
+/// input-gradient *vectors* by cosine similarity and relative L2 error.
+inline void GradCheckLayerAggregate(nn::Layer* layer, const Tensor& input,
+                                    double eps = 2e-3,
+                                    double min_cosine = 0.98,
+                                    double max_rel_l2 = 0.2) {
+  Rng rng(54321);
+  Tensor y = layer->Forward(input, /*training=*/true);
+  Tensor w = ProbeWeights(y.shape(), &rng);
+  layer->ZeroGrad();
+  Tensor analytic = layer->Backward(w);
+
+  Tensor x = input;
+  Tensor numeric(input.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double lp = ProbeLoss(layer->Forward(x, true), w);
+    x[i] = orig - static_cast<float>(eps);
+    const double lm = ProbeLoss(layer->Forward(x, true), w);
+    x[i] = orig;
+    numeric[i] = static_cast<float>((lp - lm) / (2.0 * eps));
+  }
+  double dot = 0.0, na = 0.0, nn_ = 0.0, diff = 0.0;
+  for (int64_t i = 0; i < numeric.size(); ++i) {
+    dot += static_cast<double>(analytic[i]) * numeric[i];
+    na += static_cast<double>(analytic[i]) * analytic[i];
+    nn_ += static_cast<double>(numeric[i]) * numeric[i];
+    const double d = static_cast<double>(analytic[i]) - numeric[i];
+    diff += d * d;
+  }
+  ASSERT_GT(na, 0.0);
+  ASSERT_GT(nn_, 0.0);
+  EXPECT_GT(dot / std::sqrt(na * nn_), min_cosine);
+  EXPECT_LT(std::sqrt(diff / nn_), max_rel_l2);
+}
+
+}  // namespace testing_util
+}  // namespace tablegan
+
+#endif  // TABLEGAN_TESTS_TEST_UTIL_H_
