@@ -5,12 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "core/networks.h"
 #include "data/datasets.h"
 #include "data/normalizer.h"
 #include "data/record_matrix.h"
 #include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
 #include "nn/init.h"
 #include "privacy/dcr.h"
 #include "tensor/matmul.h"
@@ -62,6 +64,92 @@ void BM_ConvBackward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_ConvBackward)->Arg(16)->Arg(64);
+
+// Thread-scaling sweep: the same kernels at 1/2/4/8 worker threads. Every
+// parallel kernel is bitwise deterministic, so the sweep measures pure
+// speedup, not a numerics trade-off. (On a single-core host the sweep
+// still runs the threaded code paths; the recorded speedup is ~1x.)
+
+void BM_GemmThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto n = static_cast<int64_t>(state.range(1));
+  SetNumThreads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    ops::Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{1, 2, 4, 8}, {128, 256}})
+    ->UseRealTime();
+
+void BM_ConvForwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  SetNumThreads(threads);
+  Rng rng(2);
+  // Mid-stack discriminator layer at DCGAN width: 32->64, k4 s2 p1.
+  nn::Conv2d conv(32, 64, 4, 2, 1);
+  nn::DcganInitialize(&conv, &rng);
+  Tensor x = Tensor::Uniform({64, 32, 16, 16}, -1, 1, &rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ConvForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ConvBackwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  SetNumThreads(threads);
+  Rng rng(3);
+  nn::Conv2d conv(32, 64, 4, 2, 1);
+  nn::DcganInitialize(&conv, &rng);
+  Tensor x = Tensor::Uniform({64, 32, 16, 16}, -1, 1, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor grad = Tensor::Uniform(y.shape(), -1, 1, &rng);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    Tensor gx = conv.Backward(grad);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ConvBackwardThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ConvTransposeForwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  SetNumThreads(threads);
+  Rng rng(4);
+  // Mid-stack generator layer: 64->32 upsampling, k4 s2 p1.
+  nn::ConvTranspose2d deconv(64, 32, 4, 2, 1);
+  nn::DcganInitialize(&deconv, &rng);
+  Tensor x = Tensor::Uniform({64, 64, 8, 8}, -1, 1, &rng);
+  for (auto _ : state) {
+    Tensor y = deconv.Forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ConvTransposeForwardThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 void BM_GeneratorSample(benchmark::State& state) {
   Rng rng(4);

@@ -1,8 +1,54 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/logging.h"
 
 namespace tablegan {
+namespace {
+
+/// Shared state of one ParallelFor call. Helper tasks hold it by
+/// shared_ptr: a helper that only gets scheduled after the caller has
+/// already drained every index finds an exhausted counter instead of
+/// dangling references, so the caller never has to wait for helpers that
+/// were queued but never started — that is what makes re-entrant calls
+/// deadlock-free.
+struct ForState {
+  ForState(int n, std::function<void(int)> fn) : n(n), fn(std::move(fn)) {}
+
+  const int n;
+  const std::function<void(int)> fn;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure; guarded by mu
+};
+
+void DrainFor(const std::shared_ptr<ForState>& st) {
+  for (;;) {
+    const int i = st->next.fetch_add(1);
+    if (i >= st->n) return;
+    if (!st->cancelled.load(std::memory_order_relaxed)) {
+      try {
+        st->fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (!st->error) st->error = std::current_exception();
+        st->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (st->done.fetch_add(1) + 1 == st->n) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -37,18 +83,15 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
-  std::atomic<int> next{0};
-  int shards = std::min<int>(num_threads(), n);
-  for (int s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
-      for (;;) {
-        int i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
+  auto st = std::make_shared<ForState>(n, fn);
+  const int helpers = std::min(num_threads(), n - 1);
+  for (int h = 0; h < helpers; ++h) {
+    Submit([st] { DrainFor(st); });
   }
-  WaitIdle();
+  DrainFor(st);
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&] { return st->done.load() == st->n; });
+  if (st->error) std::rethrow_exception(st->error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -64,7 +107,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      TABLEGAN_LOG(Error) << "uncaught exception in pool task: " << e.what();
+    } catch (...) {
+      TABLEGAN_LOG(Error) << "uncaught non-std exception in pool task";
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

@@ -14,7 +14,9 @@ namespace tablegan {
 /// the paper) and for coarse-grained data-parallel loops.
 ///
 /// Submitted tasks run in FIFO order across workers. WaitIdle() blocks
-/// until every submitted task has finished.
+/// until every submitted task has finished. A task that throws is
+/// swallowed (with an error log) rather than terminating the process;
+/// use ParallelFor when failures must reach the caller.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; values < 1 are clamped to 1.
@@ -33,6 +35,11 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// The calling thread participates in the work, so re-entrant calls
+  /// from inside a worker cannot deadlock even when every worker is
+  /// busy. The first exception thrown by fn is rethrown on the calling
+  /// thread once every index has been accounted for; indices not yet
+  /// claimed at that point are cancelled.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:

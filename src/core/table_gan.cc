@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "core/info_loss.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -55,6 +56,7 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       return Status::InvalidArgument("label column out of range");
     }
   }
+  if (options_.num_threads > 0) SetNumThreads(options_.num_threads);
   schema_ = table.schema();
   label_cols_ = std::move(label_cols);
   const auto k = static_cast<int64_t>(label_cols_.size());
@@ -259,6 +261,7 @@ Status TableGan::FitMultiLabel(const data::Table& table,
 Result<data::Table> TableGan::Sample(int64_t n) {
   if (!fitted_) return Status::FailedPrecondition("Sample before Fit");
   if (n <= 0) return Status::InvalidArgument("n must be positive");
+  if (options_.num_threads > 0) SetNumThreads(options_.num_threads);
   const int64_t cells = static_cast<int64_t>(side_) * side_;
   const int64_t batch = std::min<int64_t>(
       n, std::max<int64_t>(2, options_.batch_size));

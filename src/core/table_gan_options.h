@@ -47,6 +47,12 @@ struct TableGanOptions {
   bool use_info_loss = true;
   bool use_classifier = true;
 
+  /// Worker threads for the tensor substrate (GEMM and im2col conv
+  /// kernels). 0 defers to the TABLEGAN_NUM_THREADS environment variable,
+  /// then to the hardware concurrency. Every parallel kernel is bitwise
+  /// deterministic: any thread count reproduces the 1-thread results.
+  int num_threads = 0;
+
   uint64_t seed = 47;
   bool verbose = false;
 

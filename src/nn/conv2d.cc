@@ -1,11 +1,20 @@
 #include "nn/conv2d.h"
 
 #include <sstream>
+#include <vector>
 
+#include "common/parallel.h"
 #include "tensor/matmul.h"
 
 namespace tablegan {
 namespace nn {
+
+// Threading model: both passes run batch-parallel over a FixedChunks
+// partition of the sample dimension. Chunk boundaries depend only on the
+// batch size, each sample's arithmetic is self-contained, and the weight/
+// bias gradients accumulate into per-chunk partials that are combined
+// serially in chunk order — so results are bitwise identical at any
+// thread count.
 
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
                int64_t stride, int64_t padding, bool bias)
@@ -30,23 +39,26 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
   const int64_t oh = g.out_h(), ow = g.out_w(), spatial = oh * ow;
   TABLEGAN_CHECK(oh > 0 && ow > 0);
   Tensor output({n, out_channels_, oh, ow});
-  if (cols_.size() != g.patch_size() * spatial) {
-    cols_ = Tensor({g.patch_size(), spatial});
-  }
   const int64_t in_sample = in_channels_ * g.in_h * g.in_w;
-  for (int64_t i = 0; i < n; ++i) {
-    ops::Im2Col(g, input.data() + i * in_sample, cols_.data());
-    float* out_slice = output.data() + i * out_channels_ * spatial;
-    ops::RawGemmNN(out_channels_, spatial, g.patch_size(), weight_.data(),
-                   cols_.data(), out_slice, /*accumulate=*/false);
-    if (has_bias_) {
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        const float b = bias_[c];
-        float* row = out_slice + c * spatial;
-        for (int64_t s = 0; s < spatial; ++s) row[s] += b;
+  const FixedChunks chunks(n, kDefaultBatchChunks);
+  ParallelFor(chunks.count, 1, [&](int64_t c0, int64_t c1) {
+    Tensor cols({g.patch_size(), spatial});
+    for (int64_t c = c0; c < c1; ++c) {
+      for (int64_t i = chunks.begin(c); i < chunks.end(c); ++i) {
+        ops::Im2Col(g, input.data() + i * in_sample, cols.data());
+        float* out_slice = output.data() + i * out_channels_ * spatial;
+        ops::RawGemmNN(out_channels_, spatial, g.patch_size(), weight_.data(),
+                       cols.data(), out_slice, /*accumulate=*/false);
+        if (has_bias_) {
+          for (int64_t ch = 0; ch < out_channels_; ++ch) {
+            const float b = bias_[ch];
+            float* row = out_slice + ch * spatial;
+            for (int64_t s = 0; s < spatial; ++s) row[s] += b;
+          }
+        }
       }
     }
-  }
+  });
   return output;
 }
 
@@ -62,26 +74,52 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
                  grad_output.dim(2) == oh && grad_output.dim(3) == ow);
 
   Tensor grad_input(input.shape());
-  Tensor grad_cols({g.patch_size(), spatial});
   const int64_t in_sample = in_channels_ * g.in_h * g.in_w;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* go_slice = grad_output.data() + i * out_channels_ * spatial;
-    // dW += dOut * cols^T    (recompute cols; cheaper than caching N copies)
-    ops::Im2Col(g, input.data() + i * in_sample, cols_.data());
-    ops::RawGemmNT(out_channels_, g.patch_size(), spatial, go_slice,
-                   cols_.data(), grad_weight_.data(), /*accumulate=*/true);
-    if (has_bias_) {
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        const float* row = go_slice + c * spatial;
-        float acc = 0.0f;
-        for (int64_t s = 0; s < spatial; ++s) acc += row[s];
-        grad_bias_[c] += acc;
+  const FixedChunks chunks(n, kDefaultBatchChunks);
+  std::vector<Tensor> dw(static_cast<size_t>(chunks.count));
+  std::vector<Tensor> db(static_cast<size_t>(has_bias_ ? chunks.count : 0));
+  ParallelFor(chunks.count, 1, [&](int64_t c0, int64_t c1) {
+    Tensor cols({g.patch_size(), spatial});
+    Tensor grad_cols({g.patch_size(), spatial});
+    for (int64_t c = c0; c < c1; ++c) {
+      auto& dw_c = dw[static_cast<size_t>(c)];
+      dw_c = Tensor({out_channels_, g.patch_size()});
+      if (has_bias_) db[static_cast<size_t>(c)] = Tensor({out_channels_});
+      for (int64_t i = chunks.begin(c); i < chunks.end(c); ++i) {
+        const float* go_slice =
+            grad_output.data() + i * out_channels_ * spatial;
+        // dW_c += dOut * cols^T  (recompute cols; cheaper than caching N
+        // copies)
+        ops::Im2Col(g, input.data() + i * in_sample, cols.data());
+        ops::RawGemmNT(out_channels_, g.patch_size(), spatial, go_slice,
+                       cols.data(), dw_c.data(), /*accumulate=*/true);
+        if (has_bias_) {
+          float* db_c = db[static_cast<size_t>(c)].data();
+          for (int64_t ch = 0; ch < out_channels_; ++ch) {
+            const float* row = go_slice + ch * spatial;
+            float acc = 0.0f;
+            for (int64_t s = 0; s < spatial; ++s) acc += row[s];
+            db_c[ch] += acc;
+          }
+        }
+        // dCols = W^T * dOut; dInput = col2im(dCols)
+        ops::RawGemmTN(g.patch_size(), spatial, out_channels_, weight_.data(),
+                       go_slice, grad_cols.data(), /*accumulate=*/false);
+        ops::Col2Im(g, grad_cols.data(), grad_input.data() + i * in_sample);
       }
     }
-    // dCols = W^T * dOut; dInput = col2im(dCols)
-    ops::RawGemmTN(g.patch_size(), spatial, out_channels_, weight_.data(),
-                   go_slice, grad_cols.data(), /*accumulate=*/false);
-    ops::Col2Im(g, grad_cols.data(), grad_input.data() + i * in_sample);
+  });
+  // Combine chunk partials serially in chunk order (fixed reduction order
+  // keeps gradients independent of the thread count).
+  for (int64_t c = 0; c < chunks.count; ++c) {
+    const float* p = dw[static_cast<size_t>(c)].data();
+    float* gw = grad_weight_.data();
+    for (int64_t idx = 0; idx < grad_weight_.size(); ++idx) gw[idx] += p[idx];
+    if (has_bias_) {
+      const float* pb = db[static_cast<size_t>(c)].data();
+      float* gb = grad_bias_.data();
+      for (int64_t ch = 0; ch < out_channels_; ++ch) gb[ch] += pb[ch];
+    }
   }
   return grad_input;
 }

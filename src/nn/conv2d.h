@@ -38,7 +38,6 @@ class Conv2d : public Layer {
   Tensor grad_weight_, grad_bias_;
 
   Tensor cached_input_;   // saved by Forward for the backward pass
-  Tensor cols_;           // im2col scratch, reused across batches
 };
 
 }  // namespace nn

@@ -1,11 +1,18 @@
 #include "nn/conv_transpose2d.h"
 
 #include <sstream>
+#include <vector>
 
+#include "common/parallel.h"
 #include "tensor/matmul.h"
 
 namespace tablegan {
 namespace nn {
+
+// Threading model mirrors Conv2d: batch-parallel over a FixedChunks
+// partition of the sample dimension, with weight/bias gradients reduced
+// over per-chunk partials in chunk order so results are bitwise identical
+// at any thread count.
 
 ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
                                  int64_t kernel, int64_t stride,
@@ -43,26 +50,29 @@ Tensor ConvTranspose2d::Forward(const Tensor& input, bool /*training*/) {
   const int64_t out_spatial = g.in_h * g.in_w;
 
   Tensor output({n, out_channels_, g.in_h, g.in_w});
-  if (cols_.size() != g.patch_size() * in_spatial) {
-    cols_ = Tensor({g.patch_size(), in_spatial});
-  }
   const int64_t in_sample = in_channels_ * in_spatial;
   const int64_t out_sample = out_channels_ * out_spatial;
-  for (int64_t i = 0; i < n; ++i) {
-    // cols = W^T * x ; output = col2im(cols)
-    ops::RawGemmTN(g.patch_size(), in_spatial, in_channels_, weight_.data(),
-                   input.data() + i * in_sample, cols_.data(),
-                   /*accumulate=*/false);
-    ops::Col2Im(g, cols_.data(), output.data() + i * out_sample);
-    if (has_bias_) {
-      float* out_slice = output.data() + i * out_sample;
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        const float b = bias_[c];
-        float* row = out_slice + c * out_spatial;
-        for (int64_t s = 0; s < out_spatial; ++s) row[s] += b;
+  const FixedChunks chunks(n, kDefaultBatchChunks);
+  ParallelFor(chunks.count, 1, [&](int64_t c0, int64_t c1) {
+    Tensor cols({g.patch_size(), in_spatial});
+    for (int64_t c = c0; c < c1; ++c) {
+      for (int64_t i = chunks.begin(c); i < chunks.end(c); ++i) {
+        // cols = W^T * x ; output = col2im(cols)
+        ops::RawGemmTN(g.patch_size(), in_spatial, in_channels_,
+                       weight_.data(), input.data() + i * in_sample,
+                       cols.data(), /*accumulate=*/false);
+        ops::Col2Im(g, cols.data(), output.data() + i * out_sample);
+        if (has_bias_) {
+          float* out_slice = output.data() + i * out_sample;
+          for (int64_t ch = 0; ch < out_channels_; ++ch) {
+            const float b = bias_[ch];
+            float* row = out_slice + ch * out_spatial;
+            for (int64_t s = 0; s < out_spatial; ++s) row[s] += b;
+          }
+        }
       }
     }
-  }
+  });
   return output;
 }
 
@@ -81,25 +91,50 @@ Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
   Tensor grad_input(input.shape());
   const int64_t in_sample = in_channels_ * in_spatial;
   const int64_t out_sample = out_channels_ * out_spatial;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* go_slice = grad_output.data() + i * out_sample;
-    // cols = im2col(dOut) over the *output* geometry.
-    ops::Im2Col(g, go_slice, cols_.data());
-    // dX = W * cols
-    ops::RawGemmNN(in_channels_, in_spatial, g.patch_size(), weight_.data(),
-                   cols_.data(), grad_input.data() + i * in_sample,
-                   /*accumulate=*/false);
-    // dW += x * cols^T
-    ops::RawGemmNT(in_channels_, g.patch_size(), in_spatial,
-                   input.data() + i * in_sample, cols_.data(),
-                   grad_weight_.data(), /*accumulate=*/true);
-    if (has_bias_) {
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        const float* row = go_slice + c * out_spatial;
-        float acc = 0.0f;
-        for (int64_t s = 0; s < out_spatial; ++s) acc += row[s];
-        grad_bias_[c] += acc;
+  const FixedChunks chunks(n, kDefaultBatchChunks);
+  std::vector<Tensor> dw(static_cast<size_t>(chunks.count));
+  std::vector<Tensor> db(static_cast<size_t>(has_bias_ ? chunks.count : 0));
+  ParallelFor(chunks.count, 1, [&](int64_t c0, int64_t c1) {
+    Tensor cols({g.patch_size(), in_spatial});
+    for (int64_t c = c0; c < c1; ++c) {
+      auto& dw_c = dw[static_cast<size_t>(c)];
+      dw_c = Tensor({in_channels_, g.patch_size()});
+      if (has_bias_) db[static_cast<size_t>(c)] = Tensor({out_channels_});
+      for (int64_t i = chunks.begin(c); i < chunks.end(c); ++i) {
+        const float* go_slice = grad_output.data() + i * out_sample;
+        // cols = im2col(dOut) over the *output* geometry.
+        ops::Im2Col(g, go_slice, cols.data());
+        // dX = W * cols
+        ops::RawGemmNN(in_channels_, in_spatial, g.patch_size(),
+                       weight_.data(), cols.data(),
+                       grad_input.data() + i * in_sample,
+                       /*accumulate=*/false);
+        // dW_c += x * cols^T
+        ops::RawGemmNT(in_channels_, g.patch_size(), in_spatial,
+                       input.data() + i * in_sample, cols.data(),
+                       dw_c.data(), /*accumulate=*/true);
+        if (has_bias_) {
+          float* db_c = db[static_cast<size_t>(c)].data();
+          for (int64_t ch = 0; ch < out_channels_; ++ch) {
+            const float* row = go_slice + ch * out_spatial;
+            float acc = 0.0f;
+            for (int64_t s = 0; s < out_spatial; ++s) acc += row[s];
+            db_c[ch] += acc;
+          }
+        }
       }
+    }
+  });
+  // Combine chunk partials serially in chunk order (fixed reduction order
+  // keeps gradients independent of the thread count).
+  for (int64_t c = 0; c < chunks.count; ++c) {
+    const float* p = dw[static_cast<size_t>(c)].data();
+    float* gw = grad_weight_.data();
+    for (int64_t idx = 0; idx < grad_weight_.size(); ++idx) gw[idx] += p[idx];
+    if (has_bias_) {
+      const float* pb = db[static_cast<size_t>(c)].data();
+      float* gb = grad_bias_.data();
+      for (int64_t ch = 0; ch < out_channels_; ++ch) gb[ch] += pb[ch];
     }
   }
   return grad_input;

@@ -43,7 +43,6 @@ class ConvTranspose2d : public Layer {
   Tensor grad_weight_, grad_bias_;
 
   Tensor cached_input_;
-  Tensor cols_;
 };
 
 }  // namespace nn

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -154,6 +158,102 @@ TEST(ThreadPoolTest, ClampsToOneThread) {
   std::atomic<int> counter{0};
   pool.ParallelFor(5, [&](int) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](int i) {
+                                  if (i == 37) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, [&](int) {
+    pool.ParallelFor(8, [&](int) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, [&](int) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPoolTest, ThrowingSubmitTaskDoesNotTerminateThePool) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("swallowed"); });
+  pool.WaitIdle();
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelTest, ThreadCountResolutionOrder) {
+  SetNumThreads(0);
+  ::setenv("TABLEGAN_NUM_THREADS", "3", 1);
+  EXPECT_EQ(GetNumThreads(), 3);
+  SetNumThreads(2);  // programmatic override beats the environment
+  EXPECT_EQ(GetNumThreads(), 2);
+  SetNumThreads(0);  // back to the environment
+  EXPECT_EQ(GetNumThreads(), 3);
+  ::unsetenv("TABLEGAN_NUM_THREADS");
+  EXPECT_GE(GetNumThreads(), 1);
+}
+
+TEST(ParallelTest, CoversRangeExactlyOnceWithChunkBoundariesFromGrain) {
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(103);
+  ParallelFor(103, 7, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin % 7, 0);          // chunk layout is a pure fn of (n, grain)
+    EXPECT_LE(end - begin, 7);
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  SetNumThreads(0);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, PropagatesBodyException) {
+  SetNumThreads(4);
+  EXPECT_THROW(ParallelFor(64, 1,
+                           [](int64_t begin, int64_t) {
+                             if (begin == 17) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  SetNumThreads(0);
+}
+
+TEST(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  SetNumThreads(4);
+  std::atomic<int> inner{0};
+  std::atomic<bool> saw_region{false};
+  ParallelFor(8, 1, [&](int64_t begin, int64_t end) {
+    if (InParallelRegion()) saw_region.store(true);
+    for (int64_t i = begin; i < end; ++i) {
+      ParallelFor(4, 1, [&](int64_t b, int64_t e) {
+        inner.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  SetNumThreads(0);
+  EXPECT_EQ(inner.load(), 32);
+  EXPECT_TRUE(saw_region.load());
+  EXPECT_FALSE(InParallelRegion());
 }
 
 }  // namespace

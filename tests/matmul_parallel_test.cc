@@ -1,0 +1,182 @@
+// Parity sweep for the thread-parallel GEMM kernels: every kernel is
+// checked against a naive triple-loop reference (numeric tolerance, since
+// cache blocking reorders float additions) and, bit for bit, against its
+// own 1-thread run (the determinism contract of common/parallel.h).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "tensor/matmul.h"
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace {
+
+// Shapes chosen to hit the degenerate cases (1x1, 1xn, mx1), odd sizes
+// that are not multiples of any block size, and sizes large enough to
+// cross the parallelization gate and the 64/256/512 cache-block edges.
+struct Shape {
+  int64_t m, n, k;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 3},    {5, 1, 4},    {3, 3, 3},
+    {5, 7, 9},   {33, 17, 65}, {64, 64, 64}, {96, 70, 300},
+    {129, 65, 33},
+};
+
+Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Uniform(std::move(shape), -1.5f, 1.5f, &rng);
+}
+
+// Naive triple-loop reference: C = alpha * op(A) * op(B) + beta * C.
+Tensor NaiveGemm(bool ta, bool tb, float alpha, const Tensor& a,
+                 const Tensor& b, float beta, const Tensor& c0) {
+  const int64_t m = ta ? a.dim(1) : a.dim(0);
+  const int64_t k = ta ? a.dim(0) : a.dim(1);
+  const int64_t n = tb ? b.dim(0) : b.dim(1);
+  Tensor c = c0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t l = 0; l < k; ++l) {
+        const float av = ta ? a.at2(l, i) : a.at2(i, l);
+        const float bv = tb ? b.at2(j, l) : b.at2(l, j);
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c.at2(i, j) = alpha * static_cast<float>(acc) + beta * c0.at2(i, j);
+    }
+  }
+  return c;
+}
+
+void ExpectNear(const Tensor& got, const Tensor& want, float tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (int64_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << "element " << i;
+  }
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<size_t>(a.size()) * sizeof(float)));
+}
+
+TEST(MatmulParallelTest, GemmMatchesNaiveAndIsThreadCountInvariant) {
+  for (const Shape& s : kShapes) {
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        for (float alpha : {0.0f, 1.0f, 0.5f, -2.0f}) {
+          for (float beta : {0.0f, 1.0f, 0.5f, -2.0f}) {
+            Tensor a = RandomTensor(
+                ta ? std::vector<int64_t>{s.k, s.m}
+                   : std::vector<int64_t>{s.m, s.k},
+                17 * static_cast<uint64_t>(s.m) + (ta ? 1 : 0));
+            Tensor b = RandomTensor(
+                tb ? std::vector<int64_t>{s.n, s.k}
+                   : std::vector<int64_t>{s.k, s.n},
+                31 * static_cast<uint64_t>(s.n) + (tb ? 1 : 0));
+            Tensor c0 = RandomTensor({s.m, s.n}, 53);
+
+            SetNumThreads(1);
+            Tensor c1 = c0;
+            ops::Gemm(ta, tb, alpha, a, b, beta, &c1);
+            SetNumThreads(4);
+            Tensor c4 = c0;
+            ops::Gemm(ta, tb, alpha, a, b, beta, &c4);
+            SetNumThreads(0);
+
+            const float tol =
+                1e-4f * static_cast<float>(s.k) * std::abs(alpha) + 1e-5f;
+            ExpectNear(c1, NaiveGemm(ta, tb, alpha, a, b, beta, c0), tol);
+            ExpectBitwiseEqual(c1, c4);
+          }
+        }
+      }
+    }
+  }
+}
+
+enum class RawKind { kNN, kNT, kTN };
+
+void RunRaw(RawKind kind, int64_t m, int64_t n, int64_t k, const Tensor& a,
+            const Tensor& b, Tensor* c, bool accumulate) {
+  switch (kind) {
+    case RawKind::kNN:
+      ops::RawGemmNN(m, n, k, a.data(), b.data(), c->data(), accumulate);
+      break;
+    case RawKind::kNT:
+      ops::RawGemmNT(m, n, k, a.data(), b.data(), c->data(), accumulate);
+      break;
+    case RawKind::kTN:
+      ops::RawGemmTN(m, n, k, a.data(), b.data(), c->data(), accumulate);
+      break;
+  }
+}
+
+TEST(MatmulParallelTest, RawGemmsMatchNaiveAndAreThreadCountInvariant) {
+  for (const Shape& s : kShapes) {
+    for (RawKind kind : {RawKind::kNN, RawKind::kNT, RawKind::kTN}) {
+      for (bool accumulate : {false, true}) {
+        // Operand layouts: NN a[m,k] b[k,n]; NT a[m,k] b[n,k]; TN a[k,m]
+        // b[k,n]. Reuse NaiveGemm via its transpose flags.
+        const bool ta = kind == RawKind::kTN;
+        const bool tb = kind == RawKind::kNT;
+        Tensor a = RandomTensor(ta ? std::vector<int64_t>{s.k, s.m}
+                                   : std::vector<int64_t>{s.m, s.k},
+                                101 + static_cast<uint64_t>(s.k));
+        Tensor b = RandomTensor(tb ? std::vector<int64_t>{s.n, s.k}
+                                   : std::vector<int64_t>{s.k, s.n},
+                                211 + static_cast<uint64_t>(s.n));
+        Tensor c0 = accumulate ? RandomTensor({s.m, s.n}, 307)
+                               : Tensor({s.m, s.n});
+
+        SetNumThreads(1);
+        Tensor c1 = c0;
+        RunRaw(kind, s.m, s.n, s.k, a, b, &c1, accumulate);
+        SetNumThreads(4);
+        Tensor c4 = c0;
+        RunRaw(kind, s.m, s.n, s.k, a, b, &c4, accumulate);
+        SetNumThreads(0);
+
+        const float tol = 1e-4f * static_cast<float>(s.k) + 1e-5f;
+        ExpectNear(c1,
+                   NaiveGemm(ta, tb, 1.0f, a, b, accumulate ? 1.0f : 0.0f,
+                             c0),
+                   tol);
+        ExpectBitwiseEqual(c1, c4);
+      }
+    }
+  }
+}
+
+// Exercises the NT cache blocking specifically: depths beyond the 256
+// l-block and widths beyond the 64 j-block, including exact multiples.
+TEST(MatmulParallelTest, RawGemmNTBlockBoundaries) {
+  for (int64_t k : {255, 256, 257, 513}) {
+    for (int64_t n : {63, 64, 65, 130}) {
+      const int64_t m = 9;
+      Tensor a = RandomTensor({m, k}, static_cast<uint64_t>(k));
+      Tensor b = RandomTensor({n, k}, static_cast<uint64_t>(n + k));
+      Tensor c1({m, n}), c4({m, n});
+      SetNumThreads(1);
+      ops::RawGemmNT(m, n, k, a.data(), b.data(), c1.data(), false);
+      SetNumThreads(4);
+      ops::RawGemmNT(m, n, k, a.data(), b.data(), c4.data(), false);
+      SetNumThreads(0);
+      const float tol = 1e-4f * static_cast<float>(k);
+      ExpectNear(c1, NaiveGemm(false, true, 1.0f, a, b, 0.0f, Tensor({m, n})),
+                 tol);
+      ExpectBitwiseEqual(c1, c4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tablegan

@@ -5,7 +5,9 @@
 //   tablegan_cli train    --data table.csv --schema table.schema
 //                         --model model.tgan [--privacy low|mid|high]
 //                         [--epochs N] [--lr X] [--channels N] [--seed N]
+//                         [--threads N]
 //   tablegan_cli sample   --model model.tgan --rows N --out synth.csv
+//                         [--threads N]
 //   tablegan_cli evaluate --data original.csv --schema table.schema
 //                         --released synth.csv
 //
@@ -23,6 +25,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "core/table_gan.h"
 #include "data/csv.h"
 #include "data/datasets.h"
@@ -130,6 +133,9 @@ int CmdTrain(Args args) {
   options.ewma_weight =
       static_cast<float>(std::atof(args.Get("ewma", "0.9")));
   options.seed = static_cast<uint64_t>(std::atoll(args.Get("seed", "47")));
+  // 0 defers to TABLEGAN_NUM_THREADS, then to the hardware default. Any
+  // value reproduces the 1-thread results bit for bit.
+  options.num_threads = std::atoi(args.Get("threads", "0"));
   options.verbose = true;
 
   core::TableGan gan(options);
@@ -142,6 +148,8 @@ int CmdTrain(Args args) {
 }
 
 int CmdSample(Args args) {
+  const int threads = std::atoi(args.Get("threads", "0"));
+  if (threads > 0) SetNumThreads(threads);
   core::TableGan gan = Unwrap(core::TableGan::Load(args.Require("model")));
   const int64_t rows = std::atoll(args.Require("rows"));
   data::Table synth = Unwrap(gan.Sample(rows));
