@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 
 namespace tablegan {
@@ -54,7 +56,17 @@ Result<data::Dataset> LoadBenchDataset(const std::string& name,
 Result<TrainedGan> TrainGan(const data::Dataset& dataset,
                             const core::TableGanOptions& options) {
   TrainedGan out;
-  out.gan = std::make_unique<core::TableGan>(options);
+  // TABLEGAN_METRICS_OUT=<path> streams the per-epoch loss/timing
+  // telemetry of every bench training run to one JSONL file (append
+  // mode: the harness trains many GANs per invocation).
+  std::unique_ptr<JsonlMetricsSink> metrics;
+  core::TableGanOptions effective = options;
+  if (const char* path = std::getenv("TABLEGAN_METRICS_OUT")) {
+    metrics = std::make_unique<JsonlMetricsSink>(path, /*append=*/true);
+    TABLEGAN_RETURN_NOT_OK(metrics->status());
+    effective.metrics_sink = metrics.get();
+  }
+  out.gan = std::make_unique<core::TableGan>(effective);
   Stopwatch watch;
   TABLEGAN_RETURN_NOT_OK(out.gan->Fit(dataset.train, dataset.label_col));
   out.seconds = watch.ElapsedSeconds();

@@ -1,0 +1,19 @@
+#ifndef TABLEGAN_COMMON_CRC32_H_
+#define TABLEGAN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tablegan {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant). Used as the
+/// integrity footer of checkpoint files so Load can reject truncated or
+/// bit-flipped files instead of reading undefined data.
+///
+/// `seed` allows incremental computation: pass a previous return value
+/// to continue a running checksum over a new chunk.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace tablegan
+
+#endif  // TABLEGAN_COMMON_CRC32_H_

@@ -1,0 +1,63 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tablegan {
+namespace {
+
+// JSON numbers must stay finite; losses can diverge to inf/NaN, which
+// the schema maps to null so downstream parsers keep working.
+void AppendNumber(std::ostringstream* os, const char* key, double v) {
+  *os << '"' << key << "\":";
+  if (std::isfinite(v)) {
+    *os << v;
+  } else {
+    *os << "null";
+  }
+}
+
+}  // namespace
+
+JsonlMetricsSink::JsonlMetricsSink(const std::string& path, bool append)
+    : path_(path),
+      out_(path, append ? (std::ios::out | std::ios::app) : std::ios::out) {
+  if (!out_) status_ = Status::IOError("cannot open metrics file: " + path);
+}
+
+Status JsonlMetricsSink::Record(const TrainingMetrics& m) {
+  if (!status_.ok()) return status_;
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"epoch\":" << m.epoch << ",\"total_epochs\":" << m.total_epochs
+     << ',';
+  AppendNumber(&os, "d_loss", m.d_loss);
+  os << ',';
+  AppendNumber(&os, "g_loss", m.g_loss);
+  os << ',';
+  AppendNumber(&os, "info_loss", m.info_loss);
+  os << ',';
+  AppendNumber(&os, "class_loss", m.class_loss);
+  os << ',';
+  AppendNumber(&os, "l_mean", m.l_mean);
+  os << ',';
+  AppendNumber(&os, "l_sd", m.l_sd);
+  os << ',';
+  AppendNumber(&os, "d_seconds", m.d_seconds);
+  os << ',';
+  AppendNumber(&os, "c_seconds", m.c_seconds);
+  os << ',';
+  AppendNumber(&os, "g_seconds", m.g_seconds);
+  os << ',';
+  AppendNumber(&os, "epoch_seconds", m.epoch_seconds);
+  os << ",\"examples\":" << m.examples << ',';
+  AppendNumber(&os, "examples_per_sec", m.examples_per_sec);
+  os << "}\n";
+  out_ << os.str();
+  out_.flush();
+  if (!out_) return Status::IOError("metrics write failed: " + path_);
+  return Status::OK();
+}
+
+}  // namespace tablegan

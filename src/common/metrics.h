@@ -1,0 +1,66 @@
+#ifndef TABLEGAN_COMMON_METRICS_H_
+#define TABLEGAN_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace tablegan {
+
+/// One machine-readable record per training epoch: the loss terms of
+/// Algorithm 2 (the trajectories behind the paper's Fig. 4-6 runs),
+/// per-phase wall time, and throughput. Loss fields mirror
+/// core::EpochStats; timing fields come from Stopwatch around the three
+/// optimizer phases of the training loop.
+struct TrainingMetrics {
+  int64_t epoch = 0;         // 1-based index of the completed epoch
+  int64_t total_epochs = 0;  // configured target
+  double d_loss = 0.0;       // discriminator BCE (real + fake halves)
+  double g_loss = 0.0;       // generator adversarial loss
+  double info_loss = 0.0;    // hinge information loss (Eq. 4)
+  double class_loss = 0.0;   // classifier discrepancy (Eq. 5)
+  double l_mean = 0.0;       // relative first-order statistics gap
+  double l_sd = 0.0;         // relative second-order statistics gap
+  double d_seconds = 0.0;    // wall time in discriminator updates
+  double c_seconds = 0.0;    // wall time in classifier updates
+  double g_seconds = 0.0;    // wall time in generator updates
+  double epoch_seconds = 0.0;
+  int64_t examples = 0;      // training examples consumed this epoch
+  double examples_per_sec = 0.0;
+};
+
+/// Pluggable per-epoch telemetry consumer. The training loop calls
+/// Record once per completed epoch; a non-OK return aborts training with
+/// that status (telemetry the caller asked for must not be lost
+/// silently — mid-run state is recoverable via checkpoints).
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual Status Record(const TrainingMetrics& metrics) = 0;
+};
+
+/// Streams each record as one JSON object per line (JSONL), flushed per
+/// record so a killed run keeps every completed epoch on disk. The
+/// schema is documented in DESIGN.md §9.
+class JsonlMetricsSink : public MetricsSink {
+ public:
+  /// Opens `path` for writing; `append` keeps existing records (used
+  /// when resuming a checkpointed run).
+  JsonlMetricsSink(const std::string& path, bool append = false);
+
+  /// Non-OK if the file could not be opened.
+  const Status& status() const { return status_; }
+
+  Status Record(const TrainingMetrics& metrics) override;
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  Status status_;
+};
+
+}  // namespace tablegan
+
+#endif  // TABLEGAN_COMMON_METRICS_H_

@@ -61,6 +61,26 @@ class Rng {
   /// Derives an independent child generator (e.g. one per thread/chunk).
   Rng Split();
 
+  /// Complete generator state, exposed so checkpoints can restore the
+  /// exact stream position (resume-from-checkpoint must replay the same
+  /// draws an uninterrupted run would make).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, has_cached_gaussian_,
+                 cached_gaussian_};
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_cached_gaussian_ = st.has_cached_gaussian;
+    cached_gaussian_ = st.cached_gaussian;
+  }
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

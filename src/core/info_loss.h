@@ -45,6 +45,16 @@ class InfoLossState {
   float l_mean() const;  // ||f_mean^X - f_mean^Z|| / ||f_mean^X||
   float l_sd() const;    // ||f_sd^X - f_sd^Z|| / ||f_sd^X||
 
+  /// EWMA state for checkpointing: x_mean, x_sd, z_mean, z_sd. The
+  /// batch-local gradient cache is intentionally excluded — it is
+  /// rebuilt by the first UpdateStatistics call after resume, before
+  /// any Loss()/GradFakeFeatures() use.
+  std::vector<Tensor*> EwmaTensors() {
+    return {&x_mean_, &x_sd_, &z_mean_, &z_sd_};
+  }
+  bool initialized() const { return initialized_; }
+  void set_initialized(bool v) { initialized_ = v; }
+
  private:
   int64_t feature_dim_;
   float w_, delta_mean_, delta_sd_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "core/info_loss.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -20,6 +23,12 @@ Tensor SigmoidOf(const Tensor& logits) {
     out[i] = 1.0f / (1.0f + std::exp(-out[i]));
   }
   return out;
+}
+
+std::string CheckpointPath(const std::string& dir, int epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-epoch-%04d.tgan", epoch);
+  return dir + "/" + name;
 }
 
 }  // namespace
@@ -55,6 +64,13 @@ Status TableGan::FitMultiLabel(const data::Table& table,
     if (label_col < 0 || label_col >= table.num_columns()) {
       return Status::InvalidArgument("label column out of range");
     }
+  }
+  if (options_.checkpoint_every < 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
+  if (options_.checkpoint_every > 0 && options_.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every requires a checkpoint_dir");
   }
   if (options_.num_threads > 0) SetNumThreads(options_.num_threads);
   schema_ = table.schema();
@@ -99,10 +115,41 @@ Status TableGan::FitMultiLabel(const data::Table& table,
   for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
 
   history_.clear();
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  int start_epoch = 0;
+  if (!options_.resume_from.empty()) {
+    // Continue a checkpointed run: restores weights, optimizer moments,
+    // the RNG stream, EWMA statistics and history, so the remaining
+    // epochs replay exactly what an uninterrupted run would compute.
+    TrainingState state{0, &adam_g, &adam_d, &adam_c, &info};
+    TABLEGAN_RETURN_NOT_OK(
+        RestoreTrainingState(options_.resume_from, &state));
+    start_epoch = state.epochs_completed;
+    if (options_.verbose) {
+      TABLEGAN_LOG(Info) << "resumed from " << options_.resume_from
+                         << " at epoch " << start_epoch;
+    }
+  }
+  if (options_.checkpoint_every > 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create checkpoint_dir " +
+                             options_.checkpoint_dir + ": " + ec.message());
+    }
+  }
+
+  for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    // Re-derive the permutation from identity each epoch: an in-place
+    // shuffle of the previous epoch's order would make the batch
+    // sequence depend on history a checkpoint does not carry, breaking
+    // bitwise resume.
+    for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
     rng_.Shuffle(&order);
     EpochStats stats;
     int num_batches = 0;
+    Stopwatch epoch_watch;
+    Stopwatch phase_watch;
+    double d_seconds = 0.0, c_seconds = 0.0, g_seconds = 0.0;
     for (int64_t start = 0; start + batch <= n; start += batch) {
       // --- Assemble the real mini-batch (Alg. 2 line 6).
       Tensor x({batch, 1, side_, side_});
@@ -126,6 +173,7 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       const Tensor zeros({batch, 1});
 
       // --- Discriminator update with L_orig^D (Alg. 2 line 8).
+      phase_watch.Restart();
       Tensor z1 = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
                                   &rng_);
       Tensor fake_for_d = generator_->Forward(z1, /*training=*/true);
@@ -147,8 +195,10 @@ Status TableGan::FitMultiLabel(const data::Table& table,
             discriminator_.head->Backward(grad));
       }
       adam_d.Step();
+      d_seconds += phase_watch.ElapsedSeconds();
 
       // --- Classifier update with L_class^C (Alg. 2 line 9).
+      phase_watch.Restart();
       if (options_.use_classifier) {
         classifier_.ZeroGrad();
         Tensor cin = RemoveLabel(x);
@@ -168,9 +218,11 @@ Status TableGan::FitMultiLabel(const data::Table& table,
         classifier_.features->Backward(classifier_.head->Backward(grad));
         adam_c.Step();
       }
+      c_seconds += phase_watch.ElapsedSeconds();
 
       // --- Generator update with L_orig^G + L_info^G + L_class^G
       //     (Alg. 2 lines 10-14).
+      phase_watch.Restart();
       generator_->ZeroGrad();
       Tensor z2 = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
                                   &rng_);
@@ -234,6 +286,7 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       }
       generator_->Backward(grad_fake);
       adam_g.Step();
+      g_seconds += phase_watch.ElapsedSeconds();
       ++num_batches;
     }
     if (num_batches > 0) {
@@ -252,6 +305,43 @@ Status TableGan::FitMultiLabel(const data::Table& table,
                          << " g=" << stats.g_orig_loss
                          << " info=" << stats.info_loss
                          << " class=" << stats.class_loss;
+    }
+
+    if (options_.metrics_sink != nullptr || options_.metrics_callback) {
+      TrainingMetrics m;
+      m.epoch = epoch + 1;
+      m.total_epochs = options_.epochs;
+      m.d_loss = stats.d_loss;
+      m.g_loss = stats.g_orig_loss;
+      m.info_loss = stats.info_loss;
+      m.class_loss = stats.class_loss;
+      m.l_mean = stats.l_mean;
+      m.l_sd = stats.l_sd;
+      m.d_seconds = d_seconds;
+      m.c_seconds = c_seconds;
+      m.g_seconds = g_seconds;
+      m.epoch_seconds = epoch_watch.ElapsedSeconds();
+      m.examples = static_cast<int64_t>(num_batches) * batch;
+      m.examples_per_sec =
+          m.epoch_seconds > 0.0
+              ? static_cast<double>(m.examples) / m.epoch_seconds
+              : 0.0;
+      if (options_.metrics_sink != nullptr) {
+        TABLEGAN_RETURN_NOT_OK(options_.metrics_sink->Record(m));
+      }
+      if (options_.metrics_callback) options_.metrics_callback(m);
+    }
+
+    if (options_.checkpoint_every > 0 &&
+        ((epoch + 1) % options_.checkpoint_every == 0 ||
+         epoch + 1 == options_.epochs)) {
+      TrainingState state{epoch + 1, &adam_g, &adam_d, &adam_c, &info};
+      TABLEGAN_RETURN_NOT_OK(
+          SaveImpl(CheckpointPath(options_.checkpoint_dir, epoch + 1),
+                   &state));
+      // Stable alias for "resume from wherever the run died".
+      TABLEGAN_RETURN_NOT_OK(
+          SaveImpl(options_.checkpoint_dir + "/latest.tgan", &state));
     }
   }
   fitted_ = true;

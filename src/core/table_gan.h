@@ -13,7 +13,12 @@
 #include "data/table.h"
 
 namespace tablegan {
+namespace nn {
+class Adam;
+}  // namespace nn
 namespace core {
+
+class InfoLossState;
 
 /// Per-epoch training telemetry.
 struct EpochStats {
@@ -75,11 +80,15 @@ class TableGan {
   /// Persists the fitted model (schema, normalizer, all three networks
   /// with their BatchNorm running statistics) to a binary file, so a
   /// trained generator can be shared and reloaded (the paper's release
-  /// workflow gives partners generator access only).
+  /// workflow gives partners generator access only). The write is
+  /// atomic (temp file + rename) and the file carries a CRC-32 footer.
   Status Save(const std::string& path) const;
 
-  /// Restores a model saved by Save(). The returned model samples with a
-  /// fresh RNG seeded from its stored options.
+  /// Restores a model saved by Save() or a mid-training checkpoint.
+  /// Truncated, bit-flipped or wrong-version files are rejected with a
+  /// non-OK Status (the CRC footer is verified before any field is
+  /// parsed). The returned model samples with a fresh RNG seeded from
+  /// its stored options.
   static Result<TableGan> Load(const std::string& path);
 
   const TableGanOptions& options() const { return options_; }
@@ -89,6 +98,26 @@ class TableGan {
   const std::vector<int>& label_cols() const { return label_cols_; }
 
  private:
+  /// Borrowed views of the mutable mid-training state a checkpoint must
+  /// capture beyond the model itself (see DESIGN.md §9 for the format).
+  struct TrainingState {
+    int epochs_completed = 0;
+    nn::Adam* adam_g = nullptr;
+    nn::Adam* adam_d = nullptr;
+    nn::Adam* adam_c = nullptr;
+    InfoLossState* info = nullptr;
+  };
+
+  /// Serializes the model — plus the training section when `train` is
+  /// non-null — to `path` atomically with a CRC-32 footer.
+  Status SaveImpl(const std::string& path, const TrainingState* train) const;
+
+  /// Restores the training section of a checkpoint into this partially
+  /// initialized model (networks and optimizers already built by Fit).
+  /// Rejects checkpoints whose options, schema or normalizer bounds do
+  /// not match the current run.
+  Status RestoreTrainingState(const std::string& path, TrainingState* train);
+
   /// Zeroes every label cell of every record matrix — remove(.) in Eq. 5.
   Tensor RemoveLabel(const Tensor& matrices) const;
 

@@ -1,23 +1,42 @@
 // Binary persistence for trained table-GAN models (TableGan::Save /
-// TableGan::Load). Format: magic + version, options, schema, normalizer
-// bounds, then the parameter and buffer tensors of the generator,
-// discriminator and classifier in construction order.
+// TableGan::Load) and mid-training checkpoints (see DESIGN.md §9).
+//
+// Format v3: magic "TGAN0003", then the model section (options, schema,
+// normalizer bounds, the parameter and buffer tensors of the generator,
+// discriminator and classifier in construction order), then an optional
+// training section (epoch counter, RNG stream, Adam moments, info-loss
+// EWMA statistics, loss history), then a CRC-32 footer over everything
+// before it. Files are written to a temp name and renamed into place so
+// a crash mid-write never leaves a half-written file at the target
+// path, and Load verifies the CRC before parsing a single field.
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
+#include "common/crc32.h"
+#include "core/info_loss.h"
 #include "core/table_gan.h"
+#include "nn/optimizer.h"
 
 namespace tablegan {
 namespace core {
 namespace {
 
-constexpr char kMagic[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '2'};
+constexpr char kMagicPrefix[4] = {'T', 'G', 'A', 'N'};
+constexpr char kMagic[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '3'};
+constexpr size_t kFooterSize = sizeof(uint32_t);
 
 // --- primitive writers/readers (little-endian host assumed; the format
 // is a cache, not an interchange format).
 
 void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
@@ -42,6 +61,11 @@ void WriteTensor(std::ostream& out, const Tensor& t) {
 }
 
 bool ReadI64(std::istream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return static_cast<bool>(in);
 }
@@ -84,15 +108,176 @@ std::vector<Tensor*> AllState(nn::Sequential* net) {
   return out;
 }
 
+bool ReadNet(std::istream& in, nn::Sequential* net) {
+  for (Tensor* t : AllState(net)) {
+    if (!ReadTensorInto(in, t)) return false;
+  }
+  return true;
+}
+
+// Writes `payload` (which must already end with its CRC footer) to a
+// temp file next to `path`, then renames it into place.
+Status AtomicWriteFile(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + tmp);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+// Reads the whole file, checks magic, version and the CRC-32 footer.
+// On success `*contents` holds the full file and `*in` is positioned
+// just past the magic.
+Status ReadVerifiedFile(const std::string& path, std::string* contents,
+                        std::istringstream* in) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!file.good() && !file.eof()) {
+    return Status::IOError("read failed: " + path);
+  }
+  *contents = std::move(buffer).str();
+  if (contents->size() < sizeof(kMagic) + kFooterSize ||
+      std::memcmp(contents->data(), kMagicPrefix, sizeof(kMagicPrefix)) !=
+          0) {
+    return Status::InvalidArgument("not a table-GAN model file: " + path);
+  }
+  if (std::memcmp(contents->data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "unsupported model file version '" +
+        contents->substr(sizeof(kMagicPrefix),
+                         sizeof(kMagic) - sizeof(kMagicPrefix)) +
+        "' (this build reads version 0003): " + path);
+  }
+  const size_t body = contents->size() - kFooterSize;
+  uint32_t stored = 0;
+  std::memcpy(&stored, contents->data() + body, kFooterSize);
+  if (Crc32(contents->data(), body) != stored) {
+    return Status::IOError("corrupt model file (CRC mismatch): " + path);
+  }
+  in->str(contents->substr(0, body));
+  in->seekg(sizeof(kMagic));
+  return Status::OK();
+}
+
+// The model-section header: everything before the network tensors.
+struct Header {
+  TableGanOptions options;
+  int side = 0;
+  std::vector<int> label_cols;
+  data::Schema schema;
+  std::vector<double> mins, maxs;
+  std::vector<data::ColumnType> types;
+};
+
+bool ReadHeader(std::istream& in, Header* h) {
+  int64_t v = 0;
+  float f = 0.0f;
+  TableGanOptions& o = h->options;
+  if (!ReadI64(in, &v)) return false;
+  o.side = static_cast<int>(v);
+  if (!ReadI64(in, &v)) return false;
+  o.latent_dim = static_cast<int>(v);
+  if (!ReadI64(in, &v)) return false;
+  o.base_channels = static_cast<int>(v);
+  if (!ReadI64(in, &v)) return false;
+  o.batch_size = static_cast<int>(v);
+  if (!ReadF32(in, &f)) return false;
+  o.delta_mean = f;
+  if (!ReadF32(in, &f)) return false;
+  o.delta_sd = f;
+  if (!ReadI64(in, &v)) return false;
+  o.seed = static_cast<uint64_t>(v);
+  if (!ReadF32(in, &o.learning_rate)) return false;
+  if (!ReadF32(in, &o.adam_beta1)) return false;
+  if (!ReadF32(in, &o.adam_beta2)) return false;
+  if (!ReadF32(in, &o.ewma_weight)) return false;
+  if (!ReadF32(in, &o.info_loss_weight)) return false;
+  if (!ReadI64(in, &v)) return false;
+  o.use_info_loss = v != 0;
+  if (!ReadI64(in, &v)) return false;
+  o.use_classifier = v != 0;
+
+  if (!ReadI64(in, &v)) return false;
+  h->side = static_cast<int>(v);
+  int64_t num_labels = 0;
+  if (!ReadI64(in, &num_labels) || num_labels < 1 || num_labels > 4096) {
+    return false;
+  }
+  for (int64_t j = 0; j < num_labels; ++j) {
+    if (!ReadI64(in, &v)) return false;
+    h->label_cols.push_back(static_cast<int>(v));
+  }
+
+  int64_t num_cols = 0;
+  if (!ReadI64(in, &num_cols) || num_cols <= 0 || num_cols > 65536) {
+    return false;
+  }
+  for (int64_t c = 0; c < num_cols; ++c) {
+    data::ColumnSpec spec;
+    if (!ReadString(in, &spec.name)) return false;
+    if (!ReadI64(in, &v)) return false;
+    spec.type = static_cast<data::ColumnType>(v);
+    if (!ReadI64(in, &v)) return false;
+    spec.role = static_cast<data::ColumnRole>(v);
+    int64_t num_cats = 0;
+    if (!ReadI64(in, &num_cats) || num_cats < 0 || num_cats > 65536) {
+      return false;
+    }
+    for (int64_t k = 0; k < num_cats; ++k) {
+      std::string cat;
+      if (!ReadString(in, &cat)) return false;
+      spec.categories.push_back(std::move(cat));
+    }
+    h->types.push_back(spec.type);
+    h->schema.AddColumn(std::move(spec));
+  }
+
+  h->mins.resize(static_cast<size_t>(num_cols));
+  h->maxs.resize(static_cast<size_t>(num_cols));
+  for (int64_t c = 0; c < num_cols; ++c) {
+    if (!ReadF64(in, &h->mins[static_cast<size_t>(c)])) return false;
+    if (!ReadF64(in, &h->maxs[static_cast<size_t>(c)])) return false;
+  }
+  return true;
+}
+
+bool ReadAdam(std::istream& in, nn::Adam* adam) {
+  int64_t t = 0;
+  if (!ReadI64(in, &t) || t < 0) return false;
+  adam->set_step_count(t);
+  for (Tensor* m : adam->MomentTensors()) {
+    if (!ReadTensorInto(in, m)) return false;
+  }
+  return true;
+}
+
+void WriteAdam(std::ostream& out, nn::Adam* adam) {
+  WriteI64(out, adam->step_count());
+  for (Tensor* m : adam->MomentTensors()) WriteTensor(out, *m);
+}
+
 }  // namespace
 
-Status TableGan::Save(const std::string& path) const {
-  if (!fitted_) return Status::FailedPrecondition("Save before Fit");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+Status TableGan::SaveImpl(const std::string& path,
+                          const TrainingState* train) const {
+  std::ostringstream out;
   out.write(kMagic, sizeof(kMagic));
 
-  // Options (only the fields that shape the architecture + sampling).
+  // Options: the fields that shape the architecture, sampling and the
+  // training trajectory (resume validates all of them).
   WriteI64(out, options_.side);
   WriteI64(out, options_.latent_dim);
   WriteI64(out, options_.base_channels);
@@ -100,6 +285,13 @@ Status TableGan::Save(const std::string& path) const {
   WriteF32(out, options_.delta_mean);
   WriteF32(out, options_.delta_sd);
   WriteI64(out, static_cast<int64_t>(options_.seed));
+  WriteF32(out, options_.learning_rate);
+  WriteF32(out, options_.adam_beta1);
+  WriteF32(out, options_.adam_beta2);
+  WriteF32(out, options_.ewma_weight);
+  WriteF32(out, options_.info_loss_weight);
+  WriteI64(out, options_.use_info_loss ? 1 : 0);
+  WriteI64(out, options_.use_classifier ? 1 : 0);
   WriteI64(out, side_);
   WriteI64(out, static_cast<int64_t>(label_cols_.size()));
   for (int col : label_cols_) WriteI64(out, col);
@@ -131,114 +323,180 @@ Status TableGan::Save(const std::string& path) const {
   write_net(classifier_.features.get());
   write_net(classifier_.head.get());
 
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Training section (mid-training checkpoints only).
+  WriteI64(out, train != nullptr ? 1 : 0);
+  if (train != nullptr) {
+    WriteI64(out, train->epochs_completed);
+    const Rng::State rs = rng_.state();
+    for (uint64_t s : rs.s) WriteU64(out, s);
+    WriteI64(out, rs.has_cached_gaussian ? 1 : 0);
+    WriteF64(out, rs.cached_gaussian);
+    WriteAdam(out, train->adam_g);
+    WriteAdam(out, train->adam_d);
+    WriteAdam(out, train->adam_c);
+    WriteI64(out, train->info->initialized() ? 1 : 0);
+    for (Tensor* t : train->info->EwmaTensors()) WriteTensor(out, *t);
+    WriteI64(out, static_cast<int64_t>(history_.size()));
+    for (const EpochStats& s : history_) {
+      WriteF32(out, s.d_loss);
+      WriteF32(out, s.g_orig_loss);
+      WriteF32(out, s.info_loss);
+      WriteF32(out, s.class_loss);
+      WriteF32(out, s.l_mean);
+      WriteF32(out, s.l_sd);
+    }
+  }
+
+  std::string payload = std::move(out).str();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  payload.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return AtomicWriteFile(path, payload);
+}
+
+Status TableGan::Save(const std::string& path) const {
+  if (!fitted_) return Status::FailedPrecondition("Save before Fit");
+  return SaveImpl(path, nullptr);
 }
 
 Result<TableGan> TableGan::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::string(magic, 8) != std::string(kMagic, 8)) {
-    return Status::InvalidArgument("not a table-GAN model file: " + path);
-  }
+  std::string contents;
+  std::istringstream in;
+  TABLEGAN_RETURN_NOT_OK(ReadVerifiedFile(path, &contents, &in));
   const auto corrupt = [&path]() {
     return Status::IOError("corrupt model file: " + path);
   };
 
-  TableGanOptions options;
-  int64_t v = 0;
-  float f = 0.0f;
-  if (!ReadI64(in, &v)) return corrupt();
-  options.side = static_cast<int>(v);
-  if (!ReadI64(in, &v)) return corrupt();
-  options.latent_dim = static_cast<int>(v);
-  if (!ReadI64(in, &v)) return corrupt();
-  options.base_channels = static_cast<int>(v);
-  if (!ReadI64(in, &v)) return corrupt();
-  options.batch_size = static_cast<int>(v);
-  if (!ReadF32(in, &f)) return corrupt();
-  options.delta_mean = f;
-  if (!ReadF32(in, &f)) return corrupt();
-  options.delta_sd = f;
-  if (!ReadI64(in, &v)) return corrupt();
-  options.seed = static_cast<uint64_t>(v);
+  Header h;
+  if (!ReadHeader(in, &h)) return corrupt();
 
-  TableGan gan(options);
-  if (!ReadI64(in, &v)) return corrupt();
-  gan.side_ = static_cast<int>(v);
-  int64_t num_labels = 0;
-  if (!ReadI64(in, &num_labels) || num_labels < 1 || num_labels > 4096) {
-    return corrupt();
-  }
-  for (int64_t j = 0; j < num_labels; ++j) {
-    if (!ReadI64(in, &v)) return corrupt();
-    gan.label_cols_.push_back(static_cast<int>(v));
-  }
-
-  int64_t num_cols = 0;
-  if (!ReadI64(in, &num_cols) || num_cols <= 0 || num_cols > 65536) {
-    return corrupt();
-  }
-  data::Schema schema;
-  std::vector<data::ColumnType> types;
-  for (int64_t c = 0; c < num_cols; ++c) {
-    data::ColumnSpec spec;
-    if (!ReadString(in, &spec.name)) return corrupt();
-    if (!ReadI64(in, &v)) return corrupt();
-    spec.type = static_cast<data::ColumnType>(v);
-    if (!ReadI64(in, &v)) return corrupt();
-    spec.role = static_cast<data::ColumnRole>(v);
-    int64_t num_cats = 0;
-    if (!ReadI64(in, &num_cats) || num_cats < 0 || num_cats > 65536) {
-      return corrupt();
-    }
-    for (int64_t k = 0; k < num_cats; ++k) {
-      std::string cat;
-      if (!ReadString(in, &cat)) return corrupt();
-      spec.categories.push_back(std::move(cat));
-    }
-    types.push_back(spec.type);
-    schema.AddColumn(std::move(spec));
-  }
-  gan.schema_ = schema;
-
-  std::vector<double> mins(static_cast<size_t>(num_cols));
-  std::vector<double> maxs(static_cast<size_t>(num_cols));
-  for (int64_t c = 0; c < num_cols; ++c) {
-    if (!ReadF64(in, &mins[static_cast<size_t>(c)])) return corrupt();
-    if (!ReadF64(in, &maxs[static_cast<size_t>(c)])) return corrupt();
-  }
-  gan.normalizer_.Restore(std::move(mins), std::move(maxs),
-                          std::move(types));
+  TableGan gan(h.options);
+  gan.side_ = h.side;
+  gan.label_cols_ = h.label_cols;
+  gan.schema_ = h.schema;
+  gan.normalizer_.Restore(std::move(h.mins), std::move(h.maxs),
+                          std::move(h.types));
   gan.codec_ = std::make_unique<data::RecordMatrixCodec>(
-      static_cast<int>(num_cols), gan.side_);
+      gan.schema_.num_columns(), gan.side_);
 
-  // Rebuild the architecture, then overwrite its state.
-  Rng init_rng(options.seed);
-  gan.generator_ = BuildGenerator(gan.side_, options.latent_dim,
-                                  options.base_channels, &init_rng);
+  // Rebuild the architecture, then overwrite its state. (The training
+  // section, if present, is ignored here: a checkpoint is a superset of
+  // a model file and loads as one.)
+  Rng init_rng(h.options.seed);
+  gan.generator_ = BuildGenerator(gan.side_, h.options.latent_dim,
+                                  h.options.base_channels, &init_rng);
   gan.discriminator_ =
-      BuildDiscriminator(gan.side_, options.base_channels, &init_rng);
+      BuildDiscriminator(gan.side_, h.options.base_channels, &init_rng);
   gan.classifier_ =
-      BuildDiscriminator(gan.side_, options.base_channels, &init_rng,
+      BuildDiscriminator(gan.side_, h.options.base_channels, &init_rng,
                          static_cast<int>(gan.label_cols_.size()));
-  auto read_net = [&in](nn::Sequential* net) {
-    for (Tensor* t : AllState(net)) {
-      if (!ReadTensorInto(in, t)) return false;
-    }
-    return true;
-  };
-  if (!read_net(gan.generator_.get()) ||
-      !read_net(gan.discriminator_.features.get()) ||
-      !read_net(gan.discriminator_.head.get()) ||
-      !read_net(gan.classifier_.features.get()) ||
-      !read_net(gan.classifier_.head.get())) {
+  if (!ReadNet(in, gan.generator_.get()) ||
+      !ReadNet(in, gan.discriminator_.features.get()) ||
+      !ReadNet(in, gan.discriminator_.head.get()) ||
+      !ReadNet(in, gan.classifier_.features.get()) ||
+      !ReadNet(in, gan.classifier_.head.get())) {
     return corrupt();
   }
+  int64_t has_training = 0;
+  if (!ReadI64(in, &has_training)) return corrupt();
   gan.fitted_ = true;
   return gan;
+}
+
+Status TableGan::RestoreTrainingState(const std::string& path,
+                                      TrainingState* train) {
+  std::string contents;
+  std::istringstream in;
+  TABLEGAN_RETURN_NOT_OK(ReadVerifiedFile(path, &contents, &in));
+  const auto corrupt = [&path]() {
+    return Status::IOError("corrupt checkpoint file: " + path);
+  };
+  const auto mismatch = [&path](const std::string& what) {
+    return Status::InvalidArgument("cannot resume from " + path +
+                                   ": checkpoint " + what +
+                                   " does not match the current run");
+  };
+
+  Header h;
+  if (!ReadHeader(in, &h)) return corrupt();
+
+  // Resuming replays the exact stream an uninterrupted run would take,
+  // so every numerics-affecting option must match.
+  const TableGanOptions& o = h.options;
+  if (o.side != options_.side || o.latent_dim != options_.latent_dim ||
+      o.base_channels != options_.base_channels ||
+      o.batch_size != options_.batch_size || o.seed != options_.seed) {
+    return mismatch("architecture options");
+  }
+  if (o.learning_rate != options_.learning_rate ||
+      o.adam_beta1 != options_.adam_beta1 ||
+      o.adam_beta2 != options_.adam_beta2 ||
+      o.ewma_weight != options_.ewma_weight ||
+      o.info_loss_weight != options_.info_loss_weight ||
+      o.delta_mean != options_.delta_mean ||
+      o.delta_sd != options_.delta_sd ||
+      o.use_info_loss != options_.use_info_loss ||
+      o.use_classifier != options_.use_classifier) {
+    return mismatch("training options");
+  }
+  if (h.side != side_) return mismatch("matrix side");
+  if (h.label_cols != label_cols_) return mismatch("label columns");
+  if (!h.schema.Equals(schema_)) return mismatch("schema");
+  if (h.mins != normalizer_.mins() || h.maxs != normalizer_.maxs()) {
+    return mismatch("normalizer bounds (different training table?)");
+  }
+
+  if (!ReadNet(in, generator_.get()) ||
+      !ReadNet(in, discriminator_.features.get()) ||
+      !ReadNet(in, discriminator_.head.get()) ||
+      !ReadNet(in, classifier_.features.get()) ||
+      !ReadNet(in, classifier_.head.get())) {
+    return corrupt();
+  }
+
+  int64_t has_training = 0;
+  if (!ReadI64(in, &has_training)) return corrupt();
+  if (has_training != 1) {
+    return Status::InvalidArgument(
+        "cannot resume from " + path +
+        ": file is a final model without a training section");
+  }
+  int64_t v = 0;
+  if (!ReadI64(in, &v) || v < 0) return corrupt();
+  train->epochs_completed = static_cast<int>(v);
+  Rng::State rs;
+  for (uint64_t& s : rs.s) {
+    if (!ReadU64(in, &s)) return corrupt();
+  }
+  if (!ReadI64(in, &v)) return corrupt();
+  rs.has_cached_gaussian = v != 0;
+  if (!ReadF64(in, &rs.cached_gaussian)) return corrupt();
+  rng_.set_state(rs);
+  if (!ReadAdam(in, train->adam_g) || !ReadAdam(in, train->adam_d) ||
+      !ReadAdam(in, train->adam_c)) {
+    return corrupt();
+  }
+  if (!ReadI64(in, &v)) return corrupt();
+  train->info->set_initialized(v != 0);
+  for (Tensor* t : train->info->EwmaTensors()) {
+    if (!ReadTensorInto(in, t)) return corrupt();
+  }
+  int64_t num_epochs = 0;
+  if (!ReadI64(in, &num_epochs) || num_epochs < 0 ||
+      num_epochs < train->epochs_completed || num_epochs > (1 << 24)) {
+    return corrupt();
+  }
+  history_.clear();
+  history_.reserve(static_cast<size_t>(num_epochs));
+  for (int64_t i = 0; i < num_epochs; ++i) {
+    EpochStats s;
+    if (!ReadF32(in, &s.d_loss) || !ReadF32(in, &s.g_orig_loss) ||
+        !ReadF32(in, &s.info_loss) || !ReadF32(in, &s.class_loss) ||
+        !ReadF32(in, &s.l_mean) || !ReadF32(in, &s.l_sd)) {
+      return corrupt();
+    }
+    history_.push_back(s);
+  }
+  return Status::OK();
 }
 
 }  // namespace core

@@ -2,6 +2,10 @@
 #define TABLEGAN_CORE_TABLE_GAN_OPTIONS_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/metrics.h"
 
 namespace tablegan {
 namespace core {
@@ -55,6 +59,29 @@ struct TableGanOptions {
 
   uint64_t seed = 47;
   bool verbose = false;
+
+  /// --- Training telemetry ------------------------------------------
+  /// Per-epoch metrics consumer (non-owning; must outlive Fit). A
+  /// JsonlMetricsSink streams the records to disk; a non-OK Record
+  /// aborts training with that status.
+  MetricsSink* metrics_sink = nullptr;
+  /// In-process per-epoch hook, called after metrics_sink. Useful for
+  /// live progress UIs and tests; exceptions are not caught.
+  std::function<void(const TrainingMetrics&)> metrics_callback;
+
+  /// --- Checkpointing / resume --------------------------------------
+  /// Write a full training checkpoint (weights, optimizer moments, RNG
+  /// stream, EWMA statistics, loss history) into `checkpoint_dir` every
+  /// this many epochs (and at the final epoch). 0 disables. Files are
+  /// written atomically (temp file + rename) with a CRC-32 footer as
+  /// `ckpt-epoch-NNNN.tgan`, plus a `latest.tgan` alias.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir;
+  /// Path of a checkpoint to resume Fit from. Training continues at the
+  /// saved epoch and is bitwise identical to an uninterrupted run; the
+  /// checkpoint must have been written with the same options and
+  /// training table (epochs may be raised to extend a finished run).
+  std::string resume_from;
 
   /// The paper's three named privacy settings (Tables 5-6), calibrated
   /// to the relative-gap scale (see delta_mean above).

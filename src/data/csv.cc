@@ -8,19 +8,116 @@ namespace tablegan {
 namespace data {
 namespace {
 
-std::vector<std::string> SplitLine(const std::string& line) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char ch : line) {
-    if (ch == ',') {
-      out.push_back(cur);
-      cur.clear();
-    } else if (ch != '\r') {
-      cur.push_back(ch);
-    }
+// RFC-4180-style quoting: a field is quoted iff it contains a comma,
+// a double quote or a line break; embedded quotes are doubled. Plain
+// fields (numbers, simple category names) are written verbatim.
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void WriteField(std::ostream& out, const std::string& s) {
+  if (!NeedsQuoting(s)) {
+    out << s;
+    return;
   }
-  out.push_back(cur);
-  return out;
+  out << '"';
+  for (char ch : s) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+enum class SplitResult {
+  kOk,
+  // The record ends inside a quoted field: the caller should append the
+  // next physical line (the field contains a line break) and retry.
+  kUnterminatedQuote,
+  // A closing quote is followed by something other than a comma or the
+  // end of the record.
+  kBadQuote,
+};
+
+// Quote-aware splitting of one logical CSV record. Unquoted fields are
+// taken verbatim; quoted fields may contain commas, doubled quotes and
+// line breaks.
+SplitResult SplitCsvRecord(const std::string& line,
+                           std::vector<std::string>* out) {
+  out->clear();
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  const size_t n = line.size();
+  bool at_field_start = true;
+  while (i < n) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < n && line[i + 1] == '"') {  // escaped quote
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        if (i < n && line[i] != ',') return SplitResult::kBadQuote;
+        continue;
+      }
+      cur.push_back(ch);
+      ++i;
+      continue;
+    }
+    if (ch == ',') {
+      out->push_back(std::move(cur));
+      cur.clear();
+      at_field_start = true;
+      ++i;
+      continue;
+    }
+    if (ch == '"' && at_field_start) {
+      in_quotes = true;
+      at_field_start = false;
+      ++i;
+      continue;
+    }
+    cur.push_back(ch);
+    at_field_start = false;
+    ++i;
+  }
+  if (in_quotes) return SplitResult::kUnterminatedQuote;
+  out->push_back(std::move(cur));
+  return SplitResult::kOk;
+}
+
+// Reads one logical record: a physical line, plus continuation lines
+// while a quoted field spans a line break. Strips one trailing '\r' per
+// physical line (CRLF input). Returns false at end of input.
+Result<bool> ReadRecord(std::istream& in, std::vector<std::string>* cells,
+                        int64_t* line_no) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  ++*line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  SplitResult result = SplitCsvRecord(line, cells);
+  while (result == SplitResult::kUnterminatedQuote) {
+    std::string next;
+    if (!std::getline(in, next)) {
+      return Status::InvalidArgument(
+          "unterminated quoted field starting at line " +
+          std::to_string(*line_no));
+    }
+    ++*line_no;
+    if (!next.empty() && next.back() == '\r') next.pop_back();
+    line.push_back('\n');
+    line.append(next);
+    result = SplitCsvRecord(line, cells);
+  }
+  if (result == SplitResult::kBadQuote) {
+    return Status::InvalidArgument(
+        "malformed quoting (text after closing quote) at line " +
+        std::to_string(*line_no));
+  }
+  return true;
 }
 
 }  // namespace
@@ -31,10 +128,12 @@ Status WriteCsv(const Table& table, const std::string& path) {
   const Schema& schema = table.schema();
   for (int c = 0; c < schema.num_columns(); ++c) {
     if (c) out << ',';
-    out << schema.column(c).name;
+    WriteField(out, schema.column(c).name);
   }
   out << '\n';
-  out.precision(10);
+  // max_digits10 makes the double -> text -> double trip lossless; the
+  // old precision(10) silently perturbed values below ~1e-10 relative.
+  out.precision(std::numeric_limits<double>::max_digits10);
   for (int64_t r = 0; r < table.num_rows(); ++r) {
     for (int c = 0; c < schema.num_columns(); ++c) {
       if (c) out << ',';
@@ -42,11 +141,18 @@ Status WriteCsv(const Table& table, const std::string& path) {
       const double v = table.Get(r, c);
       if (spec.type == ColumnType::kCategorical &&
           !spec.categories.empty()) {
-        int idx = static_cast<int>(std::lround(v));
-        if (idx >= 0 && idx < spec.num_categories()) {
-          out << spec.categories[static_cast<size_t>(idx)];
-          continue;
+        const int idx = static_cast<int>(std::lround(v));
+        if (!std::isfinite(v) || idx < 0 || idx >= spec.num_categories()) {
+          // Emitting the raw code would produce a file ReadCsv rejects
+          // (it is not a category of this column); fail loudly instead.
+          return Status::InvalidArgument(
+              "categorical value " + std::to_string(v) +
+              " out of range [0, " +
+              std::to_string(spec.num_categories()) + ") for column '" +
+              spec.name + "' at row " + std::to_string(r));
         }
+        WriteField(out, spec.categories[static_cast<size_t>(idx)]);
+        continue;
       }
       out << v;
     }
@@ -59,11 +165,11 @@ Status WriteCsv(const Table& table, const std::string& path) {
 Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::IOError("empty CSV: " + path);
-  }
-  std::vector<std::string> header = SplitLine(line);
+  std::vector<std::string> header;
+  int64_t line_no = 0;
+  TABLEGAN_ASSIGN_OR_RETURN(bool has_header,
+                            ReadRecord(in, &header, &line_no));
+  if (!has_header) return Status::IOError("empty CSV: " + path);
   if (static_cast<int>(header.size()) != schema.num_columns()) {
     return Status::InvalidArgument("CSV header width mismatch in " + path);
   }
@@ -77,11 +183,11 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
 
   Table table(schema);
   std::vector<double> row(static_cast<size_t>(schema.num_columns()));
-  int64_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::vector<std::string> cells = SplitLine(line);
+  std::vector<std::string> cells;
+  for (;;) {
+    TABLEGAN_ASSIGN_OR_RETURN(bool more, ReadRecord(in, &cells, &line_no));
+    if (!more) break;
+    if (cells.size() == 1 && cells[0].empty()) continue;  // blank line
     if (static_cast<int>(cells.size()) != schema.num_columns()) {
       return Status::InvalidArgument("bad cell count at line " +
                                      std::to_string(line_no));
@@ -89,24 +195,33 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
     for (int c = 0; c < schema.num_columns(); ++c) {
       const std::string& cell = cells[static_cast<size_t>(c)];
       const ColumnSpec& spec = schema.column(c);
-      bool parsed = false;
-      if (spec.type == ColumnType::kCategorical) {
+      if (spec.type == ColumnType::kCategorical &&
+          !spec.categories.empty()) {
+        bool matched = false;
         for (int k = 0; k < spec.num_categories(); ++k) {
           if (spec.categories[static_cast<size_t>(k)] == cell) {
             row[static_cast<size_t>(c)] = k;
-            parsed = true;
+            matched = true;
             break;
           }
         }
-      }
-      if (!parsed) {
-        try {
-          row[static_cast<size_t>(c)] = std::stod(cell);
-        } catch (...) {
-          return Status::InvalidArgument("unparseable cell '" + cell +
-                                         "' at line " +
-                                         std::to_string(line_no));
+        // A numeric-looking unknown level must not fall through to the
+        // number parser: it would silently become an out-of-range code.
+        if (!matched) {
+          return Status::InvalidArgument(
+              "unknown category '" + cell + "' for column '" + spec.name +
+              "' at line " + std::to_string(line_no));
         }
+        continue;
+      }
+      try {
+        size_t consumed = 0;
+        row[static_cast<size_t>(c)] = std::stod(cell, &consumed);
+        if (consumed != cell.size()) throw std::invalid_argument(cell);
+      } catch (...) {
+        return Status::InvalidArgument("unparseable cell '" + cell +
+                                       "' at line " +
+                                       std::to_string(line_no));
       }
     }
     table.AppendRow(row);

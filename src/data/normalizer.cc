@@ -73,6 +73,17 @@ Result<Table> MinMaxNormalizer::InverseTransform(const Tensor& encoded,
       if (types_[static_cast<size_t>(c)] != ColumnType::kContinuous) {
         v = std::round(v);
       }
+      if (types_[static_cast<size_t>(c)] == ColumnType::kCategorical) {
+        // Rounding can push a sampled code just past the level range
+        // (e.g. non-integer fitted bounds); clamp into the schema's
+        // category domain so WriteCsv never sees an unwritable code.
+        const int nc = schema.column(c).num_categories();
+        if (nc > 0) {
+          v = std::clamp(v, 0.0, static_cast<double>(nc - 1));
+        } else {
+          v = std::clamp(v, std::round(lo), std::round(hi));
+        }
+      }
       out.Set(r, c, v);
     }
   }

@@ -33,11 +33,21 @@ Result<Tensor> RecordMatrixCodec::ToMatrices(const Tensor& records) const {
   }
   const int64_t n = records.dim(0);
   const int64_t cells = static_cast<int64_t>(side_) * side_;
+  const int64_t pad = cells - num_attributes_;
   Tensor out({n, 1, side_, side_});
   for (int64_t i = 0; i < n; ++i) {
     std::memcpy(out.data() + i * cells, records.data() + i * num_attributes_,
                 sizeof(float) * static_cast<size_t>(num_attributes_));
+    // The discriminator sees every cell: the padding beyond the
+    // attributes must be exactly zero (paper §3.2). Zero it explicitly
+    // rather than relying on Tensor's zero-construction, so a future
+    // uninitialized-allocation optimization cannot leak garbage here.
+    if (pad > 0) {
+      std::memset(out.data() + i * cells + num_attributes_, 0,
+                  sizeof(float) * static_cast<size_t>(pad));
+    }
   }
+  TABLEGAN_DCHECK(pad == 0 || out[cells - 1] == 0.0f);
   return out;
 }
 

@@ -51,6 +51,19 @@ class Adam : public Optimizer {
        float eps = 1e-8f);
   void Step() override;
 
+  /// Optimizer state for checkpointing: the bias-correction step count
+  /// and the first/second moment tensors (m for every parameter, then v
+  /// for every parameter, in binding order).
+  int64_t step_count() const { return t_; }
+  void set_step_count(int64_t t) { t_ = t; }
+  std::vector<Tensor*> MomentTensors() {
+    std::vector<Tensor*> out;
+    out.reserve(m_.size() + v_.size());
+    for (Tensor& m : m_) out.push_back(&m);
+    for (Tensor& v : v_) out.push_back(&v);
+    return out;
+  }
+
  private:
   float lr_, beta1_, beta2_, eps_;
   int64_t t_ = 0;

@@ -5,7 +5,9 @@
 //   tablegan_cli train    --data table.csv --schema table.schema
 //                         --model model.tgan [--privacy low|mid|high]
 //                         [--epochs N] [--lr X] [--channels N] [--seed N]
-//                         [--threads N]
+//                         [--threads N] [--metrics-out metrics.jsonl]
+//                         [--checkpoint-every N] [--checkpoint-dir dir]
+//                         [--resume checkpoint.tgan]
 //   tablegan_cli sample   --model model.tgan --rows N --out synth.csv
 //                         [--threads N]
 //   tablegan_cli evaluate --data original.csv --schema table.schema
@@ -16,15 +18,23 @@
 // fits table-GAN and saves the model; `sample` loads it and writes a
 // synthetic table; `evaluate` reports DCR and a quick model-
 // compatibility check between an original and a released table.
+//
+// Long trains are recoverable: `--checkpoint-every N --checkpoint-dir d`
+// writes atomic CRC-checked checkpoints, and a killed run repeated with
+// the same flags plus `--resume d/latest.tgan` continues at the saved
+// epoch, bitwise identical to an uninterrupted run. `--metrics-out`
+// streams per-epoch losses and timings as JSONL (schema: DESIGN.md §9).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "core/table_gan.h"
 #include "data/csv.h"
@@ -137,6 +147,23 @@ int CmdTrain(Args args) {
   // value reproduces the 1-thread results bit for bit.
   options.num_threads = std::atoi(args.Get("threads", "0"));
   options.verbose = true;
+  options.checkpoint_every = std::atoi(args.Get("checkpoint-every", "0"));
+  options.checkpoint_dir = args.Get("checkpoint-dir", "");
+  options.resume_from = args.Get("resume", "");
+  if (options.checkpoint_every > 0 && options.checkpoint_dir.empty()) {
+    Fail(Status::InvalidArgument(
+        "--checkpoint-every requires --checkpoint-dir"));
+  }
+
+  std::unique_ptr<JsonlMetricsSink> metrics;
+  if (const char* metrics_path = args.Get("metrics-out")) {
+    // A resumed run appends so the JSONL keeps one record per epoch
+    // across the kill/resume boundary.
+    metrics = std::make_unique<JsonlMetricsSink>(
+        metrics_path, /*append=*/!options.resume_from.empty());
+    if (!metrics->status().ok()) Fail(metrics->status());
+    options.metrics_sink = metrics.get();
+  }
 
   core::TableGan gan(options);
   TABLEGAN_CHECK_OK(gan.Fit(table, labels[0]));
