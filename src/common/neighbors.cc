@@ -1,0 +1,80 @@
+#include "common/neighbors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tablegan {
+namespace {
+
+// Corpus rows held hot in cache while a strip of queries scans them.
+constexpr int64_t kCorpusBlock = 256;
+// Per-chunk work floor for the query partition, in multiply-adds.
+constexpr int64_t kQueryGrainFlops = int64_t{1} << 15;
+
+// Number of Welford partials; bounds partial-buffer memory while leaving
+// enough chunks for every pool worker.
+constexpr int64_t kMomentChunks = 64;
+
+}  // namespace
+
+void NearestSquaredDistances(const float* queries, int64_t num_queries,
+                             const float* corpus, int64_t num_corpus,
+                             int64_t dim, float* out) {
+  if (num_queries <= 0) return;
+  if (num_corpus <= 0) {
+    std::fill(out, out + num_queries,
+              std::numeric_limits<float>::infinity());
+    return;
+  }
+  const int64_t grain = std::max<int64_t>(
+      1, kQueryGrainFlops / std::max<int64_t>(1, num_corpus * dim));
+  ParallelFor(num_queries, grain, [=](int64_t q0, int64_t q1) {
+    std::fill(out + q0, out + q1, std::numeric_limits<float>::max());
+    for (int64_t s0 = 0; s0 < num_corpus; s0 += kCorpusBlock) {
+      const int64_t s1 = std::min(num_corpus, s0 + kCorpusBlock);
+      for (int64_t q = q0; q < q1; ++q) {
+        const float* a = queries + q * dim;
+        float best = out[q];
+        for (int64_t s = s0; s < s1; ++s) {
+          const float* b = corpus + s * dim;
+          float d = 0.0f;
+          for (int64_t j = 0; j < dim; ++j) {
+            const float diff = a[j] - b[j];
+            d += diff * diff;
+          }
+          best = std::min(best, d);
+        }
+        out[q] = best;
+      }
+    }
+  });
+}
+
+double Moments::StdDev() const { return std::sqrt(Variance()); }
+
+Moments ComputeMoments(int64_t n,
+                       const std::function<double(int64_t)>& value) {
+  Moments total;
+  if (n <= 0) return total;
+  const FixedChunks chunks(n, kMomentChunks);
+  std::vector<Moments> partials(static_cast<size_t>(chunks.count));
+  ParallelFor(chunks.count, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      Moments m;
+      for (int64_t i = chunks.begin(c); i < chunks.end(c); ++i) {
+        m.Push(value(i));
+      }
+      partials[static_cast<size_t>(c)] = m;
+    }
+  });
+  for (int64_t c = 0; c < chunks.count; ++c) {
+    total.Merge(partials[static_cast<size_t>(c)]);
+  }
+  return total;
+}
+
+}  // namespace tablegan

@@ -1,0 +1,68 @@
+#ifndef TABLEGAN_COMMON_NEIGHBORS_H_
+#define TABLEGAN_COMMON_NEIGHBORS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace tablegan {
+
+/// Blocked, thread-parallel brute-force nearest-neighbor scan shared by
+/// the privacy evaluation paths (DCR, risk sweeps) and any other O(n*m)
+/// distance workload. For each of the `num_queries` row-major queries of
+/// dimension `dim`, writes the squared Euclidean distance to its nearest
+/// of the `num_corpus` corpus rows into `out[q]`.
+///
+/// Determinism: queries are partitioned into disjoint output slices
+/// (chunk boundaries a pure function of the problem shape), each query's
+/// scan visits the corpus in the same blocked order at any thread count,
+/// and min is order-insensitive — so the result is bitwise identical to
+/// the serial scan at any parallelism level.
+void NearestSquaredDistances(const float* queries, int64_t num_queries,
+                             const float* corpus, int64_t num_corpus,
+                             int64_t dim, float* out);
+
+/// Streaming mean/variance accumulator (Welford), mergeable in fixed
+/// order via Chan et al.'s pairwise update. Replaces E[x^2] - mean^2
+/// formulas, which cancel catastrophically for tight distributions.
+struct Moments {
+  int64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  // sum of squared deviations from the running mean
+
+  void Push(double x) {
+    ++count;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
+  }
+
+  void Merge(const Moments& o) {
+    if (o.count == 0) return;
+    if (count == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean - mean;
+    const int64_t total = count + o.count;
+    mean += delta * static_cast<double>(o.count) / static_cast<double>(total);
+    m2 += o.m2 + delta * delta * static_cast<double>(count) *
+                     static_cast<double>(o.count) / static_cast<double>(total);
+    count = total;
+  }
+
+  double Variance() const {
+    return count > 0 ? m2 / static_cast<double>(count) : 0.0;
+  }
+  double StdDev() const;
+};
+
+/// Parallel Welford moments of value(i) over i in [0, n): per-chunk
+/// partials over a FixedChunks partition (boundaries a pure function of
+/// n), merged serially in chunk order — bitwise reproducible at any
+/// thread count, including 1.
+Moments ComputeMoments(int64_t n,
+                       const std::function<double(int64_t)>& value);
+
+}  // namespace tablegan
+
+#endif  // TABLEGAN_COMMON_NEIGHBORS_H_

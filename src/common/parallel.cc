@@ -105,6 +105,10 @@ void SetNumThreads(int n) {
   g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
 }
 
+int GetNumThreadsOverride() {
+  return g_override.load(std::memory_order_relaxed);
+}
+
 bool InParallelRegion() { return tl_region_depth > 0; }
 
 void ParallelFor(int64_t n, int64_t grain,

@@ -29,6 +29,30 @@ int GetNumThreads();
 /// the next ParallelFor call.
 void SetNumThreads(int n);
 
+/// Current programmatic override as set by SetNumThreads (0 when none).
+/// Unlike GetNumThreads() this does not fall back to the environment or
+/// hardware default; it exists so scoped overrides can restore the exact
+/// prior state.
+int GetNumThreadsOverride();
+
+/// RAII scope for a thread-count override. Applies `n` (when n >= 1) on
+/// construction and restores the previous override — including "no
+/// override" — on destruction, so a per-model `num_threads` option never
+/// leaks into unrelated work on the same process.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : saved_(GetNumThreadsOverride()) {
+    if (n > 0) SetNumThreads(n);
+  }
+  ~ScopedNumThreads() { SetNumThreads(saved_); }
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
 /// True while the calling thread is executing a ParallelFor body. Nested
 /// ParallelFor calls run inline (serially) instead of re-entering the
 /// pool, which keeps re-entrant kernels deadlock-free.

@@ -8,6 +8,13 @@
 
 namespace tablegan {
 
+/// Deterministically combines two 64-bit values into a well-mixed seed
+/// (asymmetric combine + splitmix64 finalizer). Used to derive
+/// counter-indexed RNG substreams — e.g. one independent stream per
+/// sampled row — whose draws do not depend on how work is batched or
+/// partitioned across threads.
+uint64_t MixSeeds(uint64_t a, uint64_t b);
+
 /// Deterministic pseudo-random generator (xoshiro256**).
 ///
 /// Used everywhere in the library instead of std:: engines so that

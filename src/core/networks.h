@@ -23,6 +23,12 @@ struct TwoPartNet {
     return head->Forward(features->Forward(input, training), training);
   }
 
+  /// Stateless inference to logits (see nn::Layer::Infer): const and
+  /// cache-free, safe to call concurrently over disjoint row shards.
+  Tensor InferLogits(const Tensor& input) const {
+    return head->Infer(features->Infer(input));
+  }
+
   void ZeroGrad() {
     features->ZeroGrad();
     head->ZeroGrad();

@@ -31,10 +31,23 @@ std::string CheckpointPath(const std::string& dir, int epoch) {
   return dir + "/" + name;
 }
 
+// Rows per generator/discriminator inference block. A fixed constant —
+// never the training batch size — so the block decomposition, and with
+// it every row's latent draw and forward pass, is identical no matter
+// what batch_size the model was configured with.
+constexpr int64_t kInferBlockRows = 64;
+
+// Domain tag separating Sample's latent stream from every other use of
+// options.seed (weight init, shuffling).
+constexpr uint64_t kSampleStreamTag = 0x53616d706c65ULL;  // "Sample"
+
 }  // namespace
 
 TableGan::TableGan(TableGanOptions options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options),
+      rng_(options.seed),
+      sample_stream_seed_(
+          MixSeeds(static_cast<uint64_t>(options.seed), kSampleStreamTag)) {}
 
 Tensor TableGan::RemoveLabel(const Tensor& matrices) const {
   Tensor out = matrices;
@@ -72,7 +85,9 @@ Status TableGan::FitMultiLabel(const data::Table& table,
     return Status::InvalidArgument(
         "checkpoint_every requires a checkpoint_dir");
   }
-  if (options_.num_threads > 0) SetNumThreads(options_.num_threads);
+  // Scoped so a per-model num_threads never leaks into other models or
+  // evaluation code sharing the process-wide pool.
+  ScopedNumThreads scoped_threads(options_.num_threads);
   schema_ = table.schema();
   label_cols_ = std::move(label_cols);
   const auto k = static_cast<int64_t>(label_cols_.size());
@@ -351,21 +366,48 @@ Status TableGan::FitMultiLabel(const data::Table& table,
 Result<data::Table> TableGan::Sample(int64_t n) {
   if (!fitted_) return Status::FailedPrecondition("Sample before Fit");
   if (n <= 0) return Status::InvalidArgument("n must be positive");
-  if (options_.num_threads > 0) SetNumThreads(options_.num_threads);
+  ScopedNumThreads scoped_threads(options_.num_threads);
   const int64_t cells = static_cast<int64_t>(side_) * side_;
-  const int64_t batch = std::min<int64_t>(
-      n, std::max<int64_t>(2, options_.batch_size));
+  const int64_t latent = options_.latent_dim;
+  const uint64_t first = sample_rows_emitted_;
   Tensor all({n, cells});
-  int64_t produced = 0;
-  while (produced < n) {
-    const int64_t take = std::min<int64_t>(batch, n - produced);
-    Tensor z = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
-                               &rng_);
-    Tensor fake = generator_->Forward(z, /*training=*/false);
+
+  // Row blocks of a fixed size, each generated independently: row i's
+  // latent comes from its own counter-derived substream, and the
+  // generator runs cache-free (Infer), so blocks can be produced on any
+  // thread in any order and still write the exact bits a serial pass
+  // would. Exactly n rows are generated — the old code drew and ran the
+  // generator on a full batch even for a short tail, then discarded the
+  // excess while still consuming its latent draws.
+  const int64_t num_blocks = (n + kInferBlockRows - 1) / kInferBlockRows;
+  auto run_block = [&](int64_t b) {
+    const int64_t row0 = b * kInferBlockRows;
+    const int64_t take = std::min<int64_t>(kInferBlockRows, n - row0);
+    Tensor z({take, latent});
+    for (int64_t r = 0; r < take; ++r) {
+      Rng row_rng(MixSeeds(sample_stream_seed_,
+                           first + static_cast<uint64_t>(row0 + r)));
+      float* zr = z.data() + r * latent;
+      // Same draw sequence as Tensor::Uniform.
+      for (int64_t j = 0; j < latent; ++j) {
+        zr[j] = static_cast<float>(row_rng.Uniform(-1.0f, 1.0f));
+      }
+    }
+    Tensor fake = generator_->Infer(z);
     std::copy(fake.data(), fake.data() + take * cells,
-              all.data() + produced * cells);
-    produced += take;
+              all.data() + row0 * cells);
+  };
+  if (num_blocks > 1 && GetNumThreads() > 1) {
+    ParallelFor(num_blocks, 1, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) run_block(b);
+    });
+  } else {
+    // Single block or single thread: run on the caller so the generator's
+    // inner kernels can still use the pool.
+    for (int64_t b = 0; b < num_blocks; ++b) run_block(b);
   }
+  sample_rows_emitted_ = first + static_cast<uint64_t>(n);
+
   Tensor matrices = all.Reshaped({n, 1, side_, side_});
   TABLEGAN_ASSIGN_OR_RETURN(Tensor records, codec_->FromMatrices(matrices));
   return normalizer_.InverseTransform(records, schema_);
@@ -385,11 +427,32 @@ Result<std::vector<double>> TableGan::DiscriminatorScores(
     encoded[i] = std::clamp(encoded[i], -1.0f, 1.0f);
   }
   TABLEGAN_ASSIGN_OR_RETURN(Tensor matrices, codec_->ToMatrices(encoded));
-  Tensor logits = discriminator_.ForwardLogits(matrices, /*training=*/false);
-  std::vector<double> out(static_cast<size_t>(logits.size()));
-  for (int64_t i = 0; i < logits.size(); ++i) {
-    out[static_cast<size_t>(i)] =
-        1.0 / (1.0 + std::exp(-static_cast<double>(logits[i])));
+  // Row-sharded scoring mirrors Sample: fixed-size blocks through the
+  // cache-free inference path, each writing a disjoint slice of `out`.
+  ScopedNumThreads scoped_threads(options_.num_threads);
+  const int64_t n = matrices.dim(0);
+  const int64_t cells = static_cast<int64_t>(side_) * side_;
+  std::vector<double> out(static_cast<size_t>(n));
+  const int64_t num_blocks = (n + kInferBlockRows - 1) / kInferBlockRows;
+  auto score_block = [&](int64_t b) {
+    const int64_t row0 = b * kInferBlockRows;
+    const int64_t take = std::min<int64_t>(kInferBlockRows, n - row0);
+    Tensor block({take, 1, side_, side_});
+    std::copy(matrices.data() + row0 * cells,
+              matrices.data() + (row0 + take) * cells, block.data());
+    Tensor logits = discriminator_.InferLogits(block);
+    TABLEGAN_CHECK(logits.size() == take);
+    for (int64_t i = 0; i < take; ++i) {
+      out[static_cast<size_t>(row0 + i)] =
+          1.0 / (1.0 + std::exp(-static_cast<double>(logits[i])));
+    }
+  };
+  if (num_blocks > 1 && GetNumThreads() > 1) {
+    ParallelFor(num_blocks, 1, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) score_block(b);
+    });
+  } else {
+    for (int64_t b = 0; b < num_blocks; ++b) score_block(b);
   }
   return out;
 }

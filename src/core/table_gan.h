@@ -66,6 +66,14 @@ class TableGan {
 
   /// Generates `n` synthetic records and decodes them to a table with
   /// the training schema.
+  ///
+  /// Determinism contract: the latent vector of output row i is drawn
+  /// from its own counter-derived RNG substream, indexed by the number of
+  /// rows emitted by earlier Sample calls plus i. The output is therefore
+  /// a pure function of (options.seed, rows emitted so far, n) — bitwise
+  /// identical across batch sizes and thread counts, while successive
+  /// calls still produce fresh rows. Row blocks are generated in
+  /// parallel across disjoint output slices when threads are available.
   Result<data::Table> Sample(int64_t n);
 
   /// Discriminator probability D(r) of being real, per record of
@@ -134,6 +142,14 @@ class TableGan {
   TwoPartNet discriminator_;
   TwoPartNet classifier_;
   Rng rng_{47};
+
+  /// Stream seed for Sample's per-row latent substreams, derived from
+  /// options.seed; row i of a call draws from
+  /// Rng(MixSeeds(sample_stream_seed_, sample_rows_emitted_ + i)).
+  uint64_t sample_stream_seed_ = 0;
+  /// Rows emitted by prior Sample calls. Deliberately not serialized:
+  /// a freshly loaded model samples from counter 0, like a fresh Fit.
+  uint64_t sample_rows_emitted_ = 0;
 
   std::vector<EpochStats> history_;
 };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace tablegan {
@@ -130,24 +133,31 @@ Result<double> CorrelationDifference(const data::Table& original,
       }
       sd[static_cast<size_t>(c)] = std::sqrt(sd[static_cast<size_t>(c)] / n);
     }
+    // Pair-parallel over the first index: each `a` owns the disjoint
+    // corr[a*f + b] slice, and every pair's covariance sum is computed
+    // in the same serial row order regardless of thread count.
     std::vector<double> corr(static_cast<size_t>(f * f), 0.0);
-    for (int a = 0; a < f; ++a) {
-      for (int b = a + 1; b < f; ++b) {
-        if (sd[static_cast<size_t>(a)] < 1e-12 ||
-            sd[static_cast<size_t>(b)] < 1e-12) {
-          continue;  // constant columns contribute correlation 0
+    ParallelFor(f, 1, [&](int64_t a0, int64_t a1) {
+      for (int64_t a = a0; a < a1; ++a) {
+        for (int64_t b = a + 1; b < f; ++b) {
+          if (sd[static_cast<size_t>(a)] < 1e-12 ||
+              sd[static_cast<size_t>(b)] < 1e-12) {
+            continue;  // constant columns contribute correlation 0
+          }
+          double cov = 0.0;
+          const auto& ca = t.column(static_cast<int>(a));
+          const auto& cb = t.column(static_cast<int>(b));
+          for (int64_t r = 0; r < t.num_rows(); ++r) {
+            cov +=
+                (ca[static_cast<size_t>(r)] - mean[static_cast<size_t>(a)]) *
+                (cb[static_cast<size_t>(r)] - mean[static_cast<size_t>(b)]);
+          }
+          corr[static_cast<size_t>(a * f + b)] =
+              cov / n /
+              (sd[static_cast<size_t>(a)] * sd[static_cast<size_t>(b)]);
         }
-        double cov = 0.0;
-        const auto& ca = t.column(a);
-        const auto& cb = t.column(b);
-        for (int64_t r = 0; r < t.num_rows(); ++r) {
-          cov += (ca[static_cast<size_t>(r)] - mean[static_cast<size_t>(a)]) *
-                 (cb[static_cast<size_t>(r)] - mean[static_cast<size_t>(b)]);
-        }
-        corr[static_cast<size_t>(a * f + b)] =
-            cov / n / (sd[static_cast<size_t>(a)] * sd[static_cast<size_t>(b)]);
       }
-    }
+    });
     return corr;
   };
 
@@ -259,21 +269,44 @@ Result<FidelityReport> EvaluateFidelity(const data::Table& original,
     return Status::InvalidArgument("schema mismatch in fidelity report");
   }
   FidelityReport report;
-  double ks_sum = 0.0;
-  for (int c = 0; c < original.num_columns(); ++c) {
-    ColumnFidelity cf;
-    cf.name = original.schema().column(c).name;
-    TABLEGAN_ASSIGN_OR_RETURN(cf.ks,
-                              ColumnKsDistance(original, released, c));
-    if (original.schema().column(c).type != data::ColumnType::kContinuous) {
-      TABLEGAN_ASSIGN_OR_RETURN(cf.tv,
-                                ColumnTvDistance(original, released, c));
+  // Column-parallel dispatch: every column's KS/TV computation is
+  // independent and writes its own slot, so columns can run on any
+  // thread. Aggregation (mean/worst) happens serially afterwards in
+  // column order — identical results at any thread count.
+  const int num_cols = original.num_columns();
+  std::vector<ColumnFidelity> columns(static_cast<size_t>(num_cols));
+  std::vector<Status> statuses(static_cast<size_t>(num_cols), Status::OK());
+  ParallelFor(num_cols, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const int col = static_cast<int>(c);
+      ColumnFidelity& cf = columns[static_cast<size_t>(c)];
+      cf.name = original.schema().column(col).name;
+      auto ks = ColumnKsDistance(original, released, col);
+      if (!ks.ok()) {
+        statuses[static_cast<size_t>(c)] = ks.status();
+        continue;
+      }
+      cf.ks = *ks;
+      if (original.schema().column(col).type !=
+          data::ColumnType::kContinuous) {
+        auto tv = ColumnTvDistance(original, released, col);
+        if (!tv.ok()) {
+          statuses[static_cast<size_t>(c)] = tv.status();
+          continue;
+        }
+        cf.tv = *tv;
+      }
     }
+  });
+  double ks_sum = 0.0;
+  for (int c = 0; c < num_cols; ++c) {
+    TABLEGAN_RETURN_NOT_OK(statuses[static_cast<size_t>(c)]);
+    ColumnFidelity& cf = columns[static_cast<size_t>(c)];
     ks_sum += cf.ks;
     report.worst_ks = std::max(report.worst_ks, cf.ks);
     report.columns.push_back(std::move(cf));
   }
-  report.mean_ks = ks_sum / static_cast<double>(original.num_columns());
+  report.mean_ks = ks_sum / static_cast<double>(num_cols);
   TABLEGAN_ASSIGN_OR_RETURN(report.correlation_difference,
                             CorrelationDifference(original, released));
   TABLEGAN_ASSIGN_OR_RETURN(report.pmse, PropensityMse(original, released));

@@ -23,6 +23,15 @@ Tensor ReLU::Backward(const Tensor& grad_output) {
   return grad;
 }
 
+
+Tensor ReLU::Infer(const Tensor& input) const {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  return out;
+}
+
 Tensor LeakyReLU::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   Tensor out = input;
@@ -41,6 +50,15 @@ Tensor LeakyReLU::Backward(const Tensor& grad_output) {
   return grad;
 }
 
+
+Tensor LeakyReLU::Infer(const Tensor& input) const {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0f) out[i] *= negative_slope_;
+  }
+  return out;
+}
+
 Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
   Tensor out = input;
   for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
@@ -55,6 +73,13 @@ Tensor Tanh::Backward(const Tensor& grad_output) {
     grad[i] *= 1.0f - cached_output_[i] * cached_output_[i];
   }
   return grad;
+}
+
+
+Tensor Tanh::Infer(const Tensor& input) const {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  return out;
 }
 
 Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
@@ -73,6 +98,15 @@ Tensor Sigmoid::Backward(const Tensor& grad_output) {
     grad[i] *= cached_output_[i] * (1.0f - cached_output_[i]);
   }
   return grad;
+}
+
+
+Tensor Sigmoid::Infer(const Tensor& input) const {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  return out;
 }
 
 }  // namespace nn

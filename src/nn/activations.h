@@ -13,6 +13,7 @@ class ReLU : public Layer {
  public:
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  Tensor Infer(const Tensor& input) const override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -26,6 +27,7 @@ class LeakyReLU : public Layer {
       : negative_slope_(negative_slope) {}
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  Tensor Infer(const Tensor& input) const override;
   std::string name() const override { return "LeakyReLU"; }
 
  private:
@@ -39,6 +41,7 @@ class Tanh : public Layer {
  public:
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  Tensor Infer(const Tensor& input) const override;
   std::string name() const override { return "Tanh"; }
 
  private:
@@ -52,6 +55,7 @@ class Sigmoid : public Layer {
  public:
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  Tensor Infer(const Tensor& input) const override;
   std::string name() const override { return "Sigmoid"; }
 
  private:

@@ -48,8 +48,11 @@ BatchNorm::BatchNorm(int64_t num_features, float eps, float momentum)
 Tensor BatchNorm::Forward(const Tensor& input, bool training) {
   TABLEGAN_CHECK(input.rank() == 2 || input.rank() == 4)
       << "BatchNorm input " << ShapeToString(input.shape());
-  const int64_t features = input.rank() == 2 ? input.dim(1) : input.dim(1);
-  TABLEGAN_CHECK(features == num_features_);
+  // Both layouts (NF and NCHW) carry the feature/channel count in dim 1.
+  const int64_t features = input.dim(1);
+  TABLEGAN_CHECK(features == num_features_)
+      << name() << " expects " << num_features_ << " features, got "
+      << features << " for input " << ShapeToString(input.shape());
   cached_shape_ = input.shape();
   cached_training_ = training;
   const int64_t m = ElementsPerChannel(input.shape());
@@ -87,6 +90,27 @@ Tensor BatchNorm::Forward(const Tensor& input, bool training) {
   ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
     const float xhat = (input[i] - mean[c]) * cached_inv_std_[c];
     cached_xhat_[i] = xhat;
+    output[i] = gamma_[c] * xhat + beta_[c];
+  });
+  return output;
+}
+
+Tensor BatchNorm::Infer(const Tensor& input) const {
+  TABLEGAN_CHECK(input.rank() == 2 || input.rank() == 4)
+      << "BatchNorm input " << ShapeToString(input.shape());
+  const int64_t features = input.dim(1);
+  TABLEGAN_CHECK(features == num_features_)
+      << name() << " expects " << num_features_ << " features, got "
+      << features << " for input " << ShapeToString(input.shape());
+  // Same arithmetic and evaluation order as Forward(input, false), minus
+  // the backward-pass caches.
+  Tensor inv_std({num_features_});
+  for (int64_t c = 0; c < num_features_; ++c) {
+    inv_std[c] = 1.0f / std::sqrt(running_var_[c] + eps_);
+  }
+  Tensor output(input.shape());
+  ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
+    const float xhat = (input[i] - running_mean_[c]) * inv_std[c];
     output[i] = gamma_[c] * xhat + beta_[c];
   });
   return output;

@@ -22,6 +22,7 @@ class BatchNorm : public Layer {
                      float momentum = 0.9f);
 
   Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
 
   std::vector<Tensor*> Parameters() override;

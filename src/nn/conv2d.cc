@@ -30,9 +30,13 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
       grad_bias_({bias ? out_channels : 0}) {}
 
 Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  return Infer(input);
+}
+
+Tensor Conv2d::Infer(const Tensor& input) const {
   TABLEGAN_CHECK(input.rank() == 4 && input.dim(1) == in_channels_)
       << "Conv2d input " << ShapeToString(input.shape());
-  cached_input_ = input;
   const int64_t n = input.dim(0);
   ops::Conv2dGeometry g{in_channels_, input.dim(2), input.dim(3), kernel_,
                         stride_, padding_};

@@ -21,6 +21,7 @@ class Conv2d : public Layer {
          int64_t stride, int64_t padding, bool bias = true);
 
   Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
 
   std::vector<Tensor*> Parameters() override;

@@ -40,9 +40,13 @@ ops::Conv2dGeometry ConvTranspose2d::OutputGeometry(int64_t in_h,
 }
 
 Tensor ConvTranspose2d::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  return Infer(input);
+}
+
+Tensor ConvTranspose2d::Infer(const Tensor& input) const {
   TABLEGAN_CHECK(input.rank() == 4 && input.dim(1) == in_channels_)
       << "ConvTranspose2d input " << ShapeToString(input.shape());
-  cached_input_ = input;
   const int64_t n = input.dim(0);
   const int64_t in_h = input.dim(2), in_w = input.dim(3);
   const int64_t in_spatial = in_h * in_w;

@@ -17,9 +17,13 @@ Dense::Dense(int64_t in_features, int64_t out_features, bool bias)
       grad_bias_({bias ? out_features : 0}) {}
 
 Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  return Infer(input);
+}
+
+Tensor Dense::Infer(const Tensor& input) const {
   TABLEGAN_CHECK(input.rank() == 2 && input.dim(1) == in_features_)
       << "Dense input " << ShapeToString(input.shape());
-  cached_input_ = input;
   const int64_t n = input.dim(0);
   Tensor output({n, out_features_});
   // y = x * W^T

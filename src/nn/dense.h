@@ -17,6 +17,7 @@ class Dense : public Layer {
   Dense(int64_t in_features, int64_t out_features, bool bias = true);
 
   Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
 
   std::vector<Tensor*> Parameters() override;

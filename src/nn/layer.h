@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "tensor/tensor.h"
 
 namespace tablegan {
@@ -24,6 +25,14 @@ class Layer {
   /// Computes the layer output. `training` selects batch statistics in
   /// BatchNorm; inference uses running statistics.
   virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Stateless inference: numerically identical to Forward(input, false)
+  /// but const and cache-free, so concurrent Infer calls on one layer
+  /// from different threads are safe (parameters are only read). This is
+  /// what lets TableGan row-shard generator sampling and discriminator
+  /// scoring across worker threads without cloning networks. Layers that
+  /// never serve the inference path keep the default, which aborts.
+  virtual Tensor Infer(const Tensor& input) const;
 
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput for the cached forward activation.
@@ -46,6 +55,12 @@ class Layer {
     for (Tensor* g : Gradients()) g->SetZero();
   }
 };
+
+inline Tensor Layer::Infer(const Tensor& input) const {
+  (void)input;
+  TABLEGAN_CHECK(false) << name() << " has no stateless inference path";
+  return Tensor();
+}
 
 }  // namespace nn
 }  // namespace tablegan

@@ -10,8 +10,12 @@ Reshape::Reshape(std::vector<int64_t> sample_shape)
       sample_size_(ShapeSize(sample_shape_)) {}
 
 Tensor Reshape::Forward(const Tensor& input, bool /*training*/) {
-  TABLEGAN_CHECK(input.rank() >= 1);
   cached_input_shape_ = input.shape();
+  return Infer(input);
+}
+
+Tensor Reshape::Infer(const Tensor& input) const {
+  TABLEGAN_CHECK(input.rank() >= 1);
   const int64_t n = input.dim(0);
   TABLEGAN_CHECK(input.size() == n * sample_size_)
       << "Reshape: sample size mismatch for "
@@ -33,8 +37,12 @@ std::string Reshape::name() const {
 }
 
 Tensor Flatten::Forward(const Tensor& input, bool /*training*/) {
-  TABLEGAN_CHECK(input.rank() >= 2);
   cached_input_shape_ = input.shape();
+  return Infer(input);
+}
+
+Tensor Flatten::Infer(const Tensor& input) const {
+  TABLEGAN_CHECK(input.rank() >= 2);
   const int64_t n = input.dim(0);
   return input.Reshaped({n, input.size() / n});
 }

@@ -18,6 +18,7 @@ class Reshape : public Layer {
   explicit Reshape(std::vector<int64_t> sample_shape);
 
   Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   std::string name() const override;
 
@@ -34,6 +35,7 @@ class Reshape : public Layer {
 class Flatten : public Layer {
  public:
   Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   std::string name() const override { return "Flatten"; }
 

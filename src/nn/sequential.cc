@@ -11,6 +11,12 @@ Tensor Sequential::Forward(const Tensor& input, bool training) {
   return x;
 }
 
+Tensor Sequential::Infer(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->Infer(x);
+  return x;
+}
+
 Tensor Sequential::Backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

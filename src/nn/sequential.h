@@ -36,6 +36,7 @@ class Sequential : public Layer {
   }
 
   Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Infer(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
 
   std::vector<Tensor*> Parameters() override;

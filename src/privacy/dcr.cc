@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <vector>
+
+#include "common/neighbors.h"
+#include "common/parallel.h"
 
 namespace tablegan {
 namespace privacy {
@@ -46,46 +49,44 @@ Result<DcrResult> ComputeDcr(const data::Table& original,
     inv_span[j] = mx > mn ? 1.0 / (mx - mn) : 0.0;
   }
 
-  // Pre-normalize both tables into dense row-major buffers.
+  // Pre-normalize both tables into dense row-major buffers (row-parallel;
+  // each row writes its own slice).
   const int64_t n = original.num_rows();
   const int64_t m = released.num_rows();
   std::vector<float> orig(static_cast<size_t>(n) * f);
   std::vector<float> rel(static_cast<size_t>(m) * f);
-  for (int64_t r = 0; r < n; ++r) {
-    for (size_t j = 0; j < f; ++j) {
-      orig[static_cast<size_t>(r) * f + j] = static_cast<float>(
-          (original.Get(r, columns[j]) - lo[j]) * inv_span[j]);
-    }
-  }
-  for (int64_t r = 0; r < m; ++r) {
-    for (size_t j = 0; j < f; ++j) {
-      rel[static_cast<size_t>(r) * f + j] = static_cast<float>(
-          (released.Get(r, columns[j]) - lo[j]) * inv_span[j]);
-    }
-  }
-
-  double sum = 0.0, sum_sq = 0.0;
-  for (int64_t r = 0; r < n; ++r) {
-    const float* a = orig.data() + static_cast<size_t>(r) * f;
-    float best = std::numeric_limits<float>::max();
-    for (int64_t s = 0; s < m; ++s) {
-      const float* b = rel.data() + static_cast<size_t>(s) * f;
-      float d = 0.0f;
+  const int64_t fill_grain = std::max<int64_t>(
+      1, 4096 / static_cast<int64_t>(f));
+  ParallelFor(n, fill_grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
       for (size_t j = 0; j < f; ++j) {
-        const float diff = a[j] - b[j];
-        d += diff * diff;
+        orig[static_cast<size_t>(r) * f + j] = static_cast<float>(
+            (original.Get(r, columns[j]) - lo[j]) * inv_span[j]);
       }
-      best = std::min(best, d);
     }
-    const double dist = std::sqrt(static_cast<double>(best));
-    sum += dist;
-    sum_sq += dist * dist;
-  }
+  });
+  ParallelFor(m, fill_grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (size_t j = 0; j < f; ++j) {
+        rel[static_cast<size_t>(r) * f + j] = static_cast<float>(
+            (released.Get(r, columns[j]) - lo[j]) * inv_span[j]);
+      }
+    }
+  });
+
+  // Blocked parallel nearest-neighbor scan shared with the risk paths,
+  // then Welford moments over per-chunk partials — both bitwise
+  // identical to a serial pass at any thread count, and free of the
+  // E[x^2] - mean^2 cancellation the stddev here used to suffer from.
+  std::vector<float> best(static_cast<size_t>(n));
+  NearestSquaredDistances(orig.data(), n, rel.data(), m,
+                          static_cast<int64_t>(f), best.data());
+  const Moments moments = ComputeMoments(n, [&](int64_t i) {
+    return std::sqrt(static_cast<double>(best[static_cast<size_t>(i)]));
+  });
   DcrResult out;
-  out.mean = sum / static_cast<double>(n);
-  out.stddev =
-      std::sqrt(std::max(0.0, sum_sq / static_cast<double>(n) -
-                                  out.mean * out.mean));
+  out.mean = moments.mean;
+  out.stddev = moments.StdDev();
   return out;
 }
 

@@ -1,0 +1,326 @@
+// Determinism contract of the parallel evaluation-and-synthesis
+// pipeline: TableGan::Sample must be a pure function of (seed, rows
+// emitted so far, n) — independent of batch_size and thread count — and
+// the parallel DCR / fidelity / discriminator-scoring paths must be
+// bitwise identical to their serial counterparts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/neighbors.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/table_gan.h"
+#include "data/datasets.h"
+#include "eval/fidelity.h"
+#include "privacy/dcr.h"
+
+namespace tablegan {
+namespace {
+
+// epochs = 0 skips the training loop entirely, so two models with the
+// same seed build identical networks regardless of batch_size — which
+// isolates Sample's own batch-size sensitivity.
+core::TableGanOptions UntrainedOptions() {
+  core::TableGanOptions options;
+  options.epochs = 0;
+  options.base_channels = 8;
+  options.latent_dim = 16;
+  options.seed = 99;
+  return options;
+}
+
+data::Table SmallTable(int64_t rows, uint64_t seed) {
+  data::Schema schema({
+      {"salary", data::ColumnType::kContinuous,
+       data::ColumnRole::kSensitive, {}},
+      {"age", data::ColumnType::kDiscrete,
+       data::ColumnRole::kQuasiIdentifier, {}},
+      {"label", data::ColumnType::kDiscrete, data::ColumnRole::kLabel, {}},
+  });
+  data::Table t(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    t.AppendRow({rng.Uniform(2000, 12000),
+                 static_cast<double>(rng.UniformInt(20, 65)),
+                 rng.NextBool(0.5) ? 1.0 : 0.0});
+  }
+  return t;
+}
+
+core::TableGan FittedGan(const data::Table& table,
+                         core::TableGanOptions options) {
+  core::TableGan gan(std::move(options));
+  EXPECT_TRUE(gan.Fit(table, /*label_col=*/2).ok());
+  return gan;
+}
+
+void ExpectTablesBitwiseEqual(const data::Table& a, const data::Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.Get(r, c), b.Get(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SampleDeterminismTest, InvariantAcrossBatchSizes) {
+  data::Table table = SmallTable(64, 5);
+  data::Table reference;
+  bool have_reference = false;
+  for (int batch_size : {2, 64, 500}) {
+    core::TableGanOptions options = UntrainedOptions();
+    options.batch_size = batch_size;
+    core::TableGan gan = FittedGan(table, options);
+    Result<data::Table> samples = gan.Sample(150);
+    ASSERT_TRUE(samples.ok());
+    if (!have_reference) {
+      reference = std::move(samples).value();
+      have_reference = true;
+    } else {
+      ExpectTablesBitwiseEqual(reference, *samples);
+    }
+  }
+}
+
+TEST(SampleDeterminismTest, InvariantAcrossThreadCounts) {
+  data::Table table = SmallTable(64, 5);
+  data::Table reference;
+  bool have_reference = false;
+  for (int threads : {1, 4}) {
+    core::TableGanOptions options = UntrainedOptions();
+    options.num_threads = threads;
+    core::TableGan gan = FittedGan(table, options);
+    // 150 rows spans multiple inference blocks, so the threaded run
+    // actually shards.
+    Result<data::Table> samples = gan.Sample(150);
+    ASSERT_TRUE(samples.ok());
+    if (!have_reference) {
+      reference = std::move(samples).value();
+      have_reference = true;
+    } else {
+      ExpectTablesBitwiseEqual(reference, *samples);
+    }
+  }
+  SetNumThreads(0);
+}
+
+TEST(SampleDeterminismTest, SuccessiveCallsContinueTheRowStream) {
+  data::Table table = SmallTable(64, 5);
+  core::TableGan gan_a = FittedGan(table, UntrainedOptions());
+  core::TableGan gan_b = FittedGan(table, UntrainedOptions());
+
+  Result<data::Table> first = gan_a.Sample(70);
+  Result<data::Table> second = gan_a.Sample(70);
+  Result<data::Table> both = gan_b.Sample(140);
+  ASSERT_TRUE(first.ok() && second.ok() && both.ok());
+
+  // Successive calls yield fresh rows...
+  bool any_diff = false;
+  for (int64_t r = 0; r < 70 && !any_diff; ++r) {
+    for (int c = 0; c < first->num_columns(); ++c) {
+      if (first->Get(r, c) != second->Get(r, c)) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff) << "second Sample repeated the first call's rows";
+
+  // ...and the concatenation matches one big call on an identical model:
+  // row i is a pure function of (seed, total rows emitted before it).
+  for (int64_t r = 0; r < 140; ++r) {
+    const data::Table& part = r < 70 ? *first : *second;
+    const int64_t pr = r < 70 ? r : r - 70;
+    for (int c = 0; c < both->num_columns(); ++c) {
+      ASSERT_EQ(part.Get(pr, c), both->Get(r, c)) << "row " << r;
+    }
+  }
+}
+
+TEST(DiscriminatorScoresTest, InvariantAcrossThreadCounts) {
+  data::Table table = SmallTable(80, 5);
+  std::vector<double> reference;
+  for (int threads : {1, 4}) {
+    core::TableGanOptions options = UntrainedOptions();
+    options.num_threads = threads;
+    core::TableGan gan = FittedGan(table, options);
+    Result<std::vector<double>> scores = gan.DiscriminatorScores(table);
+    ASSERT_TRUE(scores.ok());
+    ASSERT_EQ(scores->size(), 80u);
+    if (reference.empty()) {
+      reference = *scores;
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i], (*scores)[i]) << "row " << i;
+      }
+    }
+  }
+  SetNumThreads(0);
+}
+
+TEST(DcrParallelTest, BitwiseIdenticalToSerial) {
+  data::Table original = SmallTable(300, 11);
+  data::Table released = SmallTable(200, 12);
+  const std::vector<int> columns{0, 1};
+
+  SetNumThreads(1);
+  auto serial = privacy::ComputeDcr(original, released, columns);
+  SetNumThreads(4);
+  auto parallel = privacy::ComputeDcr(original, released, columns);
+  SetNumThreads(0);
+
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(serial->mean, parallel->mean);
+  EXPECT_EQ(serial->stddev, parallel->stddev);
+}
+
+TEST(DcrParallelTest, GoldenHandComputedTable) {
+  data::Schema schema({{"v", data::ColumnType::kContinuous,
+                        data::ColumnRole::kSensitive, {}}});
+  data::Table original(schema), released(schema);
+  original.AppendRow({0.0});
+  original.AppendRow({10.0});
+  released.AppendRow({0.0});
+  released.AppendRow({5.0});
+
+  // Normalized on the original's [0, 10] range: original -> {0, 1},
+  // released -> {0, 0.5}. Nearest distances {0, 0.5}; every quantity
+  // below is exactly representable, so compare with ==.
+  auto dcr = privacy::ComputeDcr(original, released, {0});
+  ASSERT_TRUE(dcr.ok());
+  EXPECT_EQ(dcr->mean, 0.25);
+  EXPECT_EQ(dcr->stddev, 0.25);
+}
+
+TEST(FidelityParallelTest, BitwiseIdenticalToSerial) {
+  data::Table original = SmallTable(400, 21);
+  data::Table released = SmallTable(400, 22);
+
+  SetNumThreads(1);
+  auto serial = eval::EvaluateFidelity(original, released);
+  SetNumThreads(4);
+  auto parallel = eval::EvaluateFidelity(original, released);
+  SetNumThreads(0);
+
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(serial->mean_ks, parallel->mean_ks);
+  EXPECT_EQ(serial->worst_ks, parallel->worst_ks);
+  EXPECT_EQ(serial->correlation_difference, parallel->correlation_difference);
+  EXPECT_EQ(serial->pmse, parallel->pmse);
+  ASSERT_EQ(serial->columns.size(), parallel->columns.size());
+  for (size_t c = 0; c < serial->columns.size(); ++c) {
+    EXPECT_EQ(serial->columns[c].name, parallel->columns[c].name);
+    EXPECT_EQ(serial->columns[c].ks, parallel->columns[c].ks);
+    EXPECT_EQ(serial->columns[c].tv, parallel->columns[c].tv);
+  }
+}
+
+TEST(NeighborsTest, MatchesSerialReferenceScan) {
+  Rng rng(31);
+  const int64_t n = 123, m = 77, dim = 5;
+  std::vector<float> queries(static_cast<size_t>(n * dim));
+  std::vector<float> corpus(static_cast<size_t>(m * dim));
+  for (float& v : queries) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (float& v : corpus) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  std::vector<float> expected(static_cast<size_t>(n));
+  for (int64_t q = 0; q < n; ++q) {
+    float best = std::numeric_limits<float>::max();
+    for (int64_t s = 0; s < m; ++s) {
+      float d = 0.0f;
+      for (int64_t j = 0; j < dim; ++j) {
+        const float diff = queries[static_cast<size_t>(q * dim + j)] -
+                           corpus[static_cast<size_t>(s * dim + j)];
+        d += diff * diff;
+      }
+      best = std::min(best, d);
+    }
+    expected[static_cast<size_t>(q)] = best;
+  }
+
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    std::vector<float> got(static_cast<size_t>(n));
+    NearestSquaredDistances(queries.data(), n, corpus.data(), m, dim,
+                            got.data());
+    for (int64_t q = 0; q < n; ++q) {
+      ASSERT_EQ(expected[static_cast<size_t>(q)],
+                got[static_cast<size_t>(q)])
+          << "query " << q << " at " << threads << " threads";
+    }
+  }
+  SetNumThreads(0);
+}
+
+TEST(NeighborsTest, EmptyCorpusYieldsInfiniteDistances) {
+  const float query[2] = {0.0f, 0.0f};
+  float out = 0.0f;
+  NearestSquaredDistances(query, 1, nullptr, 0, 2, &out);
+  EXPECT_TRUE(std::isinf(out));
+}
+
+TEST(MomentsTest, WelfordSurvivesLargeOffsets) {
+  // E[x^2] - mean^2 on these values loses every significant digit in
+  // double; Welford keeps the exact variance 0.25.
+  Moments m;
+  m.Push(1e9);
+  m.Push(1e9 + 1.0);
+  EXPECT_EQ(m.mean, 1e9 + 0.5);
+  EXPECT_EQ(m.Variance(), 0.25);
+}
+
+TEST(MomentsTest, ParallelMomentsMatchSerialPush) {
+  Rng rng(77);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.Uniform(5.0, 9.0);
+
+  Moments serial;
+  for (double v : values) serial.Push(v);
+
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    Moments parallel = ComputeMoments(
+        static_cast<int64_t>(values.size()),
+        [&](int64_t i) { return values[static_cast<size_t>(i)]; });
+    EXPECT_EQ(parallel.count, serial.count);
+    EXPECT_NEAR(parallel.mean, serial.mean, 1e-12);
+    EXPECT_NEAR(parallel.StdDev(), serial.StdDev(), 1e-12);
+  }
+  SetNumThreads(0);
+
+  // And the chunked merge itself is thread-count invariant (bitwise).
+  SetNumThreads(1);
+  Moments a = ComputeMoments(
+      static_cast<int64_t>(values.size()),
+      [&](int64_t i) { return values[static_cast<size_t>(i)]; });
+  SetNumThreads(4);
+  Moments b = ComputeMoments(
+      static_cast<int64_t>(values.size()),
+      [&](int64_t i) { return values[static_cast<size_t>(i)]; });
+  SetNumThreads(0);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.m2, b.m2);
+}
+
+TEST(ScopedNumThreadsTest, RestoresPriorOverride) {
+  SetNumThreads(0);
+  ASSERT_EQ(GetNumThreadsOverride(), 0);
+  {
+    ScopedNumThreads scoped(3);
+    EXPECT_EQ(GetNumThreadsOverride(), 3);
+    {
+      ScopedNumThreads inner(2);
+      EXPECT_EQ(GetNumThreadsOverride(), 2);
+      // n <= 0 means "no request": the current override stays.
+      ScopedNumThreads noop(0);
+      EXPECT_EQ(GetNumThreadsOverride(), 2);
+    }
+    EXPECT_EQ(GetNumThreadsOverride(), 3);
+  }
+  EXPECT_EQ(GetNumThreadsOverride(), 0);
+}
+
+}  // namespace
+}  // namespace tablegan

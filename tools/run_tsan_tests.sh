@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the repo with TABLEGAN_SANITIZE=thread and runs the substrate
-# tests (common / tensor / nn layers) that exercise the thread-parallel
-# GEMM and convolution kernels under ThreadSanitizer.
+# tests (common / tensor / nn layers) plus the parallel evaluation
+# pipeline tests (sampling, DCR, fidelity) that exercise the
+# thread-parallel GEMM, convolution and nearest-neighbor kernels under
+# ThreadSanitizer.
 #
 # Usage: tools/run_tsan_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -18,6 +20,9 @@ tsan_tests=(
   nn_gradcheck_test
   nn_misc_test
   conv_sweep_test
+  parallel_eval_test
+  eval_test
+  privacy_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \
