@@ -29,6 +29,13 @@ struct TrainingMetrics {
   double epoch_seconds = 0.0;
   int64_t examples = 0;      // training examples consumed this epoch
   double examples_per_sec = 0.0;
+  // Workspace accounting for the epoch (zeros when buffer reuse is off).
+  // After the first (warmup) epoch the steady-state contract is
+  // workspace_allocs == 0: every training-step buffer is served from the
+  // pool.
+  int64_t workspace_allocs = 0;   // pool misses (fresh backing arrays)
+  int64_t workspace_reuses = 0;   // pool hits (recycled backing arrays)
+  int64_t workspace_bytes = 0;    // cumulative bytes owned by the pool
 };
 
 /// Pluggable per-epoch telemetry consumer. The training loop calls

@@ -25,10 +25,14 @@ void InfoLossState::UpdateStatistics(const Tensor& real_features,
                  real_features.dim(1) == feature_dim_);
   TABLEGAN_CHECK(fake_features.rank() == 2 &&
                  fake_features.dim(1) == feature_dim_);
-  const Tensor rx_mean = ops::ColumnMean(real_features);
-  const Tensor rx_sd = ops::ColumnStd(real_features);
-  batch_fake_mean_ = ops::ColumnMean(fake_features);
-  batch_fake_sd_ = ops::ColumnStd(fake_features);
+  // Member scratch + Into-variants keep this allocation-free after the
+  // first batch while reproducing the allocating forms bit for bit.
+  ops::ColumnMeanInto(real_features, &rx_mean_);
+  ops::ColumnStdInto(real_features, &rx_sd_, &col_mean_scratch_);
+  const Tensor& rx_mean = rx_mean_;
+  const Tensor& rx_sd = rx_sd_;
+  ops::ColumnMeanInto(fake_features, &batch_fake_mean_);
+  ops::ColumnStdInto(fake_features, &batch_fake_sd_, &col_mean_scratch_);
   batch_fake_features_ = fake_features;
 
   // First batch seeds the moving averages directly (Algorithm 2
@@ -49,13 +53,13 @@ constexpr float kNormEps = 1e-6f;
 }  // namespace
 
 float InfoLossState::l_mean() const {
-  return ops::Norm2(ops::Sub(x_mean_, z_mean_)) /
-         (ops::Norm2(x_mean_) + kNormEps);
+  ops::SubInto(x_mean_, z_mean_, &diff_scratch_);
+  return ops::Norm2(diff_scratch_) / (ops::Norm2(x_mean_) + kNormEps);
 }
 
 float InfoLossState::l_sd() const {
-  return ops::Norm2(ops::Sub(x_sd_, z_sd_)) /
-         (ops::Norm2(x_sd_) + kNormEps);
+  ops::SubInto(x_sd_, z_sd_, &diff_scratch_);
+  return ops::Norm2(diff_scratch_) / (ops::Norm2(x_sd_) + kNormEps);
 }
 
 float InfoLossState::Loss() const {
@@ -67,7 +71,6 @@ Tensor InfoLossState::GradFakeFeatures() const {
   TABLEGAN_CHECK(!batch_fake_features_.empty())
       << "GradFakeFeatures before UpdateStatistics";
   const int64_t n = batch_fake_features_.dim(0);
-  Tensor grad({n, feature_dim_});
 
   // d max(0, ||x_mean - z_mean||/||x_mean|| - delta) / d z_mean
   //   = -(x_mean - z_mean) / (||x_mean - z_mean|| * ||x_mean||)
@@ -80,7 +83,15 @@ Tensor InfoLossState::GradFakeFeatures() const {
   const float sd_gap = ls * x_sd_norm;
   const bool mean_active = lm > delta_mean_ && mean_gap > 1e-12f;
   const bool sd_active = ls > delta_sd_ && sd_gap > 1e-12f;
-  if (!mean_active && !sd_active) return grad;
+  // Inactive hinges return an (explicitly zeroed) zero gradient; the
+  // active path overwrites every element, so uninitialized pool memory
+  // is safe there.
+  if (!mean_active && !sd_active) {
+    return ws_ != nullptr ? ws_->TakeZeroed({n, feature_dim_})
+                          : Tensor({n, feature_dim_});
+  }
+  Tensor grad = ws_ != nullptr ? ws_->Take({n, feature_dim_})
+                               : Tensor({n, feature_dim_});
 
   // The gradient flows through this batch's statistics at full weight:
   // the EWMA (Alg. 2 lines 10-13) smooths the *value* of the global

@@ -2,6 +2,7 @@
 #define TABLEGAN_CORE_INFO_LOSS_H_
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace tablegan {
 namespace core {
@@ -55,6 +56,11 @@ class InfoLossState {
   bool initialized() const { return initialized_; }
   void set_initialized(bool v) { initialized_ = v; }
 
+  /// Binds the workspace GradFakeFeatures() draws its result buffer from
+  /// (null = allocate fresh tensors). The workspace must outlive every
+  /// gradient tensor handed out.
+  void BindWorkspace(Workspace* ws) { ws_ = ws; }
+
  private:
   int64_t feature_dim_;
   float w_, delta_mean_, delta_sd_;
@@ -64,6 +70,12 @@ class InfoLossState {
   // Batch-dependent cache for the gradient.
   Tensor batch_fake_features_;
   Tensor batch_fake_mean_, batch_fake_sd_;
+  // Reusable per-batch scratch (fully overwritten on every use);
+  // diff_scratch_ is mutable because the const l_mean()/l_sd() accessors
+  // stage their subtraction in it.
+  Tensor rx_mean_, rx_sd_, col_mean_scratch_;
+  mutable Tensor diff_scratch_;
+  Workspace* ws_ = nullptr;
 };
 
 }  // namespace core

@@ -17,12 +17,14 @@ namespace tablegan {
 namespace core {
 namespace {
 
-Tensor SigmoidOf(const Tensor& logits) {
-  Tensor out = logits;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+// Writes sigmoid(logits) into *out (capacity-reusing); same per-element
+// expression as the old copy-then-mutate helper, so results are bitwise
+// identical.
+void SigmoidInto(const Tensor& logits, Tensor* out) {
+  out->ResizeUninitialized(logits.shape());
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    (*out)[i] = 1.0f / (1.0f + std::exp(-logits[i]));
   }
-  return out;
 }
 
 std::string CheckpointPath(const std::string& dir, int epoch) {
@@ -49,16 +51,15 @@ TableGan::TableGan(TableGanOptions options)
       sample_stream_seed_(
           MixSeeds(static_cast<uint64_t>(options.seed), kSampleStreamTag)) {}
 
-Tensor TableGan::RemoveLabel(const Tensor& matrices) const {
-  Tensor out = matrices;
+void TableGan::RemoveLabelInto(const Tensor& matrices, Tensor* out) const {
+  *out = matrices;  // copy-assign reuses the destination's capacity
   const int64_t cells = static_cast<int64_t>(side_) * side_;
-  const int64_t n = out.dim(0);
+  const int64_t n = out->dim(0);
   for (int64_t i = 0; i < n; ++i) {
     for (int col : label_cols_) {
-      out[i * cells + col] = 0.0f;
+      (*out)[i * cells + col] = 0.0f;
     }
   }
-  return out;
 }
 
 Status TableGan::Fit(const data::Table& table, int label_col) {
@@ -122,6 +123,24 @@ Status TableGan::FitMultiLabel(const data::Table& table,
   InfoLossState info(discriminator_.feature_dim, options_.ewma_weight,
                      options_.delta_mean, options_.delta_sd);
 
+  // Bind the shared buffer pool to every network and the info-loss state
+  // so each training-step tensor is recycled instead of reallocated. The
+  // pool changes where buffers live, never their contents (DESIGN.md
+  // memory model), so training is bitwise identical with the flag off.
+  // The old pool (if any) is replaced only after the networks holding
+  // tensors from it have been rebuilt above.
+  if (options_.reuse_workspace) {
+    ws_ = std::make_unique<Workspace>();
+    generator_->SetWorkspace(ws_.get());
+    discriminator_.features->SetWorkspace(ws_.get());
+    discriminator_.head->SetWorkspace(ws_.get());
+    classifier_.features->SetWorkspace(ws_.get());
+    classifier_.head->SetWorkspace(ws_.get());
+    info.BindWorkspace(ws_.get());
+  } else {
+    ws_.reset();
+  }
+
   const int64_t n = table.num_rows();
   const int64_t batch =
       std::max<int64_t>(2, std::min<int64_t>(options_.batch_size, n));
@@ -153,6 +172,14 @@ Status TableGan::FitMultiLabel(const data::Table& table,
     }
   }
 
+  // Batch-assembly and loss-gradient buffers, hoisted out of the loops
+  // so the steady-state step allocates nothing: ResizeUninitialized
+  // reuses each tensor's capacity once the first (largest) batch has
+  // sized it. The tail batch is smaller than `batch`, so its resize
+  // never grows the buffers.
+  Tensor x, labels, ones, zeros, z1, z2;
+  Tensor bce_grad, cgrad, cin, pred, grad_logit;
+
   for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     // Re-derive the permutation from identity each epoch: an in-place
     // shuffle of the previous epoch's order would make the batch
@@ -162,13 +189,22 @@ Status TableGan::FitMultiLabel(const data::Table& table,
     rng_.Shuffle(&order);
     EpochStats stats;
     int num_batches = 0;
+    int64_t epoch_examples = 0;
+    const uint64_t ws_takes0 = ws_ != nullptr ? ws_->takes() : 0;
+    const uint64_t ws_misses0 = ws_ != nullptr ? ws_->misses() : 0;
     Stopwatch epoch_watch;
     Stopwatch phase_watch;
     double d_seconds = 0.0, c_seconds = 0.0, g_seconds = 0.0;
-    for (int64_t start = 0; start + batch <= n; start += batch) {
+    // Every row is visited: the final short batch of `n mod batch` rows
+    // trains too (the old loop condition silently dropped it). The one
+    // exception is a 1-row tail, which is skipped because BatchNorm's
+    // batch variance is identically zero on a single sample.
+    for (int64_t start = 0; start < n; start += batch) {
+      const int64_t bsize = std::min<int64_t>(batch, n - start);
+      if (bsize < 2) break;
       // --- Assemble the real mini-batch (Alg. 2 line 6).
-      Tensor x({batch, 1, side_, side_});
-      for (int64_t b = 0; b < batch; ++b) {
+      x.ResizeUninitialized({bsize, 1, side_, side_});
+      for (int64_t b = 0; b < bsize; ++b) {
         const int64_t row = order[static_cast<size_t>(start + b)];
         std::copy(matrices.data() + row * cells,
                   matrices.data() + (row + 1) * cells,
@@ -176,38 +212,38 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       }
       // Ground-truth labels l(x) in {0,1}: decode the label cells from
       // the [-1,1] encoding.
-      Tensor labels({batch, k});
-      for (int64_t b = 0; b < batch; ++b) {
+      labels.ResizeUninitialized({bsize, k});
+      for (int64_t b = 0; b < bsize; ++b) {
         for (int64_t j = 0; j < k; ++j) {
           labels.at2(b, j) =
               0.5f * (x[b * cells + label_cols_[static_cast<size_t>(j)]] +
                       1.0f);
         }
       }
-      const Tensor ones = Tensor::Full({batch, 1}, 1.0f);
-      const Tensor zeros({batch, 1});
+      ones.ResizeUninitialized({bsize, 1});
+      ones.Fill(1.0f);
+      zeros.ResizeUninitialized({bsize, 1});
+      zeros.SetZero();
 
       // --- Discriminator update with L_orig^D (Alg. 2 line 8).
       phase_watch.Restart();
-      Tensor z1 = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
-                                  &rng_);
+      z1.ResizeUninitialized({bsize, options_.latent_dim});
+      z1.FillUniform(-1.0f, 1.0f, &rng_);
       Tensor fake_for_d = generator_->Forward(z1, /*training=*/true);
-      discriminator_.ZeroGrad();
+      adam_d.ZeroGrad();
       {
         Tensor feat = discriminator_.features->Forward(x, true);
         Tensor logits = discriminator_.head->Forward(feat, true);
-        Tensor grad;
-        stats.d_loss += nn::SigmoidBceWithLogits(logits, ones, &grad);
+        stats.d_loss += nn::SigmoidBceWithLogits(logits, ones, &bce_grad);
         discriminator_.features->Backward(
-            discriminator_.head->Backward(grad));
+            discriminator_.head->Backward(bce_grad));
       }
       {
         Tensor feat = discriminator_.features->Forward(fake_for_d, true);
         Tensor logits = discriminator_.head->Forward(feat, true);
-        Tensor grad;
-        stats.d_loss += nn::SigmoidBceWithLogits(logits, zeros, &grad);
+        stats.d_loss += nn::SigmoidBceWithLogits(logits, zeros, &bce_grad);
         discriminator_.features->Backward(
-            discriminator_.head->Backward(grad));
+            discriminator_.head->Backward(bce_grad));
       }
       adam_d.Step();
       d_seconds += phase_watch.ElapsedSeconds();
@@ -215,22 +251,22 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       // --- Classifier update with L_class^C (Alg. 2 line 9).
       phase_watch.Restart();
       if (options_.use_classifier) {
-        classifier_.ZeroGrad();
-        Tensor cin = RemoveLabel(x);
+        adam_c.ZeroGrad();
+        RemoveLabelInto(x, &cin);
         Tensor feat = classifier_.features->Forward(cin, true);
         Tensor logits = classifier_.head->Forward(feat, true);
-        Tensor pred = SigmoidOf(logits);
-        Tensor grad({batch, k});
+        SigmoidInto(logits, &pred);
+        cgrad.ResizeUninitialized({bsize, k});
         float loss = 0.0f;
-        const float inv_bk = 1.0f / static_cast<float>(batch * k);
-        for (int64_t i = 0; i < batch * k; ++i) {
+        const float inv_bk = 1.0f / static_cast<float>(bsize * k);
+        for (int64_t i = 0; i < bsize * k; ++i) {
           const float diff = pred[i] - labels[i];
           loss += std::fabs(diff);
           const float sign = diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f);
-          grad[i] = sign * pred[i] * (1.0f - pred[i]) * inv_bk;
+          cgrad[i] = sign * pred[i] * (1.0f - pred[i]) * inv_bk;
         }
         stats.class_loss += loss * inv_bk;
-        classifier_.features->Backward(classifier_.head->Backward(grad));
+        classifier_.features->Backward(classifier_.head->Backward(cgrad));
         adam_c.Step();
       }
       c_seconds += phase_watch.ElapsedSeconds();
@@ -238,9 +274,9 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       // --- Generator update with L_orig^G + L_info^G + L_class^G
       //     (Alg. 2 lines 10-14).
       phase_watch.Restart();
-      generator_->ZeroGrad();
-      Tensor z2 = Tensor::Uniform({batch, options_.latent_dim}, -1.0f, 1.0f,
-                                  &rng_);
+      adam_g.ZeroGrad();
+      z2.ResizeUninitialized({bsize, options_.latent_dim});
+      z2.FillUniform(-1.0f, 1.0f, &rng_);
       Tensor fake = generator_->Forward(z2, /*training=*/true);
 
       // Real features for the EWMA statistics. (Forward only; the
@@ -251,10 +287,9 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       }
       Tensor feat_fake = discriminator_.features->Forward(fake, true);
       Tensor logits_g = discriminator_.head->Forward(feat_fake, true);
-      Tensor grad_logits;
       stats.g_orig_loss +=
-          nn::SigmoidBceWithLogits(logits_g, ones, &grad_logits);
-      Tensor grad_feat = discriminator_.head->Backward(grad_logits);
+          nn::SigmoidBceWithLogits(logits_g, ones, &bce_grad);
+      Tensor grad_feat = discriminator_.head->Backward(bce_grad);
       if (options_.use_info_loss) {
         info.UpdateStatistics(feat_real, feat_fake);
         stats.info_loss += info.Loss();
@@ -266,14 +301,14 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       Tensor grad_fake = discriminator_.features->Backward(grad_feat);
 
       if (options_.use_classifier) {
-        Tensor cin = RemoveLabel(fake);
+        RemoveLabelInto(fake, &cin);
         Tensor feat = classifier_.features->Forward(cin, true);
         Tensor logits = classifier_.head->Forward(feat, true);
-        Tensor pred = SigmoidOf(logits);
-        Tensor grad_logit({batch, k});
+        SigmoidInto(logits, &pred);
+        grad_logit.ResizeUninitialized({bsize, k});
         float loss = 0.0f;
-        const float inv_bk = 1.0f / static_cast<float>(batch * k);
-        for (int64_t b = 0; b < batch; ++b) {
+        const float inv_bk = 1.0f / static_cast<float>(bsize * k);
+        for (int64_t b = 0; b < bsize; ++b) {
           for (int64_t j = 0; j < k; ++j) {
             const int col = label_cols_[static_cast<size_t>(j)];
             const float ell = 0.5f * (fake[b * cells + col] + 1.0f);
@@ -292,7 +327,7 @@ Status TableGan::FitMultiLabel(const data::Table& table,
         Tensor grad_cin = classifier_.features->Backward(
             classifier_.head->Backward(grad_logit));
         // remove(.) blocks the gradient of the zeroed label cells.
-        for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t b = 0; b < bsize; ++b) {
           for (int col : label_cols_) {
             grad_cin[b * cells + col] = 0.0f;
           }
@@ -303,6 +338,7 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       adam_g.Step();
       g_seconds += phase_watch.ElapsedSeconds();
       ++num_batches;
+      epoch_examples += bsize;
     }
     if (num_batches > 0) {
       const float inv = 1.0f / static_cast<float>(num_batches);
@@ -336,11 +372,20 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       m.c_seconds = c_seconds;
       m.g_seconds = g_seconds;
       m.epoch_seconds = epoch_watch.ElapsedSeconds();
-      m.examples = static_cast<int64_t>(num_batches) * batch;
+      // True rows consumed (the old num_batches * batch both overcounted
+      // the tail and undercounted the dropped rows).
+      m.examples = epoch_examples;
       m.examples_per_sec =
           m.epoch_seconds > 0.0
               ? static_cast<double>(m.examples) / m.epoch_seconds
               : 0.0;
+      if (ws_ != nullptr) {
+        const uint64_t takes = ws_->takes() - ws_takes0;
+        const uint64_t misses = ws_->misses() - ws_misses0;
+        m.workspace_allocs = static_cast<int64_t>(misses);
+        m.workspace_reuses = static_cast<int64_t>(takes - misses);
+        m.workspace_bytes = static_cast<int64_t>(ws_->allocated_bytes());
+      }
       if (options_.metrics_sink != nullptr) {
         TABLEGAN_RETURN_NOT_OK(options_.metrics_sink->Record(m));
       }
@@ -353,10 +398,10 @@ Status TableGan::FitMultiLabel(const data::Table& table,
       TrainingState state{epoch + 1, &adam_g, &adam_d, &adam_c, &info};
       TABLEGAN_RETURN_NOT_OK(
           SaveImpl(CheckpointPath(options_.checkpoint_dir, epoch + 1),
-                   &state));
+                   &state, /*version=*/4));
       // Stable alias for "resume from wherever the run died".
-      TABLEGAN_RETURN_NOT_OK(
-          SaveImpl(options_.checkpoint_dir + "/latest.tgan", &state));
+      TABLEGAN_RETURN_NOT_OK(SaveImpl(
+          options_.checkpoint_dir + "/latest.tgan", &state, /*version=*/4));
     }
   }
   fitted_ = true;

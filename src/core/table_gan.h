@@ -11,6 +11,7 @@
 #include "data/normalizer.h"
 #include "data/record_matrix.h"
 #include "data/table.h"
+#include "tensor/workspace.h"
 
 namespace tablegan {
 namespace nn {
@@ -92,6 +93,12 @@ class TableGan {
   /// atomic (temp file + rename) and the file carries a CRC-32 footer.
   Status Save(const std::string& path) const;
 
+  /// Save() with an explicit on-disk format version. Supported versions:
+  /// 4 (current; equivalent to Save) and 3 (legacy: omits the sampling
+  /// stream counters and Adam bias-correction powers). Used by tests to
+  /// exercise the version-3 compatibility path of Load.
+  Status SaveCompat(const std::string& path, int version) const;
+
   /// Restores a model saved by Save() or a mid-training checkpoint.
   /// Truncated, bit-flipped or wrong-version files are rejected with a
   /// non-OK Status (the CRC footer is verified before any field is
@@ -117,8 +124,10 @@ class TableGan {
   };
 
   /// Serializes the model — plus the training section when `train` is
-  /// non-null — to `path` atomically with a CRC-32 footer.
-  Status SaveImpl(const std::string& path, const TrainingState* train) const;
+  /// non-null — to `path` atomically with a CRC-32 footer, in the given
+  /// on-disk format version (3 or 4; see SaveCompat).
+  Status SaveImpl(const std::string& path, const TrainingState* train,
+                  int version) const;
 
   /// Restores the training section of a checkpoint into this partially
   /// initialized model (networks and optimizers already built by Fit).
@@ -127,12 +136,19 @@ class TableGan {
   Status RestoreTrainingState(const std::string& path, TrainingState* train);
 
   /// Zeroes every label cell of every record matrix — remove(.) in Eq. 5.
-  Tensor RemoveLabel(const Tensor& matrices) const;
+  /// Writes the masked copy into `*out` (resized as needed).
+  void RemoveLabelInto(const Tensor& matrices, Tensor* out) const;
 
   TableGanOptions options_;
   bool fitted_ = false;
   int side_ = 0;
   std::vector<int> label_cols_;
+
+  /// Shape-keyed buffer pool for the training step (null when
+  /// options.reuse_workspace is false). Declared before the networks so
+  /// it is destroyed after them: layers may hold pooled tensors, and a
+  /// pooled tensor must not outlive its pool.
+  std::unique_ptr<Workspace> ws_;
 
   data::Schema schema_;
   data::MinMaxNormalizer normalizer_;
@@ -147,8 +163,10 @@ class TableGan {
   /// options.seed; row i of a call draws from
   /// Rng(MixSeeds(sample_stream_seed_, sample_rows_emitted_ + i)).
   uint64_t sample_stream_seed_ = 0;
-  /// Rows emitted by prior Sample calls. Deliberately not serialized:
-  /// a freshly loaded model samples from counter 0, like a fresh Fit.
+  /// Rows emitted by prior Sample calls. Serialized (with the stream
+  /// seed) since format v4, so a saved-and-reloaded model continues the
+  /// sampling stream exactly where it left off instead of replaying rows.
+  /// Version-3 files default both fields from options.seed / 0.
   uint64_t sample_rows_emitted_ = 0;
 
   std::vector<EpochStats> history_;

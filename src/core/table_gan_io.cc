@@ -1,14 +1,20 @@
 // Binary persistence for trained table-GAN models (TableGan::Save /
 // TableGan::Load) and mid-training checkpoints (see DESIGN.md §9).
 //
-// Format v3: magic "TGAN0003", then the model section (options, schema,
-// normalizer bounds, the parameter and buffer tensors of the generator,
-// discriminator and classifier in construction order), then an optional
-// training section (epoch counter, RNG stream, Adam moments, info-loss
-// EWMA statistics, loss history), then a CRC-32 footer over everything
+// Format v4: magic "TGAN0004", then the model section (options, schema,
+// normalizer bounds, the sampling-stream counters, the parameter and
+// buffer tensors of the generator, discriminator and classifier in
+// construction order), then an optional training section (epoch counter,
+// RNG stream, Adam moments + bias-correction powers, info-loss EWMA
+// statistics, loss history), then a CRC-32 footer over everything
 // before it. Files are written to a temp name and renamed into place so
 // a crash mid-write never leaves a half-written file at the target
 // path, and Load verifies the CRC before parsing a single field.
+//
+// Version-3 files (no sampling-stream counters, no Adam powers) are
+// still read: the stream counters default to a fresh stream and the
+// Adam powers are recomputed from the step count. SaveCompat(path, 3)
+// writes the legacy layout for round-trip tests.
 
 #include <cstdint>
 #include <cstdio>
@@ -26,7 +32,9 @@ namespace core {
 namespace {
 
 constexpr char kMagicPrefix[4] = {'T', 'G', 'A', 'N'};
-constexpr char kMagic[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '3'};
+constexpr char kMagicV3[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '3'};
+constexpr char kMagicV4[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '4'};
+constexpr size_t kMagicSize = sizeof(kMagicV4);
 constexpr size_t kFooterSize = sizeof(uint32_t);
 
 // --- primitive writers/readers (little-endian host assumed; the format
@@ -137,10 +145,10 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload) {
 }
 
 // Reads the whole file, checks magic, version and the CRC-32 footer.
-// On success `*contents` holds the full file and `*in` is positioned
-// just past the magic.
+// On success `*contents` holds the full file, `*version` the on-disk
+// format version (3 or 4), and `*in` is positioned just past the magic.
 Status ReadVerifiedFile(const std::string& path, std::string* contents,
-                        std::istringstream* in) {
+                        std::istringstream* in, int* version) {
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IOError("cannot open for read: " + path);
   std::ostringstream buffer;
@@ -149,17 +157,21 @@ Status ReadVerifiedFile(const std::string& path, std::string* contents,
     return Status::IOError("read failed: " + path);
   }
   *contents = std::move(buffer).str();
-  if (contents->size() < sizeof(kMagic) + kFooterSize ||
+  if (contents->size() < kMagicSize + kFooterSize ||
       std::memcmp(contents->data(), kMagicPrefix, sizeof(kMagicPrefix)) !=
           0) {
     return Status::InvalidArgument("not a table-GAN model file: " + path);
   }
-  if (std::memcmp(contents->data(), kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(contents->data(), kMagicV4, kMagicSize) == 0) {
+    *version = 4;
+  } else if (std::memcmp(contents->data(), kMagicV3, kMagicSize) == 0) {
+    *version = 3;
+  } else {
     return Status::InvalidArgument(
         "unsupported model file version '" +
         contents->substr(sizeof(kMagicPrefix),
-                         sizeof(kMagic) - sizeof(kMagicPrefix)) +
-        "' (this build reads version 0003): " + path);
+                         kMagicSize - sizeof(kMagicPrefix)) +
+        "' (this build reads versions 0003-0004): " + path);
   }
   const size_t body = contents->size() - kFooterSize;
   uint32_t stored = 0;
@@ -168,7 +180,7 @@ Status ReadVerifiedFile(const std::string& path, std::string* contents,
     return Status::IOError("corrupt model file (CRC mismatch): " + path);
   }
   in->str(contents->substr(0, body));
-  in->seekg(sizeof(kMagic));
+  in->seekg(kMagicSize);
   return Status::OK();
 }
 
@@ -180,9 +192,14 @@ struct Header {
   data::Schema schema;
   std::vector<double> mins, maxs;
   std::vector<data::ColumnType> types;
+  // Sampling-stream counters (v4+); v3 files leave has_stream false and
+  // the loaded model starts a fresh stream from its options seed.
+  bool has_stream = false;
+  uint64_t sample_stream_seed = 0;
+  uint64_t sample_rows_emitted = 0;
 };
 
-bool ReadHeader(std::istream& in, Header* h) {
+bool ReadHeader(std::istream& in, int version, Header* h) {
   int64_t v = 0;
   float f = 0.0f;
   TableGanOptions& o = h->options;
@@ -251,30 +268,50 @@ bool ReadHeader(std::istream& in, Header* h) {
     if (!ReadF64(in, &h->mins[static_cast<size_t>(c)])) return false;
     if (!ReadF64(in, &h->maxs[static_cast<size_t>(c)])) return false;
   }
+  if (version >= 4) {
+    if (!ReadU64(in, &h->sample_stream_seed)) return false;
+    if (!ReadU64(in, &h->sample_rows_emitted)) return false;
+    h->has_stream = true;
+  }
   return true;
 }
 
-bool ReadAdam(std::istream& in, nn::Adam* adam) {
+bool ReadAdam(std::istream& in, int version, nn::Adam* adam) {
   int64_t t = 0;
   if (!ReadI64(in, &t) || t < 0) return false;
+  // Recomputes the bias-correction powers from t; v4 then overwrites
+  // them with the exact running products the writer carried.
   adam->set_step_count(t);
+  if (version >= 4) {
+    double p1 = 0.0, p2 = 0.0;
+    if (!ReadF64(in, &p1) || !ReadF64(in, &p2)) return false;
+    adam->set_bias_correction_powers(p1, p2);
+  }
   for (Tensor* m : adam->MomentTensors()) {
     if (!ReadTensorInto(in, m)) return false;
   }
   return true;
 }
 
-void WriteAdam(std::ostream& out, nn::Adam* adam) {
+void WriteAdam(std::ostream& out, int version, nn::Adam* adam) {
   WriteI64(out, adam->step_count());
+  if (version >= 4) {
+    WriteF64(out, adam->beta1_power());
+    WriteF64(out, adam->beta2_power());
+  }
   for (Tensor* m : adam->MomentTensors()) WriteTensor(out, *m);
 }
 
 }  // namespace
 
-Status TableGan::SaveImpl(const std::string& path,
-                          const TrainingState* train) const {
+Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
+                          int version) const {
+  if (version != 3 && version != 4) {
+    return Status::InvalidArgument("unsupported save version " +
+                                   std::to_string(version));
+  }
   std::ostringstream out;
-  out.write(kMagic, sizeof(kMagic));
+  out.write(version >= 4 ? kMagicV4 : kMagicV3, kMagicSize);
 
   // Options: the fields that shape the architecture, sampling and the
   // training trajectory (resume validates all of them).
@@ -313,6 +350,13 @@ Status TableGan::SaveImpl(const std::string& path,
     WriteF64(out, normalizer_.maxs()[static_cast<size_t>(c)]);
   }
 
+  // Sampling-stream counters (v4+): a reloaded model continues Sample's
+  // counter-derived substreams where this one left off.
+  if (version >= 4) {
+    WriteU64(out, sample_stream_seed_);
+    WriteU64(out, sample_rows_emitted_);
+  }
+
   // Network state.
   auto write_net = [&out](nn::Sequential* net) {
     for (Tensor* t : AllState(net)) WriteTensor(out, *t);
@@ -331,9 +375,9 @@ Status TableGan::SaveImpl(const std::string& path,
     for (uint64_t s : rs.s) WriteU64(out, s);
     WriteI64(out, rs.has_cached_gaussian ? 1 : 0);
     WriteF64(out, rs.cached_gaussian);
-    WriteAdam(out, train->adam_g);
-    WriteAdam(out, train->adam_d);
-    WriteAdam(out, train->adam_c);
+    WriteAdam(out, version, train->adam_g);
+    WriteAdam(out, version, train->adam_d);
+    WriteAdam(out, version, train->adam_c);
     WriteI64(out, train->info->initialized() ? 1 : 0);
     for (Tensor* t : train->info->EwmaTensors()) WriteTensor(out, *t);
     WriteI64(out, static_cast<int64_t>(history_.size()));
@@ -355,19 +399,25 @@ Status TableGan::SaveImpl(const std::string& path,
 
 Status TableGan::Save(const std::string& path) const {
   if (!fitted_) return Status::FailedPrecondition("Save before Fit");
-  return SaveImpl(path, nullptr);
+  return SaveImpl(path, nullptr, 4);
+}
+
+Status TableGan::SaveCompat(const std::string& path, int version) const {
+  if (!fitted_) return Status::FailedPrecondition("Save before Fit");
+  return SaveImpl(path, nullptr, version);
 }
 
 Result<TableGan> TableGan::Load(const std::string& path) {
   std::string contents;
   std::istringstream in;
-  TABLEGAN_RETURN_NOT_OK(ReadVerifiedFile(path, &contents, &in));
+  int version = 0;
+  TABLEGAN_RETURN_NOT_OK(ReadVerifiedFile(path, &contents, &in, &version));
   const auto corrupt = [&path]() {
     return Status::IOError("corrupt model file: " + path);
   };
 
   Header h;
-  if (!ReadHeader(in, &h)) return corrupt();
+  if (!ReadHeader(in, version, &h)) return corrupt();
 
   TableGan gan(h.options);
   gan.side_ = h.side;
@@ -377,6 +427,12 @@ Result<TableGan> TableGan::Load(const std::string& path) {
                           std::move(h.types));
   gan.codec_ = std::make_unique<data::RecordMatrixCodec>(
       gan.schema_.num_columns(), gan.side_);
+  if (h.has_stream) {
+    // Continue the saved sampling stream instead of replaying it (v3
+    // files fall back to a fresh stream seeded from the options).
+    gan.sample_stream_seed_ = h.sample_stream_seed;
+    gan.sample_rows_emitted_ = h.sample_rows_emitted;
+  }
 
   // Rebuild the architecture, then overwrite its state. (The training
   // section, if present, is ignored here: a checkpoint is a superset of
@@ -406,7 +462,8 @@ Status TableGan::RestoreTrainingState(const std::string& path,
                                       TrainingState* train) {
   std::string contents;
   std::istringstream in;
-  TABLEGAN_RETURN_NOT_OK(ReadVerifiedFile(path, &contents, &in));
+  int version = 0;
+  TABLEGAN_RETURN_NOT_OK(ReadVerifiedFile(path, &contents, &in, &version));
   const auto corrupt = [&path]() {
     return Status::IOError("corrupt checkpoint file: " + path);
   };
@@ -417,7 +474,7 @@ Status TableGan::RestoreTrainingState(const std::string& path,
   };
 
   Header h;
-  if (!ReadHeader(in, &h)) return corrupt();
+  if (!ReadHeader(in, version, &h)) return corrupt();
 
   // Resuming replays the exact stream an uninterrupted run would take,
   // so every numerics-affecting option must match.
@@ -443,6 +500,10 @@ Status TableGan::RestoreTrainingState(const std::string& path,
   if (!h.schema.Equals(schema_)) return mismatch("schema");
   if (h.mins != normalizer_.mins() || h.maxs != normalizer_.maxs()) {
     return mismatch("normalizer bounds (different training table?)");
+  }
+  if (h.has_stream) {
+    sample_stream_seed_ = h.sample_stream_seed;
+    sample_rows_emitted_ = h.sample_rows_emitted;
   }
 
   if (!ReadNet(in, generator_.get()) ||
@@ -471,8 +532,9 @@ Status TableGan::RestoreTrainingState(const std::string& path,
   rs.has_cached_gaussian = v != 0;
   if (!ReadF64(in, &rs.cached_gaussian)) return corrupt();
   rng_.set_state(rs);
-  if (!ReadAdam(in, train->adam_g) || !ReadAdam(in, train->adam_d) ||
-      !ReadAdam(in, train->adam_c)) {
+  if (!ReadAdam(in, version, train->adam_g) ||
+      !ReadAdam(in, version, train->adam_d) ||
+      !ReadAdam(in, version, train->adam_c)) {
     return corrupt();
   }
   if (!ReadI64(in, &v)) return corrupt();

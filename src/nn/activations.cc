@@ -5,24 +5,33 @@
 namespace tablegan {
 namespace nn {
 
+// Forward/Backward write into pooled buffers (NewBuffer) with the same
+// per-element float expressions the copy-then-mutate originals used, so
+// results are bitwise identical with or without a bound workspace. The
+// cached activations are copy-assigned members: their capacity is reused
+// across steps, so steady-state caching does not allocate either.
+
 Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
-  Tensor out = input;
+  Tensor out = NewBuffer(input.shape());
+  const float* in = input.data();
+  float* o = out.data();
   for (int64_t i = 0; i < out.size(); ++i) {
-    if (out[i] < 0.0f) out[i] = 0.0f;
+    o[i] = in[i] < 0.0f ? 0.0f : in[i];
   }
   return out;
 }
 
 Tensor ReLU::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_input_));
-  Tensor grad = grad_output;
+  Tensor grad = NewBuffer(grad_output.shape());
+  const float* go = grad_output.data();
+  float* g = grad.data();
   for (int64_t i = 0; i < grad.size(); ++i) {
-    if (cached_input_[i] <= 0.0f) grad[i] = 0.0f;
+    g[i] = cached_input_[i] <= 0.0f ? 0.0f : go[i];
   }
   return grad;
 }
-
 
 Tensor ReLU::Infer(const Tensor& input) const {
   Tensor out = input;
@@ -34,22 +43,25 @@ Tensor ReLU::Infer(const Tensor& input) const {
 
 Tensor LeakyReLU::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
-  Tensor out = input;
+  Tensor out = NewBuffer(input.shape());
+  const float* in = input.data();
+  float* o = out.data();
   for (int64_t i = 0; i < out.size(); ++i) {
-    if (out[i] < 0.0f) out[i] *= negative_slope_;
+    o[i] = in[i] < 0.0f ? in[i] * negative_slope_ : in[i];
   }
   return out;
 }
 
 Tensor LeakyReLU::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_input_));
-  Tensor grad = grad_output;
+  Tensor grad = NewBuffer(grad_output.shape());
+  const float* go = grad_output.data();
+  float* g = grad.data();
   for (int64_t i = 0; i < grad.size(); ++i) {
-    if (cached_input_[i] <= 0.0f) grad[i] *= negative_slope_;
+    g[i] = cached_input_[i] <= 0.0f ? go[i] * negative_slope_ : go[i];
   }
   return grad;
 }
-
 
 Tensor LeakyReLU::Infer(const Tensor& input) const {
   Tensor out = input;
@@ -60,21 +72,24 @@ Tensor LeakyReLU::Infer(const Tensor& input) const {
 }
 
 Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
-  Tensor out = input;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  Tensor out = NewBuffer(input.shape());
+  const float* in = input.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] = std::tanh(in[i]);
   cached_output_ = out;
   return out;
 }
 
 Tensor Tanh::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_output_));
-  Tensor grad = grad_output;
+  Tensor grad = NewBuffer(grad_output.shape());
+  const float* go = grad_output.data();
+  float* g = grad.data();
   for (int64_t i = 0; i < grad.size(); ++i) {
-    grad[i] *= 1.0f - cached_output_[i] * cached_output_[i];
+    g[i] = go[i] * (1.0f - cached_output_[i] * cached_output_[i]);
   }
   return grad;
 }
-
 
 Tensor Tanh::Infer(const Tensor& input) const {
   Tensor out = input;
@@ -83,9 +98,11 @@ Tensor Tanh::Infer(const Tensor& input) const {
 }
 
 Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
-  Tensor out = input;
+  Tensor out = NewBuffer(input.shape());
+  const float* in = input.data();
+  float* o = out.data();
   for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+    o[i] = 1.0f / (1.0f + std::exp(-in[i]));
   }
   cached_output_ = out;
   return out;
@@ -93,13 +110,14 @@ Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
 
 Tensor Sigmoid::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_output_));
-  Tensor grad = grad_output;
+  Tensor grad = NewBuffer(grad_output.shape());
+  const float* go = grad_output.data();
+  float* g = grad.data();
   for (int64_t i = 0; i < grad.size(); ++i) {
-    grad[i] *= cached_output_[i] * (1.0f - cached_output_[i]);
+    g[i] = go[i] * (cached_output_[i] * (1.0f - cached_output_[i]));
   }
   return grad;
 }
-
 
 Tensor Sigmoid::Infer(const Tensor& input) const {
   Tensor out = input;

@@ -58,8 +58,15 @@ Tensor BatchNorm::Forward(const Tensor& input, bool training) {
   const int64_t m = ElementsPerChannel(input.shape());
   TABLEGAN_CHECK(m > 0);
 
-  Tensor mean({num_features_}), var({num_features_});
+  // Member scratch replaces the per-call mean/var tensors; zeroing (or
+  // copy-assigning) it reproduces the fresh-tensor contents bit for bit.
+  Tensor& mean = mean_scratch_;
+  Tensor& var = var_scratch_;
   if (training) {
+    mean.ResizeUninitialized({num_features_});
+    mean.SetZero();
+    var.ResizeUninitialized({num_features_});
+    var.SetZero();
     ForEachByChannel(input.shape(),
                      [&](int64_t c, int64_t i) { mean[c] += input[i]; });
     for (int64_t c = 0; c < num_features_; ++c) {
@@ -81,12 +88,12 @@ Tensor BatchNorm::Forward(const Tensor& input, bool training) {
     var = running_var_;
   }
 
-  cached_inv_std_ = Tensor({num_features_});
+  cached_inv_std_.ResizeUninitialized({num_features_});
   for (int64_t c = 0; c < num_features_; ++c) {
     cached_inv_std_[c] = 1.0f / std::sqrt(var[c] + eps_);
   }
-  cached_xhat_ = Tensor(input.shape());
-  Tensor output(input.shape());
+  cached_xhat_.ResizeUninitialized(input.shape());
+  Tensor output = NewBuffer(input.shape());
   ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
     const float xhat = (input[i] - mean[c]) * cached_inv_std_[c];
     cached_xhat_[i] = xhat;
@@ -120,7 +127,12 @@ Tensor BatchNorm::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.shape() == cached_shape_);
   const int64_t m = ElementsPerChannel(cached_shape_);
 
-  Tensor sum_dy({num_features_}), sum_dy_xhat({num_features_});
+  Tensor& sum_dy = sum_dy_;
+  Tensor& sum_dy_xhat = sum_dy_xhat_;
+  sum_dy.ResizeUninitialized({num_features_});
+  sum_dy.SetZero();
+  sum_dy_xhat.ResizeUninitialized({num_features_});
+  sum_dy_xhat.SetZero();
   ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {
     sum_dy[c] += grad_output[i];
     sum_dy_xhat[c] += grad_output[i] * cached_xhat_[i];
@@ -130,7 +142,8 @@ Tensor BatchNorm::Backward(const Tensor& grad_output) {
     grad_gamma_[c] += sum_dy_xhat[c];
   }
 
-  Tensor grad_input(cached_shape_);
+  // Fully overwritten in both branches below, so uninitialized is safe.
+  Tensor grad_input = NewBuffer(cached_shape_);
   if (cached_training_) {
     const float inv_m = 1.0f / static_cast<float>(m);
     ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {

@@ -49,6 +49,12 @@ class BatchNorm : public Layer {
   Tensor cached_inv_std_;    // [num_features]
   std::vector<int64_t> cached_shape_;
   bool cached_training_ = false;
+
+  // Reusable [num_features] scratch for Forward/Backward (Infer stays
+  // const/allocating for concurrent use). Zeroed or fully overwritten at
+  // the start of every use.
+  Tensor mean_scratch_, var_scratch_;
+  Tensor sum_dy_, sum_dy_xhat_;
 };
 
 }  // namespace nn

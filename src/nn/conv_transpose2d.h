@@ -38,12 +38,22 @@ class ConvTranspose2d : public Layer {
   /// Geometry of the *output* image, in Conv2dGeometry terms.
   ops::Conv2dGeometry OutputGeometry(int64_t in_h, int64_t in_w) const;
 
+  /// Grows the per-chunk scratch tensors to `count` chunks (see Conv2d;
+  /// same ownership rules: one FixedChunks id, one scratch set).
+  void EnsureChunkScratch(int64_t count, int64_t patch, int64_t spatial,
+                          bool backward);
+
   int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
   bool has_bias_;
   Tensor weight_, bias_;
   Tensor grad_weight_, grad_bias_;
 
   Tensor cached_input_;
+
+  // Reusable per-chunk scratch for the training passes; Infer stays
+  // const/allocating for concurrent use.
+  std::vector<Tensor> chunk_cols_;
+  std::vector<Tensor> dw_partials_, db_partials_;
 };
 
 }  // namespace nn

@@ -12,7 +12,9 @@ float SigmoidBceWithLogits(const Tensor& logits, const Tensor& targets,
   TABLEGAN_CHECK(logits.SameShape(targets));
   const int64_t n = logits.size();
   TABLEGAN_CHECK(n > 0);
-  *grad = Tensor(logits.shape());
+  // Every element is written below; reusing the caller's grad tensor
+  // capacity keeps the loss allocation-free in steady state.
+  grad->ResizeUninitialized(logits.shape());
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
   for (int64_t i = 0; i < n; ++i) {
@@ -30,7 +32,7 @@ float L1Loss(const Tensor& predictions, const Tensor& targets, Tensor* grad) {
   TABLEGAN_CHECK(predictions.SameShape(targets));
   const int64_t n = predictions.size();
   TABLEGAN_CHECK(n > 0);
-  *grad = Tensor(predictions.shape());
+  grad->ResizeUninitialized(predictions.shape());
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
   for (int64_t i = 0; i < n; ++i) {
@@ -45,7 +47,7 @@ float MseLoss(const Tensor& predictions, const Tensor& targets, Tensor* grad) {
   TABLEGAN_CHECK(predictions.SameShape(targets));
   const int64_t n = predictions.size();
   TABLEGAN_CHECK(n > 0);
-  *grad = Tensor(predictions.shape());
+  grad->ResizeUninitialized(predictions.shape());
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
   for (int64_t i = 0; i < n; ++i) {

@@ -62,11 +62,22 @@ Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
   }
 }
 
+void Adam::set_step_count(int64_t t) {
+  t_ = t;
+  beta1_pow_ = std::pow(static_cast<double>(beta1_), static_cast<double>(t));
+  beta2_pow_ = std::pow(static_cast<double>(beta2_), static_cast<double>(t));
+}
+
 void Adam::Step() {
   ++t_;
-  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
-  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
-  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+  // Carry beta^t as running double products instead of float std::pow:
+  // the float powers lost precision within a few hundred steps, skewing
+  // the bias-corrected learning rate.
+  beta1_pow_ *= static_cast<double>(beta1_);
+  beta2_pow_ *= static_cast<double>(beta2_);
+  const float alpha = static_cast<float>(
+      static_cast<double>(lr_) * std::sqrt(1.0 - beta2_pow_) /
+      (1.0 - beta1_pow_));
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = *params_[i];
     const Tensor& g = *grads_[i];

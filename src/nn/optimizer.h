@@ -55,7 +55,10 @@ class Adam : public Optimizer {
   /// and the first/second moment tensors (m for every parameter, then v
   /// for every parameter, in binding order).
   int64_t step_count() const { return t_; }
-  void set_step_count(int64_t t) { t_ = t; }
+  /// Restores the step count, recomputing the running beta powers from
+  /// scratch in double precision (used when loading checkpoints that do
+  /// not serialize the powers directly).
+  void set_step_count(int64_t t);
   std::vector<Tensor*> MomentTensors() {
     std::vector<Tensor*> out;
     out.reserve(m_.size() + v_.size());
@@ -64,9 +67,21 @@ class Adam : public Optimizer {
     return out;
   }
 
+  /// Running beta1^t / beta2^t, carried incrementally in double so the
+  /// bias correction stays exact at large t (float std::pow drifted).
+  /// Serialized in v4 checkpoints so a resumed run matches bit for bit.
+  double beta1_power() const { return beta1_pow_; }
+  double beta2_power() const { return beta2_pow_; }
+  void set_bias_correction_powers(double beta1_pow, double beta2_pow) {
+    beta1_pow_ = beta1_pow;
+    beta2_pow_ = beta2_pow;
+  }
+
  private:
   float lr_, beta1_, beta2_, eps_;
   int64_t t_ = 0;
+  // beta^t carried incrementally across Step() calls (see beta1_power()).
+  double beta1_pow_ = 1.0, beta2_pow_ = 1.0;
   std::vector<Tensor> m_, v_;
 };
 

@@ -5,24 +5,39 @@
 namespace tablegan {
 namespace nn {
 
+// The first layer consumes the caller's tensor directly (no upfront deep
+// copy); each move-assignment below recycles the previous activation's
+// pooled storage before adopting the next, so a bound Workspace sees
+// every intermediate again on the following step.
+
 Tensor Sequential::Forward(const Tensor& input, bool training) {
-  Tensor x = input;
-  for (auto& layer : layers_) x = layer->Forward(x, training);
+  if (layers_.empty()) return input;
+  Tensor x = layers_.front()->Forward(input, training);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    x = layers_[i]->Forward(x, training);
+  }
   return x;
 }
 
 Tensor Sequential::Infer(const Tensor& input) const {
-  Tensor x = input;
-  for (const auto& layer : layers_) x = layer->Infer(x);
+  if (layers_.empty()) return input;
+  Tensor x = layers_.front()->Infer(input);
+  for (size_t i = 1; i < layers_.size(); ++i) x = layers_[i]->Infer(x);
   return x;
 }
 
 Tensor Sequential::Backward(const Tensor& grad_output) {
-  Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
+  if (layers_.empty()) return grad_output;
+  Tensor g = layers_.back()->Backward(grad_output);
+  for (size_t i = layers_.size() - 1; i-- > 0;) {
+    g = layers_[i]->Backward(g);
   }
   return g;
+}
+
+void Sequential::SetWorkspace(Workspace* ws) {
+  Layer::SetWorkspace(ws);
+  for (auto& layer : layers_) layer->SetWorkspace(ws);
 }
 
 std::vector<Tensor*> Sequential::Parameters() {

@@ -4,6 +4,7 @@
 
 #include "common/parallel.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
 
 namespace tablegan {
 namespace ops {
@@ -115,7 +116,7 @@ void TnKernel(int64_t r0, int64_t r1, int64_t m, int64_t n, int64_t k,
 }  // namespace
 
 void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
-          const Tensor& b, float beta, Tensor* c) {
+          const Tensor& b, float beta, Tensor* c, Workspace* ws) {
   TABLEGAN_CHECK(a.rank() == 2 && b.rank() == 2 && c->rank() == 2);
   const int64_t m = transpose_a ? a.dim(1) : a.dim(0);
   const int64_t k = transpose_a ? a.dim(0) : a.dim(1);
@@ -134,16 +135,20 @@ void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
   if (m == 0 || n == 0 || k == 0) return;
 
   // Materializing the transposed operand keeps the hot kernel contiguous;
-  // the copy is O(m*k) versus the O(m*k*n) multiply.
+  // the copy is O(m*k) versus the O(m*k*n) multiply. The scratch comes
+  // from the workspace pool when one is supplied (Transpose2DInto writes
+  // every element, so stale pool contents are harmless).
   const Tensor* pa = &a;
   const Tensor* pb = &b;
   Tensor at, bt;
   if (transpose_a) {
-    at = Transpose2D(a);
+    if (ws != nullptr) at = ws->Take({a.dim(1), a.dim(0)});
+    Transpose2DInto(a, &at);
     pa = &at;
   }
   if (transpose_b) {
-    bt = Transpose2D(b);
+    if (ws != nullptr) bt = ws->Take({b.dim(1), b.dim(0)});
+    Transpose2DInto(b, &bt);
     pb = &bt;
   }
   ParallelGemm(m, n, k, alpha, pa->data(), pb->data(), c->data());

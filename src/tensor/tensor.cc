@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "tensor/workspace.h"
+
 namespace tablegan {
 
 int64_t ShapeSize(const std::vector<int64_t>& shape) {
@@ -29,6 +31,28 @@ Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)),
       data_(static_cast<size_t>(ShapeSize(shape_)), 0.0f) {}
 
+void Tensor::MaybeRecycle() {
+  if (pool_ != nullptr) {
+    Workspace* pool = pool_;
+    pool_ = nullptr;
+    pool->Recycle(std::move(shape_), std::move(data_));
+    shape_.clear();
+    data_.clear();
+  }
+}
+
+Tensor Tensor::Uninitialized(std::vector<int64_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_.resize(static_cast<size_t>(ShapeSize(t.shape_)));
+  return t;
+}
+
+void Tensor::ResizeUninitialized(const std::vector<int64_t>& shape) {
+  shape_ = shape;  // copy-assign reuses the shape vector's capacity
+  data_.resize(static_cast<size_t>(ShapeSize(shape_)));
+}
+
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
   Tensor t(std::move(shape));
   t.Fill(value);
@@ -42,16 +66,14 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
       << values.size() << " values";
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::move(values);
+  t.data_.assign(values.begin(), values.end());
   return t;
 }
 
 Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
                        Rng* rng) {
   Tensor t(std::move(shape));
-  for (int64_t i = 0; i < t.size(); ++i) {
-    t[i] = static_cast<float>(rng->Uniform(lo, hi));
-  }
+  t.FillUniform(lo, hi, rng);
   return t;
 }
 
@@ -75,6 +97,13 @@ Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
 
 void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::FillUniform(float lo, float hi, Rng* rng) {
+  for (int64_t i = 0; i < size(); ++i) {
+    data_[static_cast<size_t>(i)] =
+        static_cast<float>(rng->Uniform(lo, hi));
+  }
 }
 
 std::string Tensor::DebugString() const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,31 @@
 
 namespace tablegan {
 
+class Workspace;
+
+/// Allocator identical to std::allocator<T> except that value-less
+/// construct() default-initializes, so vector::resize leaves new floats
+/// uninitialized instead of zero-filling. This is the uninitialized-alloc
+/// path for buffers that are fully overwritten before being read.
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  using std::allocator<T>::allocator;
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+
 /// Dense float32 N-dimensional array with row-major contiguous storage
 /// and value semantics (copy = deep copy).
 ///
@@ -18,8 +44,21 @@ namespace tablegan {
 /// on; it intentionally supports only what the library needs: shape
 /// manipulation, fills, random init, and raw data access. Heavier
 /// numeric kernels live in tensor_ops.h / matmul.h / im2col.h.
+///
+/// A Tensor may be bound to a Workspace buffer pool (see workspace.h):
+/// pool-issued tensors return their storage to the pool on destruction
+/// and on move-assignment-over, which is what makes the steady-state
+/// training step allocation-free. Copies of a pooled tensor are plain
+/// (unpooled) tensors; copy-assignment *into* any tensor keeps the
+/// destination's binding and reuses its capacity.
 class Tensor {
  public:
+  /// Backing storage. The default-init allocator makes resize() skip
+  /// zero-filling; Tensor's public constructors still zero-fill to keep
+  /// the historical "tensors start at zero" semantics — only
+  /// Uninitialized()/ResizeUninitialized()/Workspace::Take skip it.
+  using Storage = std::vector<float, DefaultInitAllocator<float>>;
+
   /// Empty (rank-0, zero elements) tensor.
   Tensor() = default;
 
@@ -28,10 +67,45 @@ class Tensor {
   Tensor(std::initializer_list<int64_t> shape)
       : Tensor(std::vector<int64_t>(shape)) {}
 
+  Tensor(const Tensor& other)
+      : shape_(other.shape_), data_(other.data_), pool_(nullptr) {}
+  Tensor& operator=(const Tensor& other) {
+    // Keeps this tensor's pool binding; vector assignment reuses the
+    // existing capacity, so steady-state copies do not allocate.
+    if (this != &other) {
+      shape_ = other.shape_;
+      data_ = other.data_;
+    }
+    return *this;
+  }
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)),
+        data_(std::move(other.data_)),
+        pool_(other.pool_) {
+    other.shape_.clear();
+    other.data_.clear();
+    other.pool_ = nullptr;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      MaybeRecycle();
+      shape_ = std::move(other.shape_);
+      data_ = std::move(other.data_);
+      pool_ = other.pool_;
+      other.shape_.clear();
+      other.data_.clear();
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ~Tensor() { MaybeRecycle(); }
+
   /// Factory helpers -------------------------------------------------
   static Tensor Zeros(std::vector<int64_t> shape) {
     return Tensor(std::move(shape));
   }
+  /// Uninitialized contents — for buffers that are fully overwritten.
+  static Tensor Uninitialized(std::vector<int64_t> shape);
   static Tensor Full(std::vector<int64_t> shape, float value);
   static Tensor FromVector(std::vector<int64_t> shape,
                            std::vector<float> values);
@@ -51,6 +125,13 @@ class Tensor {
 
   /// Returns a tensor with the same data and a new shape of equal size.
   Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  /// Reshapes in place to `shape`, leaving any *new* elements
+  /// uninitialized (existing elements up to min(old, new) size are
+  /// preserved by vector::resize, but callers must not rely on that —
+  /// treat the whole tensor as scratch to overwrite). Reuses the current
+  /// capacity, so repeated calls with steady shapes never allocate.
+  void ResizeUninitialized(const std::vector<int64_t>& shape);
 
   /// Element access ----------------------------------------------------
   float* data() { return data_.data(); }
@@ -79,6 +160,8 @@ class Tensor {
   /// Mutators ----------------------------------------------------------
   void Fill(float value);
   void SetZero() { Fill(0.0f); }
+  /// In-place i.i.d. U[lo, hi) fill — same draw sequence as Uniform().
+  void FillUniform(float lo, float hi, Rng* rng);
 
   /// True iff shapes are identical (not broadcast-compatible).
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
@@ -87,8 +170,19 @@ class Tensor {
   std::string DebugString() const;
 
  private:
+  friend class Workspace;
+
+  /// Pool-issued tensor (Workspace::Take).
+  Tensor(std::vector<int64_t> shape, Storage storage, Workspace* pool)
+      : shape_(std::move(shape)), data_(std::move(storage)), pool_(pool) {}
+
+  void MaybeRecycle();
+
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  Storage data_;
+  /// Non-owning back-pointer of a pool-issued tensor; the pool must
+  /// outlive the tensor. Null for ordinary tensors.
+  Workspace* pool_ = nullptr;
 };
 
 /// Number of elements implied by `shape`; checks non-negative dims.

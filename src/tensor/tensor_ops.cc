@@ -33,6 +33,15 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+void SubInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckSameShape(a, b);
+  out->ResizeUninitialized(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  for (int64_t i = 0; i < out->size(); ++i) po[i] = pa[i] - pb[i];
+}
+
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   Tensor out = a;
@@ -143,6 +152,39 @@ Tensor ColumnStd(const Tensor& a) {
   return out;
 }
 
+void ColumnMeanInto(const Tensor& a, Tensor* out) {
+  TABLEGAN_CHECK(a.rank() == 2);
+  int64_t n = a.dim(0), f = a.dim(1);
+  TABLEGAN_CHECK(n > 0);
+  out->ResizeUninitialized({f});
+  out->SetZero();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * f;
+    for (int64_t j = 0; j < f; ++j) (*out)[j] += row[j];
+  }
+  ScaleInPlace(1.0f / static_cast<float>(n), out);
+}
+
+void ColumnStdInto(const Tensor& a, Tensor* out, Tensor* mean_scratch) {
+  TABLEGAN_CHECK(a.rank() == 2);
+  int64_t n = a.dim(0), f = a.dim(1);
+  TABLEGAN_CHECK(n > 0);
+  ColumnMeanInto(a, mean_scratch);
+  const Tensor& mean = *mean_scratch;
+  out->ResizeUninitialized({f});
+  out->SetZero();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * f;
+    for (int64_t j = 0; j < f; ++j) {
+      float d = row[j] - mean[j];
+      (*out)[j] += d * d;
+    }
+  }
+  for (int64_t j = 0; j < f; ++j) {
+    (*out)[j] = std::sqrt((*out)[j] / static_cast<float>(n));
+  }
+}
+
 Tensor Transpose2D(const Tensor& a) {
   TABLEGAN_CHECK(a.rank() == 2);
   int64_t r = a.dim(0), c = a.dim(1);
@@ -151,6 +193,15 @@ Tensor Transpose2D(const Tensor& a) {
     for (int64_t j = 0; j < c; ++j) out.at2(j, i) = a.at2(i, j);
   }
   return out;
+}
+
+void Transpose2DInto(const Tensor& a, Tensor* out) {
+  TABLEGAN_CHECK(a.rank() == 2);
+  int64_t r = a.dim(0), c = a.dim(1);
+  out->ResizeUninitialized({c, r});
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) out->at2(j, i) = a.at2(i, j);
+  }
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {

@@ -11,6 +11,9 @@ namespace ops {
 /// Elementwise kernels. All binary ops require identical shapes.
 Tensor Add(const Tensor& a, const Tensor& b);
 Tensor Sub(const Tensor& a, const Tensor& b);
+/// out = a - b into caller-owned scratch (resized as needed); same float
+/// arithmetic as Sub, so results are bitwise identical.
+void SubInto(const Tensor& a, const Tensor& b, Tensor* out);
 Tensor Mul(const Tensor& a, const Tensor& b);
 Tensor AddScalar(const Tensor& a, float s);
 Tensor MulScalar(const Tensor& a, float s);
@@ -38,9 +41,17 @@ Tensor ColumnMean(const Tensor& a);
 /// Population standard deviation per column (divides by n, matching the
 /// paper's SD[f] over a mini-batch).
 Tensor ColumnStd(const Tensor& a);
+/// Allocation-free variants writing into caller-owned scratch tensors
+/// (resized as needed). ColumnStdInto recomputes the column mean into
+/// `mean_scratch` exactly as ColumnStd does internally, keeping results
+/// bitwise identical to the allocating forms.
+void ColumnMeanInto(const Tensor& a, Tensor* out);
+void ColumnStdInto(const Tensor& a, Tensor* out, Tensor* mean_scratch);
 
 /// Transpose of a rank-2 tensor.
 Tensor Transpose2D(const Tensor& a);
+/// Transpose into caller-owned scratch (resized to [cols, rows]).
+void Transpose2DInto(const Tensor& a, Tensor* out);
 
 /// Concatenates rank-2 tensors with equal column counts along axis 0.
 Tensor ConcatRows(const std::vector<Tensor>& parts);

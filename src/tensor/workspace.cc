@@ -1,0 +1,38 @@
+#include "tensor/workspace.h"
+
+#include <utility>
+
+namespace tablegan {
+
+Tensor Workspace::Take(const std::vector<int64_t>& shape) {
+  ++takes_;
+  const int64_t count = ShapeSize(shape);
+  auto it = free_.find(count);
+  if (it != free_.end() && !it->second.empty()) {
+    Entry entry = std::move(it->second.back());
+    it->second.pop_back();
+    entry.shape = shape;  // reuses the pooled shape vector's capacity
+    return Tensor(std::move(entry.shape), std::move(entry.storage), this);
+  }
+  ++misses_;
+  allocated_bytes_ += static_cast<uint64_t>(count) * sizeof(float);
+  Tensor::Storage storage;
+  storage.resize(static_cast<size_t>(count));  // default-init: no zero fill
+  return Tensor(shape, std::move(storage), this);
+}
+
+Tensor Workspace::TakeZeroed(const std::vector<int64_t>& shape) {
+  Tensor t = Take(shape);
+  t.SetZero();
+  return t;
+}
+
+void Workspace::Clear() { free_.clear(); }
+
+void Workspace::Recycle(std::vector<int64_t>&& shape,
+                        Tensor::Storage&& storage) {
+  const int64_t count = static_cast<int64_t>(storage.size());
+  free_[count].push_back(Entry{std::move(shape), std::move(storage)});
+}
+
+}  // namespace tablegan

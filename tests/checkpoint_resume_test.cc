@@ -286,6 +286,83 @@ TEST(ResumeValidationTest, CheckpointLoadsAsAModel) {
   std::filesystem::remove_all(dir);
 }
 
+// Compares table `part` against rows [offset, offset + part rows) of
+// `whole`, cell for cell.
+void ExpectRowsEqual(const data::Table& whole, int64_t offset,
+                     const data::Table& part, const char* what) {
+  ASSERT_LE(offset + part.num_rows(), whole.num_rows()) << what;
+  ASSERT_EQ(whole.num_columns(), part.num_columns()) << what;
+  for (int64_t r = 0; r < part.num_rows(); ++r) {
+    for (int c = 0; c < part.num_columns(); ++c) {
+      ASSERT_EQ(whole.Get(offset + r, c), part.Get(r, c))
+          << what << " differs at " << r << "," << c;
+    }
+  }
+}
+
+TEST(SampleStreamTest, StreamStateSurvivesSaveLoad) {
+  data::Table table = SmallTable(64, 71);
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+
+  // Reference run draws the first 24 stream rows in one call.
+  TableGan ref(FastOptions());
+  ASSERT_TRUE(ref.Fit(table, label_col).ok());
+  auto all = ref.Sample(24);
+  ASSERT_TRUE(all.ok());
+
+  TableGan gan(FastOptions());
+  ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  auto first = gan.Sample(10);
+  ASSERT_TRUE(first.ok());
+  ExpectRowsEqual(*all, 0, *first, "first 10 rows");
+
+  // Save mid-stream in both formats, then keep sampling.
+  const std::string v4_path = TempPath("stream_v4.tgan");
+  const std::string v3_path = TempPath("stream_v3.tgan");
+  ASSERT_TRUE(gan.Save(v4_path).ok());
+  ASSERT_TRUE(gan.SaveCompat(v3_path, 3).ok());
+  auto rest = gan.Sample(14);
+  ASSERT_TRUE(rest.ok());
+  ExpectRowsEqual(*all, 10, *rest, "rows 10-23 from the original");
+
+  // A v4 reload continues the stream exactly where the save left it.
+  auto v4 = TableGan::Load(v4_path);
+  ASSERT_TRUE(v4.ok()) << v4.status().ToString();
+  auto v4_rest = v4->Sample(14);
+  ASSERT_TRUE(v4_rest.ok());
+  ExpectRowsEqual(*all, 10, *v4_rest, "rows 10-23 from the v4 reload");
+
+  // A v3 file has no stream counters: the reload starts a fresh stream
+  // (the pre-v4 behavior) and replays rows 0-13.
+  auto v3 = TableGan::Load(v3_path);
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
+  auto v3_rest = v3->Sample(14);
+  ASSERT_TRUE(v3_rest.ok());
+  ExpectRowsEqual(*all, 0, *v3_rest, "rows 0-13 from the v3 reload");
+
+  std::remove(v4_path.c_str());
+  std::remove(v3_path.c_str());
+}
+
+TEST(SampleStreamTest, VersionedMagicBytes) {
+  data::Table table = SmallTable(64, 81);
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  TableGan gan(FastOptions());
+  ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  const std::string v4_path = TempPath("magic_v4.tgan");
+  const std::string v3_path = TempPath("magic_v3.tgan");
+  ASSERT_TRUE(gan.Save(v4_path).ok());
+  ASSERT_TRUE(gan.SaveCompat(v3_path, 3).ok());
+  EXPECT_EQ(ReadFileBytes(v4_path).substr(0, 8), "TGAN0004");
+  EXPECT_EQ(ReadFileBytes(v3_path).substr(0, 8), "TGAN0003");
+  // An unsupported version number is rejected up front.
+  EXPECT_FALSE(gan.SaveCompat(TempPath("magic_v2.tgan"), 2).ok());
+  std::remove(v4_path.c_str());
+  std::remove(v3_path.c_str());
+}
+
 TEST(MetricsTest, SinkAndCallbackSeeEveryEpoch) {
   data::Table table = SmallTable(64, 51);
   const int label_col =

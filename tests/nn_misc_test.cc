@@ -65,6 +65,60 @@ TEST(AdamReference, StateAccumulatesAcrossSteps) {
   EXPECT_LT(w[0], after_one);
 }
 
+TEST(AdamReference, BiasCorrectionPowersStayExactAtLargeStepCounts) {
+  Tensor w({1});
+  Tensor g({1});
+  Adam adam({&w}, {&g}, 0.1f, 0.5f, 0.999f);
+  g[0] = 0.25f;
+  const int kSteps = 3000;
+  // The optimizer promotes its float betas to double, so the reference
+  // products must start from the same promoted values.
+  const double b1 = static_cast<double>(0.5f);
+  const double b2 = static_cast<double>(0.999f);
+  double p1 = 1.0, p2 = 1.0;
+  for (int t = 0; t < kSteps; ++t) {
+    adam.Step();
+    p1 *= b1;
+    p2 *= b2;
+  }
+  // The running powers are exactly the double products (the old float
+  // std::pow path drifted visibly within a few hundred steps).
+  EXPECT_EQ(adam.beta1_power(), p1);
+  EXPECT_EQ(adam.beta2_power(), p2);
+}
+
+TEST(AdamReference, RestoredPowersReproduceStepsBitwise) {
+  // Mimics a v4 checkpoint round trip: step count restored (recomputing
+  // the powers), then the exact saved powers overlaid. The next step of
+  // the restored optimizer must match the original bit for bit.
+  Tensor w1 = Tensor::FromVector({2}, {0.3f, -0.7f});
+  Tensor g1({2});
+  Adam a({&w1}, {&g1}, 0.01f, 0.5f, 0.999f);
+  for (int t = 0; t < 500; ++t) {
+    g1[0] = 0.1f + 0.001f * static_cast<float>(t);
+    g1[1] = -0.2f;
+    a.Step();
+  }
+
+  Tensor w2 = w1;  // same parameters after restore
+  Tensor g2({2});
+  Adam b({&w2}, {&g2}, 0.01f, 0.5f, 0.999f);
+  b.set_step_count(a.step_count());
+  b.set_bias_correction_powers(a.beta1_power(), a.beta2_power());
+  for (Tensor* m : b.MomentTensors()) m->SetZero();
+  std::vector<Tensor*> am = a.MomentTensors(), bm = b.MomentTensors();
+  for (size_t i = 0; i < am.size(); ++i) *bm[i] = *am[i];
+
+  g1[0] = g2[0] = 0.05f;
+  g1[1] = g2[1] = 0.15f;
+  a.Step();
+  b.Step();
+  EXPECT_EQ(w1[0], w2[0]);
+  EXPECT_EQ(w1[1], w2[1]);
+  EXPECT_EQ(a.beta1_power(), b.beta1_power());
+  EXPECT_EQ(a.beta2_power(), b.beta2_power());
+}
+
 TEST(Buffers, SequentialEnumeratesBatchNormBuffers) {
   Sequential net;
   net.Emplace<Dense>(4, 4);

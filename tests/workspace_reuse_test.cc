@@ -1,0 +1,270 @@
+// Workspace/buffer-pool subsystem tests: the pooled training step must
+// be bitwise identical to the allocating path at any thread count, the
+// pool must stop growing after the first (warmup) epoch, the tail batch
+// of n mod batch_size rows must train, and the Workspace/Tensor recycle
+// protocol must behave (shape-keyed reuse, copies unpooled, moves
+// transferring the binding).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/table_gan.h"
+#include "data/datasets.h"
+#include "tensor/workspace.h"
+
+namespace tablegan {
+namespace core {
+namespace {
+
+data::Table SmallTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  return data::MakeAdultLike(rows, &rng);
+}
+
+TableGanOptions FastOptions(int num_threads, bool reuse_workspace) {
+  TableGanOptions o;
+  o.base_channels = 8;
+  o.epochs = 3;
+  o.batch_size = 16;
+  o.latent_dim = 8;
+  o.seed = 4321;
+  o.num_threads = num_threads;
+  o.reuse_workspace = reuse_workspace;
+  return o;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void ExpectTablesBitwiseEqual(const data::Table& a, const data::Table& b,
+                              const char* what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.Get(r, c), b.Get(r, c))
+          << what << " differs at " << r << "," << c;
+    }
+  }
+}
+
+// --- Workspace / Tensor pooling protocol -------------------------------
+
+TEST(WorkspaceTest, ReusesBuffersByElementCount) {
+  Workspace ws;
+  float* raw = nullptr;
+  {
+    Tensor a = ws.Take({4, 8});
+    raw = a.data();
+  }  // recycled here
+  EXPECT_EQ(ws.takes(), 1u);
+  EXPECT_EQ(ws.misses(), 1u);
+  // Same element count, different shape: the backing array comes back.
+  Tensor b = ws.Take({8, 4});
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b.dim(0), 8);
+  EXPECT_EQ(ws.takes(), 2u);
+  EXPECT_EQ(ws.misses(), 1u);
+  // A different count is a fresh allocation.
+  Tensor c = ws.Take({3});
+  EXPECT_EQ(ws.misses(), 2u);
+  EXPECT_EQ(ws.allocated_bytes(), (4 * 8 + 3) * sizeof(float));
+}
+
+TEST(WorkspaceTest, TakeZeroedZeroesRecycledMemory) {
+  Workspace ws;
+  {
+    Tensor a = ws.Take({16});
+    for (int64_t i = 0; i < a.size(); ++i) a[i] = 7.0f;
+  }
+  Tensor b = ws.TakeZeroed({16});
+  for (int64_t i = 0; i < b.size(); ++i) {
+    ASSERT_EQ(b[i], 0.0f) << i;
+  }
+}
+
+TEST(WorkspaceTest, CopiesAreUnpooledAndMovesTransferTheBinding) {
+  Workspace ws;
+  {
+    Tensor a = ws.Take({8});
+    a.SetZero();
+    Tensor copy = a;        // copy: NOT pool-bound
+    Tensor moved = std::move(a);  // move: binding travels
+    (void)copy;
+    (void)moved;
+  }
+  // Only the moved-to tensor recycled its (single) buffer; the copy's
+  // buffer was plain heap memory.
+  EXPECT_EQ(ws.misses(), 1u);
+  Tensor again = ws.Take({8});
+  EXPECT_EQ(ws.misses(), 1u);  // served from the free list
+}
+
+TEST(WorkspaceTest, CopyAssignIntoPooledTensorKeepsTheBinding) {
+  Workspace ws;
+  Tensor plain({4});
+  for (int64_t i = 0; i < 4; ++i) plain[i] = static_cast<float>(i);
+  float* raw = nullptr;
+  {
+    Tensor pooled = ws.Take({4});
+    raw = pooled.data();
+    pooled = plain;  // keeps capacity and the pool binding
+    EXPECT_EQ(pooled.data(), raw);
+    EXPECT_EQ(pooled[3], 3.0f);
+  }
+  // The buffer went back to the pool on destruction.
+  Tensor b = ws.Take({4});
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(ws.misses(), 1u);
+}
+
+// --- Pooled vs. allocating training path -------------------------------
+
+class PooledVsUnpooledTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PooledVsUnpooledTest, TrainingIsBitwiseIdentical) {
+  const int threads = GetParam();
+  data::Table table = SmallTable(70, 13);  // 70 = 4*16 + tail of 6
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+
+  TableGan pooled(FastOptions(threads, /*reuse_workspace=*/true));
+  ASSERT_TRUE(pooled.Fit(table, label_col).ok());
+  TableGan plain(FastOptions(threads, /*reuse_workspace=*/false));
+  ASSERT_TRUE(plain.Fit(table, label_col).ok());
+
+  ASSERT_EQ(pooled.history().size(), plain.history().size());
+  for (size_t e = 0; e < pooled.history().size(); ++e) {
+    EXPECT_EQ(pooled.history()[e].d_loss, plain.history()[e].d_loss) << e;
+    EXPECT_EQ(pooled.history()[e].g_orig_loss,
+              plain.history()[e].g_orig_loss)
+        << e;
+    EXPECT_EQ(pooled.history()[e].info_loss, plain.history()[e].info_loss)
+        << e;
+    EXPECT_EQ(pooled.history()[e].class_loss, plain.history()[e].class_loss)
+        << e;
+  }
+
+  // The saved models must be byte-identical: same weights, same
+  // BatchNorm running statistics, same sampling-stream counters.
+  const std::string pooled_path =
+      TempPath("ws_pooled_t" + std::to_string(threads) + ".tgan");
+  const std::string plain_path =
+      TempPath("ws_plain_t" + std::to_string(threads) + ".tgan");
+  ASSERT_TRUE(pooled.Save(pooled_path).ok());
+  ASSERT_TRUE(plain.Save(plain_path).ok());
+  EXPECT_EQ(ReadFileBytes(pooled_path), ReadFileBytes(plain_path));
+  std::remove(pooled_path.c_str());
+  std::remove(plain_path.c_str());
+
+  auto a = pooled.Sample(24);
+  auto b = plain.Sample(24);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectTablesBitwiseEqual(*a, *b, "pooled vs unpooled Sample");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PooledVsUnpooledTest,
+                         ::testing::Values(1, 4));
+
+// --- Steady-state allocation contract ----------------------------------
+
+TEST(WorkspaceSteadyStateTest, NoPoolGrowthAfterWarmupEpoch) {
+  data::Table table = SmallTable(70, 23);  // tail batch exercises both
+                                           // batch shapes during warmup
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  std::vector<TrainingMetrics> seen;
+  TableGanOptions options = FastOptions(2, /*reuse_workspace=*/true);
+  options.metrics_callback = [&seen](const TrainingMetrics& m) {
+    seen.push_back(m);
+  };
+  TableGan gan(options);
+  ASSERT_TRUE(gan.Fit(table, label_col).ok());
+
+  ASSERT_EQ(seen.size(), 3u);
+  // Warmup: the first epoch populates the pool.
+  EXPECT_GT(seen[0].workspace_allocs, 0);
+  EXPECT_GT(seen[0].workspace_bytes, 0);
+  // Steady state: every buffer is recycled, none allocated.
+  for (size_t e = 1; e < seen.size(); ++e) {
+    EXPECT_EQ(seen[e].workspace_allocs, 0) << "epoch " << e + 1;
+    EXPECT_GT(seen[e].workspace_reuses, 0) << "epoch " << e + 1;
+    EXPECT_EQ(seen[e].workspace_bytes, seen[0].workspace_bytes)
+        << "pool grew after warmup (epoch " << e + 1 << ")";
+  }
+}
+
+TEST(WorkspaceSteadyStateTest, CountersAreZeroWithReuseDisabled) {
+  data::Table table = SmallTable(48, 33);
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  std::vector<TrainingMetrics> seen;
+  TableGanOptions options = FastOptions(1, /*reuse_workspace=*/false);
+  options.epochs = 2;
+  options.metrics_callback = [&seen](const TrainingMetrics& m) {
+    seen.push_back(m);
+  };
+  TableGan gan(options);
+  ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  for (const TrainingMetrics& m : seen) {
+    EXPECT_EQ(m.workspace_allocs, 0);
+    EXPECT_EQ(m.workspace_reuses, 0);
+    EXPECT_EQ(m.workspace_bytes, 0);
+  }
+}
+
+// --- Tail-batch training (the old loop dropped n mod batch rows) -------
+
+TEST(TailBatchTest, TailRowsAreTrainedAndCounted) {
+  data::Table table = SmallTable(70, 43);  // 70 = 4 full batches + 6
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  std::vector<TrainingMetrics> seen;
+  TableGanOptions options = FastOptions(1, /*reuse_workspace=*/true);
+  options.epochs = 2;
+  options.metrics_callback = [&seen](const TrainingMetrics& m) {
+    seen.push_back(m);
+  };
+  TableGan gan(options);
+  ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  ASSERT_EQ(seen.size(), 2u);
+  for (const TrainingMetrics& m : seen) {
+    EXPECT_EQ(m.examples, 70) << "every row must train each epoch";
+  }
+}
+
+TEST(TailBatchTest, SingleRowTailIsSkipped) {
+  // 65 = 4 full batches + 1 row; a 1-sample batch has zero BatchNorm
+  // variance, so that row is skipped (documented in DESIGN.md).
+  data::Table table = SmallTable(65, 53);
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  std::vector<TrainingMetrics> seen;
+  TableGanOptions options = FastOptions(1, /*reuse_workspace=*/true);
+  options.epochs = 1;
+  options.metrics_callback = [&seen](const TrainingMetrics& m) {
+    seen.push_back(m);
+  };
+  TableGan gan(options);
+  ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].examples, 64);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tablegan

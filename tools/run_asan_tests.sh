@@ -17,6 +17,7 @@ asan_tests=(
   csv_robustness_test
   serialization_test
   checkpoint_resume_test
+  workspace_reuse_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

@@ -19,6 +19,7 @@ tsan_tests=(
   nn_test
   nn_gradcheck_test
   nn_misc_test
+  workspace_reuse_test
   conv_sweep_test
   parallel_eval_test
   eval_test
