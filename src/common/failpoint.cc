@@ -1,0 +1,254 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace tablegan {
+namespace failpoint {
+namespace {
+
+enum class Mode {
+  kDisabled,  // counters only (site was evaluated or explicitly disarmed)
+  kAlways,
+  kOnce,
+  kAfter,
+  kEvery,
+  kProb,
+};
+
+struct Site {
+  Mode mode = Mode::kDisabled;
+  int64_t n = 0;           // parameter of after(n) / every(n)
+  double p = 0.0;          // parameter of prob(p)
+  uint64_t prob_state = 0; // private splitmix64 stream for prob
+  int64_t evaluations = 0;
+  int64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashName(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (unsigned char ch : s) h = (h ^ ch) * 0x100000001B3ULL;
+  return h;
+}
+
+// Parses "name" or "name(arg[,arg2])" trigger text into `*site`.
+Status ParseTrigger(const std::string& site_name, const std::string& trigger,
+                    Site* site) {
+  const auto bad = [&]() {
+    return Status::InvalidArgument("failpoint " + site_name +
+                                   ": malformed trigger '" + trigger +
+                                   "' (expected always, once, after(n), "
+                                   "every(n) or prob(p[,seed]))");
+  };
+  if (trigger == "always") {
+    site->mode = Mode::kAlways;
+    return Status::OK();
+  }
+  if (trigger == "once") {
+    site->mode = Mode::kOnce;
+    return Status::OK();
+  }
+  const size_t open = trigger.find('(');
+  if (open == std::string::npos || trigger.back() != ')') return bad();
+  const std::string name = trigger.substr(0, open);
+  const std::string args =
+      trigger.substr(open + 1, trigger.size() - open - 2);
+  try {
+    if (name == "after" || name == "every") {
+      size_t used = 0;
+      const long long n = std::stoll(args, &used);
+      if (used != args.size() || n < 1) return bad();
+      site->mode = name == "after" ? Mode::kAfter : Mode::kEvery;
+      site->n = n;
+      return Status::OK();
+    }
+    if (name == "prob") {
+      const size_t comma = args.find(',');
+      size_t used = 0;
+      const std::string p_text = args.substr(0, comma);
+      const double p = std::stod(p_text, &used);
+      if (used != p_text.size() || p < 0.0 || p > 1.0) return bad();
+      uint64_t seed = HashName(site_name);
+      if (comma != std::string::npos) {
+        const std::string s_text = args.substr(comma + 1);
+        const unsigned long long s = std::stoull(s_text, &used);
+        if (used != s_text.size()) return bad();
+        seed = s;
+      }
+      site->mode = Mode::kProb;
+      site->p = p;
+      site->prob_state = seed;
+      return Status::OK();
+    }
+  } catch (...) {
+    return bad();
+  }
+  return bad();
+}
+
+// One-time parse of the TABLEGAN_FAILPOINTS environment variable, so
+// env-configured sites fire without any programmatic setup.
+const bool g_env_configured = [] {
+  const char* spec = std::getenv("TABLEGAN_FAILPOINTS");
+  if (spec != nullptr && *spec != '\0') {
+    Status st = ConfigureFromSpec(spec);
+    if (!st.ok()) {
+      TABLEGAN_LOG(Error) << "TABLEGAN_FAILPOINTS: " << st.ToString();
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_enabled_count{0};
+
+bool ShouldFailSlow(const char* site_name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Site& site = r.sites[site_name];
+  ++site.evaluations;
+  bool fire = false;
+  switch (site.mode) {
+    case Mode::kDisabled:
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kOnce:
+      fire = site.evaluations == 1;
+      break;
+    case Mode::kAfter:
+      fire = site.evaluations > site.n;
+      break;
+    case Mode::kEvery:
+      fire = site.evaluations % site.n == 0;
+      break;
+    case Mode::kProb: {
+      const uint64_t draw = SplitMix64(&site.prob_state);
+      // 53-bit mantissa draw in [0, 1), the usual uniform construction.
+      const double u =
+          static_cast<double>(draw >> 11) * 0x1.0p-53;
+      fire = u < site.p;
+      break;
+    }
+  }
+  if (fire) ++site.triggers;
+  return fire;
+}
+
+}  // namespace internal
+
+Status Enable(const std::string& site_name, const std::string& trigger) {
+  Site parsed;
+  TABLEGAN_RETURN_NOT_OK(ParseTrigger(site_name, trigger, &parsed));
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Site& site = r.sites[site_name];
+  if (site.mode == Mode::kDisabled) {
+    internal::g_enabled_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  site.mode = parsed.mode;
+  site.n = parsed.n;
+  site.p = parsed.p;
+  site.prob_state = parsed.prob_state;
+  site.evaluations = 0;
+  site.triggers = 0;
+  return Status::OK();
+}
+
+void Disable(const std::string& site_name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site_name);
+  if (it == r.sites.end() || it->second.mode == Mode::kDisabled) return;
+  it->second.mode = Mode::kDisabled;
+  internal::g_enabled_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, site] : r.sites) {
+    if (site.mode != Mode::kDisabled) {
+      internal::g_enabled_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  r.sites.clear();
+}
+
+Status ConfigureFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t end = std::min(spec.find(';', pos), spec.size());
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "failpoint spec clause '" + clause +
+          "' is not of the form site=trigger");
+    }
+    TABLEGAN_RETURN_NOT_OK(
+        Enable(clause.substr(0, eq), clause.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+int64_t EvaluationCount(const std::string& site_name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site_name);
+  return it == r.sites.end() ? 0 : it->second.evaluations;
+}
+
+int64_t TriggerCount(const std::string& site_name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site_name);
+  return it == r.sites.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> EnabledSites() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, site] : r.sites) {
+    if (site.mode != Mode::kDisabled) out.push_back(name);
+  }
+  return out;
+}
+
+Scoped::Scoped(const std::string& site, const std::string& trigger)
+    : site_(site) {
+  const Status st = Enable(site, trigger);
+  TABLEGAN_CHECK(st.ok()) << st.ToString();
+}
+
+Scoped::~Scoped() { Disable(site_); }
+
+}  // namespace failpoint
+}  // namespace tablegan

@@ -1,0 +1,107 @@
+#ifndef TABLEGAN_COMMON_FAILPOINT_H_
+#define TABLEGAN_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tablegan {
+namespace failpoint {
+
+/// Deterministic fault-injection registry (see DESIGN.md §11).
+///
+/// Error-prone seams (checkpoint I/O, CSV parsing, dataset loading,
+/// thread-pool dispatch) are instrumented with named sites:
+///
+///   if (TABLEGAN_FAILPOINT("checkpoint.rename")) { /* simulate failure */ }
+///
+/// A site is inert until enabled, either programmatically
+/// (`failpoint::Enable("checkpoint.rename", "once")`, or the RAII
+/// `failpoint::Scoped` in tests) or through the TABLEGAN_FAILPOINTS
+/// environment variable, a semicolon-separated list of `site=trigger`
+/// clauses parsed once at process start:
+///
+///   TABLEGAN_FAILPOINTS="csv.read_record=after(10);checkpoint.rename=once"
+///
+/// Trigger grammar (evaluations of a site are counted from 1):
+///   always        fires on every evaluation
+///   once          fires on the first evaluation only
+///   after(n)      first n evaluations pass, every later one fires
+///   every(n)      fires on evaluations n, 2n, 3n, ...
+///   prob(p[,s])   each evaluation fires independently with probability
+///                 p, drawn from a private splitmix64 stream seeded with
+///                 s (default: a hash of the site name) — the fire/pass
+///                 sequence is a pure function of (site, p, s).
+///
+/// Cost when nothing is enabled: the TABLEGAN_FAILPOINT macro is a
+/// single relaxed atomic load (the global enabled-site count) and a
+/// never-taken branch; the registry mutex is only touched while at
+/// least one site is enabled. Sites fire deterministically: evaluation
+/// counters are per-site and every trigger mode is a pure function of
+/// the evaluation index (and, for prob, its own seeded stream).
+
+namespace internal {
+
+/// Number of currently enabled sites. The fast path reads only this.
+extern std::atomic<int> g_enabled_count;
+
+/// Slow path: consults the registry under its mutex. Records the
+/// evaluation (for EvaluationCount) and returns whether the site fires.
+bool ShouldFailSlow(const char* site);
+
+}  // namespace internal
+
+/// Arms `site` with a trigger (grammar above), resetting its counters.
+/// InvalidArgument on a malformed trigger.
+Status Enable(const std::string& site, const std::string& trigger);
+
+/// Disarms `site` (keeps its evaluation counters readable). No-op if
+/// the site was not enabled.
+void Disable(const std::string& site);
+
+/// Disarms every site and clears all counters.
+void Reset();
+
+/// Parses a TABLEGAN_FAILPOINTS-style spec ("a=once;b=after(3)") and
+/// enables each clause. Empty clauses are ignored.
+Status ConfigureFromSpec(const std::string& spec);
+
+/// Times `site` was reached while any failpoint was enabled. Counts
+/// accumulate for unknown (never-enabled) sites too, so tests can
+/// assert a seam was actually exercised.
+int64_t EvaluationCount(const std::string& site);
+
+/// Times `site` actually fired.
+int64_t TriggerCount(const std::string& site);
+
+/// Currently armed sites, sorted.
+std::vector<std::string> EnabledSites();
+
+/// RAII arm/disarm for tests. Aborts (CHECK) on a malformed trigger so
+/// a typo cannot silently turn a fault-injection test into a no-op.
+class Scoped {
+ public:
+  Scoped(const std::string& site, const std::string& trigger);
+  ~Scoped();
+
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace failpoint
+}  // namespace tablegan
+
+/// True when the named failpoint site fires. Compiles to one relaxed
+/// atomic load + never-taken branch while no site is enabled.
+#define TABLEGAN_FAILPOINT(site)                         \
+  (::tablegan::failpoint::internal::g_enabled_count.load( \
+       std::memory_order_relaxed) != 0 &&                 \
+   ::tablegan::failpoint::internal::ShouldFailSlow(site))
+
+#endif  // TABLEGAN_COMMON_FAILPOINT_H_

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace tablegan {
@@ -34,6 +36,12 @@ void DrainFor(const std::shared_ptr<ForState>& st) {
     if (i >= st->n) return;
     if (!st->cancelled.load(std::memory_order_relaxed)) {
       try {
+        // Simulates a task body failing on dispatch; ParallelFor's
+        // contract (first exception rethrown on the caller, remaining
+        // indices cancelled, pool reusable) is what tests assert.
+        if (TABLEGAN_FAILPOINT("threadpool.parallel_for")) {
+          throw std::runtime_error("injected failure: threadpool.parallel_for");
+        }
         st->fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(st->mu);
@@ -108,6 +116,12 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
     }
     try {
+      // A Submit()ed task that dies is swallowed with an error log (the
+      // documented contract); the failpoint lets tests prove WaitIdle
+      // still unblocks and the worker survives.
+      if (TABLEGAN_FAILPOINT("threadpool.task")) {
+        throw std::runtime_error("injected failure: threadpool.task");
+      }
       task();
     } catch (const std::exception& e) {
       TABLEGAN_LOG(Error) << "uncaught exception in pool task: " << e.what();

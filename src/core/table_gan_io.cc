@@ -23,6 +23,7 @@
 #include <sstream>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "core/info_loss.h"
 #include "core/table_gan.h"
 #include "nn/optimizer.h"
@@ -125,19 +126,38 @@ bool ReadNet(std::istream& in, nn::Sequential* net) {
 
 // Writes `payload` (which must already end with its CRC footer) to a
 // temp file next to `path`, then renames it into place.
-Status AtomicWriteFile(const std::string& path, const std::string& payload) {
+//
+// Failpoint sites (tests force each failure shape and assert the
+// target file is never torn): checkpoint.open_write, one bit flipped
+// mid-payload (checkpoint.corrupt_byte — the readers' CRC must catch
+// it), a short write (checkpoint.short_write), and a failed rename
+// (checkpoint.rename).
+Status AtomicWriteFile(const std::string& path, std::string payload) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + tmp);
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out || TABLEGAN_FAILPOINT("checkpoint.open_write")) {
+      // The open may have created an empty temp file before failing;
+      // never leave it behind.
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("cannot open for write: " + tmp);
+    }
+    if (TABLEGAN_FAILPOINT("checkpoint.corrupt_byte")) {
+      payload[payload.size() / 2] ^= 0x40;
+    }
+    std::streamsize len = static_cast<std::streamsize>(payload.size());
+    const bool short_write = TABLEGAN_FAILPOINT("checkpoint.short_write");
+    if (short_write) len /= 2;  // half the payload actually reaches disk
+    out.write(payload.data(), len);
     out.flush();
-    if (!out) {
+    if (!out || short_write) {
       std::remove(tmp.c_str());
       return Status::IOError("write failed: " + tmp);
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (TABLEGAN_FAILPOINT("checkpoint.rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IOError("cannot rename " + tmp + " to " + path);
   }
@@ -150,13 +170,20 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload) {
 Status ReadVerifiedFile(const std::string& path, std::string* contents,
                         std::istringstream* in, int* version) {
   std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open for read: " + path);
+  if (!file || TABLEGAN_FAILPOINT("checkpoint.open_read")) {
+    return Status::IOError("cannot open for read: " + path);
+  }
   std::ostringstream buffer;
   buffer << file.rdbuf();
   if (!file.good() && !file.eof()) {
     return Status::IOError("read failed: " + path);
   }
   *contents = std::move(buffer).str();
+  if (TABLEGAN_FAILPOINT("checkpoint.truncate_read")) {
+    // Simulates a partial read / concurrently truncated file; the magic
+    // and CRC checks below must reject whatever half survives.
+    contents->resize(contents->size() / 2);
+  }
   if (contents->size() < kMagicSize + kFooterSize ||
       std::memcmp(contents->data(), kMagicPrefix, sizeof(kMagicPrefix)) !=
           0) {
@@ -394,7 +421,7 @@ Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
   std::string payload = std::move(out).str();
   const uint32_t crc = Crc32(payload.data(), payload.size());
   payload.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  return AtomicWriteFile(path, payload);
+  return AtomicWriteFile(path, std::move(payload));
 }
 
 Status TableGan::Save(const std::string& path) const {

@@ -1,8 +1,12 @@
 #include "data/csv.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "common/failpoint.h"
 
 namespace tablegan {
 namespace data {
@@ -95,7 +99,17 @@ SplitResult SplitCsvRecord(const std::string& line,
 Result<bool> ReadRecord(std::istream& in, std::vector<std::string>* cells,
                         int64_t* line_no) {
   std::string line;
-  if (!std::getline(in, line)) return false;
+  if (TABLEGAN_FAILPOINT("csv.read_record")) in.setstate(std::ios::badbit);
+  if (!std::getline(in, line)) {
+    // badbit means the stream broke mid-file (I/O error, not end of
+    // data); reporting it as a clean EOF would silently truncate the
+    // table.
+    if (in.bad()) {
+      return Status::IOError("read failed after line " +
+                             std::to_string(*line_no));
+    }
+    return false;
+  }
   ++*line_no;
   if (!line.empty() && line.back() == '\r') line.pop_back();
   SplitResult result = SplitCsvRecord(line, cells);
@@ -124,7 +138,9 @@ Result<bool> ReadRecord(std::istream& in, std::vector<std::string>* cells,
 
 Status WriteCsv(const Table& table, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  if (!out || TABLEGAN_FAILPOINT("csv.open_write")) {
+    return Status::IOError("cannot open for write: " + path);
+  }
   const Schema& schema = table.schema();
   for (int c = 0; c < schema.num_columns(); ++c) {
     if (c) out << ',';
@@ -157,6 +173,9 @@ Status WriteCsv(const Table& table, const std::string& path) {
       out << v;
     }
     out << '\n';
+    // Per-row site so after(n)/every(n) triggers can break the stream
+    // mid-file, not just at the first byte.
+    if (TABLEGAN_FAILPOINT("csv.write_row")) out.setstate(std::ios::badbit);
   }
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -164,7 +183,9 @@ Status WriteCsv(const Table& table, const std::string& path) {
 
 Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  if (!in || TABLEGAN_FAILPOINT("csv.open_read")) {
+    return Status::IOError("cannot open for read: " + path);
+  }
   std::vector<std::string> header;
   int64_t line_no = 0;
   TABLEGAN_ASSIGN_OR_RETURN(bool has_header,
@@ -214,15 +235,25 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
         }
         continue;
       }
-      try {
-        size_t consumed = 0;
-        row[static_cast<size_t>(c)] = std::stod(cell, &consumed);
-        if (consumed != cell.size()) throw std::invalid_argument(cell);
-      } catch (...) {
+      // std::stod throws out_of_range on strtod's ERANGE, which glibc
+      // also raises for gradual underflow — rejecting subnormal values
+      // WriteCsv itself emits. Parse with strtod directly: accept
+      // underflow (the returned value is the correct nearest double),
+      // still reject overflow and trailing garbage.
+      errno = 0;
+      char* cell_end = nullptr;
+      const double parsed =
+          cell.empty() ? 0.0 : std::strtod(cell.c_str(), &cell_end);
+      const bool consumed_all =
+          !cell.empty() && cell_end == cell.c_str() + cell.size();
+      const bool overflowed =
+          errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL);
+      if (!consumed_all || overflowed) {
         return Status::InvalidArgument("unparseable cell '" + cell +
                                        "' at line " +
                                        std::to_string(line_no));
       }
+      row[static_cast<size_t>(c)] = parsed;
     }
     table.AppendRow(row);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace tablegan {
@@ -539,6 +540,11 @@ Result<Dataset> MakeDataset(const std::string& name, double scale,
                             uint64_t seed) {
   if (scale <= 0.0 || scale > 1.0) {
     return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  // Stands in for the failed-download / unreadable-source-file case the
+  // real public datasets would hit; callers must survive it cleanly.
+  if (TABLEGAN_FAILPOINT("dataset.make")) {
+    return Status::IOError("injected dataset load failure: " + name);
   }
   TABLEGAN_ASSIGN_OR_RETURN(int64_t paper_train, PaperRowCount(name));
   TABLEGAN_ASSIGN_OR_RETURN(int64_t paper_test, PaperTestRowCount(name));

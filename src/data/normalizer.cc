@@ -5,6 +5,28 @@
 
 namespace tablegan {
 namespace data {
+namespace {
+
+// (v - lo) mapped to [-1, 1] without intermediate overflow. Dividing
+// before doubling keeps every intermediate <= span; when hi - lo itself
+// overflows (columns spanning most of the double range), the same ratio
+// is formed from exactly-halved operands. Both forms round identically
+// to the naive 2*(v-lo)/span - 1 wherever that one is finite.
+double EncodeUnit(double v, double lo, double hi, double span) {
+  if (std::isfinite(span)) return (v - lo) / span * 2.0 - 1.0;
+  return (0.5 * v - 0.5 * lo) / (0.5 * hi - 0.5 * lo) * 2.0 - 1.0;
+}
+
+// Inverse map of EncodeUnit for u in [-1, 1]. The naive
+// lo + (u+1)*0.5*span overflows with span; the wide-span branch
+// interpolates lo/hi directly, keeping every term within the domain.
+double DecodeUnit(double u, double lo, double hi, double span) {
+  if (std::isfinite(span)) return lo + (u + 1.0) * 0.5 * span;
+  const double w = (u + 1.0) * 0.5;
+  return lo * (1.0 - w) + hi * w;
+}
+
+}  // namespace
 
 Status MinMaxNormalizer::Fit(const Table& table) {
   if (table.num_rows() == 0) {
@@ -44,7 +66,7 @@ Result<Tensor> MinMaxNormalizer::Transform(const Table& table) const {
     for (int64_t r = 0; r < n; ++r) {
       const double v = col[static_cast<size_t>(r)];
       out.at2(r, c) = span > 0.0
-                          ? static_cast<float>(2.0 * (v - lo) / span - 1.0)
+                          ? static_cast<float>(EncodeUnit(v, lo, hi, span))
                           : 0.0f;
     }
   }
@@ -69,7 +91,7 @@ Result<Table> MinMaxNormalizer::InverseTransform(const Tensor& encoded,
       const double lo = mins_[static_cast<size_t>(c)];
       const double hi = maxs_[static_cast<size_t>(c)];
       double u = std::clamp(static_cast<double>(encoded.at2(r, c)), -1.0, 1.0);
-      double v = lo + (u + 1.0) * 0.5 * (hi - lo);
+      double v = DecodeUnit(u, lo, hi, hi - lo);
       if (types_[static_cast<size_t>(c)] != ColumnType::kContinuous) {
         v = std::round(v);
       }
@@ -96,7 +118,7 @@ std::vector<double> MinMaxNormalizer::NormalizeRow(
   std::vector<double> out(row.size());
   for (size_t c = 0; c < row.size(); ++c) {
     const double lo = mins_[c], hi = maxs_[c];
-    out[c] = hi > lo ? 2.0 * (row[c] - lo) / (hi - lo) - 1.0 : 0.0;
+    out[c] = hi > lo ? EncodeUnit(row[c], lo, hi, hi - lo) : 0.0;
   }
   return out;
 }

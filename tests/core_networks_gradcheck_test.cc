@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/info_loss.h"
 #include "core/networks.h"
 #include "core/table_gan.h"
 #include "data/datasets.h"
@@ -90,6 +93,125 @@ TEST(CoreDeterminism, DifferentSeedsDiffer) {
     }
   }
   EXPECT_GT(differing, 10);
+}
+
+// --- Hinge information-loss boundary coverage (ISSUE satellite). A
+// fresh InfoLossState weights its first batch 1.0, so loss and gradient
+// are pure functions of (real, fake) and finite differences on fresh
+// states line up with the analytic GradFakeFeatures.
+
+float InfoLossFor(const Tensor& real, const Tensor& fake, float delta_mean,
+                  float delta_sd) {
+  InfoLossState st(real.dim(1), 0.99f, delta_mean, delta_sd);
+  st.UpdateStatistics(real, fake);
+  return st.Loss();
+}
+
+TEST(InfoLossGradCheck, ActiveHingeMatchesFiniteDifferences) {
+  Rng rng(11);
+  const Tensor real = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  const Tensor fake = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  InfoLossState st(6, 0.99f, /*delta_mean=*/0.0f, /*delta_sd=*/0.0f);
+  st.UpdateStatistics(real, fake);
+  ASSERT_GT(st.Loss(), 0.0f);  // both hinge terms engaged at margin 0
+  const Tensor grad = st.GradFakeFeatures();
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < fake.size(); ++i) {
+    Tensor plus = fake;
+    plus[i] += eps;
+    Tensor minus = fake;
+    minus[i] -= eps;
+    const double numeric = (InfoLossFor(real, plus, 0.0f, 0.0f) -
+                            InfoLossFor(real, minus, 0.0f, 0.0f)) /
+                           (2.0 * eps);
+    EXPECT_NEAR(grad[i], numeric,
+                std::max(2e-2 * std::abs(numeric), 2e-3))
+        << "flat index " << i;
+  }
+}
+
+TEST(InfoLossGradCheck, MarginExactlyMetIsInactive) {
+  Rng rng(12);
+  const Tensor real = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  const Tensor fake = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  // Probe the gaps, then set the margins to exactly those values: the
+  // hinge comparison is strict, so L_mean - delta_mean == 0 must yield
+  // zero loss and zero gradient (the boundary sits on the plateau).
+  InfoLossState probe(6, 0.99f, 0.0f, 0.0f);
+  probe.UpdateStatistics(real, fake);
+  const float lm = probe.l_mean();
+  const float ls = probe.l_sd();
+  ASSERT_GT(lm, 0.0f);
+  InfoLossState st(6, 0.99f, lm, ls);
+  st.UpdateStatistics(real, fake);
+  EXPECT_EQ(st.Loss(), 0.0f);
+  const Tensor grad = st.GradFakeFeatures();
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    ASSERT_EQ(grad[i], 0.0f) << "flat index " << i;
+  }
+}
+
+TEST(InfoLossGradCheck, ViolatedMarginShiftsLossNotGradient) {
+  Rng rng(13);
+  const Tensor real = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  const Tensor fake = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  InfoLossState at_zero(6, 0.99f, 0.0f, 0.0f);
+  at_zero.UpdateStatistics(real, fake);
+  const float lm = at_zero.l_mean();
+  const float ls = at_zero.l_sd();
+  // Margins strictly inside the gaps: both hinges stay active, the
+  // loss drops by exactly the margins, and the gradient (hinge slope 1)
+  // is bitwise independent of the margin values.
+  InfoLossState violated(6, 0.99f, 0.5f * lm, 0.5f * ls);
+  violated.UpdateStatistics(real, fake);
+  ASSERT_GT(violated.Loss(), 0.0f);
+  EXPECT_NEAR(violated.Loss(), at_zero.Loss() - 0.5f * lm - 0.5f * ls,
+              1e-6);
+  const Tensor g0 = at_zero.GradFakeFeatures();
+  const Tensor gv = violated.GradFakeFeatures();
+  ASSERT_EQ(g0.size(), gv.size());
+  for (int64_t i = 0; i < g0.size(); ++i) {
+    ASSERT_EQ(g0[i], gv[i]) << "flat index " << i;
+  }
+}
+
+TEST(InfoLossGradCheck, SatisfiedMarginIsAZeroGradientPlateau) {
+  Rng rng(14);
+  const Tensor real = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  const Tensor fake = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  InfoLossState probe(6, 0.99f, 0.0f, 0.0f);
+  probe.UpdateStatistics(real, fake);
+  const float lm = probe.l_mean();
+  const float ls = probe.l_sd();
+  InfoLossState st(6, 0.99f, lm + 0.1f, ls + 0.1f);
+  st.UpdateStatistics(real, fake);
+  EXPECT_EQ(st.Loss(), 0.0f);
+  const Tensor grad = st.GradFakeFeatures();
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    ASSERT_EQ(grad[i], 0.0f) << "flat index " << i;
+  }
+  // It is a plateau, not a knife edge: small feature perturbations in
+  // any single coordinate keep the loss at exactly zero.
+  for (int64_t i = 0; i < fake.size(); ++i) {
+    Tensor nudged = fake;
+    nudged[i] += 1e-3f;
+    ASSERT_EQ(InfoLossFor(real, nudged, lm + 0.1f, ls + 0.1f), 0.0f)
+        << "flat index " << i;
+  }
+}
+
+TEST(InfoLossGradCheck, IdenticalStatisticsGiveZeroLossAndGradient) {
+  Rng rng(15);
+  const Tensor real = Tensor::Uniform({4, 6}, -1, 1, &rng);
+  // fake == real: the gaps are exactly 0, and even with margin 0 the
+  // hinge must stay inactive (no division-by-zero gradient blowup).
+  InfoLossState st(6, 0.99f, 0.0f, 0.0f);
+  st.UpdateStatistics(real, real);
+  EXPECT_EQ(st.Loss(), 0.0f);
+  const Tensor grad = st.GradFakeFeatures();
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    ASSERT_EQ(grad[i], 0.0f) << "flat index " << i;
+  }
 }
 
 TEST(CoreNetworks, FeatureDimMatchesArchitecture) {

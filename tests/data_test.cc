@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "data/csv.h"
@@ -269,6 +270,121 @@ TEST(SplitTest, MoreChunksThanRowsClamps) {
   t.AppendRow({2, 0, 0, 0});
   std::vector<Table> chunks = SplitChunks(t, 10);
   EXPECT_EQ(chunks.size(), 2u);
+}
+
+// --- Regressions flushed out by the property harness (see
+// tests/property_fuzz_test.cc): encode/decode on columns at the edges
+// of the double range must stay finite and invertible.
+
+Schema OneContinuousColumn() {
+  return Schema({{"x", ColumnType::kContinuous, ColumnRole::kSensitive, {}}});
+}
+
+TEST(NormalizerTest, FullDoubleRangeColumnStaysFinite) {
+  // hi - lo overflows to inf here; the naive 2*(v-lo)/span - 1 encoding
+  // produced inf/inf = NaN for the max row and +/-inf decodes.
+  Table t(OneContinuousColumn());
+  t.AppendRow({-1.7976931348623157e308});
+  t.AppendRow({0.0});
+  t.AppendRow({1.7976931348623157e308});
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_FLOAT_EQ((*enc)[0], -1.0f);
+  EXPECT_FLOAT_EQ((*enc)[1], 0.0f);
+  EXPECT_FLOAT_EQ((*enc)[2], 1.0f);
+  auto back = norm.InverseTransform(*enc, t.schema());
+  ASSERT_TRUE(back.ok());
+  for (int64_t r = 0; r < 3; ++r) {
+    ASSERT_TRUE(std::isfinite(back->Get(r, 0))) << "row " << r;
+  }
+  EXPECT_EQ(back->Get(0, 0), -1.7976931348623157e308);
+  EXPECT_EQ(back->Get(2, 0), 1.7976931348623157e308);
+  EXPECT_NEAR(back->Get(1, 0), 0.0, 2e303);  // ~1e-5 of the span
+  // NormalizeRow takes the same overflow-prone path.
+  EXPECT_EQ(norm.NormalizeRow({1.7976931348623157e308})[0], 1.0);
+}
+
+TEST(NormalizerTest, HalfRangeSpanDoesNotOverflowIntermediates) {
+  // span itself is finite (~1.6e308) but 2*(v - lo) overflows: the
+  // doubling must happen after the division.
+  Table t(OneContinuousColumn());
+  t.AppendRow({-8e307});
+  t.AppendRow({8e307});
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_FLOAT_EQ((*enc)[0], -1.0f);
+  EXPECT_FLOAT_EQ((*enc)[1], 1.0f);
+  auto back = norm.InverseTransform(*enc, t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Get(0, 0), -8e307);
+  EXPECT_EQ(back->Get(1, 0), 8e307);
+}
+
+TEST(NormalizerTest, SingleRowTableRoundTripsExactly) {
+  // One row means every column is constant (min == max): encodes to 0,
+  // decodes to the pinned value bit for bit.
+  Table t(TinySchema());
+  t.AppendRow({25, 2, -3141.5926, 1});
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  for (int64_t i = 0; i < enc->size(); ++i) EXPECT_EQ((*enc)[i], 0.0f);
+  auto back = norm.InverseTransform(*enc, t.schema());
+  ASSERT_TRUE(back.ok());
+  for (int c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(back->Get(0, c), t.Get(0, c)) << "col " << c;
+  }
+}
+
+TEST(NormalizerTest, ConstantExtremeColumnRoundTripsExactly) {
+  // A constant column pinned at the top of the double range: span is 0,
+  // so the value must come back exactly, not as inf or 0.
+  Table t(OneContinuousColumn());
+  t.AppendRow({1e308});
+  t.AppendRow({1e308});
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(t).ok());
+  auto enc = norm.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ((*enc)[0], 0.0f);
+  auto back = norm.InverseTransform(*enc, t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Get(0, 0), 1e308);
+  EXPECT_EQ(back->Get(1, 0), 1e308);
+  EXPECT_EQ(norm.NormalizeRow({1e308})[0], 0.0);
+}
+
+TEST(CsvTest, SubnormalValuesRoundTrip) {
+  // std::stod raises out_of_range on strtod's ERANGE underflow, which
+  // used to reject subnormals WriteCsv itself had written.
+  Table t(OneContinuousColumn());
+  t.AppendRow({4.9406564584124654e-324});  // smallest positive double
+  t.AppendRow({-1e-310});
+  t.AppendRow({0.0});
+  ASSERT_TRUE(WriteCsv(t, "subnormal_test.csv").ok());
+  auto back = ReadCsv(t.schema(), "subnormal_test.csv");
+  std::remove("subnormal_test.csv");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 3);
+  EXPECT_EQ(back->Get(0, 0), 4.9406564584124654e-324);
+  EXPECT_EQ(back->Get(1, 0), -1e-310);
+  EXPECT_EQ(back->Get(2, 0), 0.0);
+}
+
+TEST(CsvTest, OverflowingCellIsRejected) {
+  Table t(OneContinuousColumn());
+  {
+    std::ofstream out("overflow_test.csv");
+    out << "x\n1e999\n";
+  }
+  auto back = ReadCsv(t.schema(), "overflow_test.csv");
+  std::remove("overflow_test.csv");
+  EXPECT_FALSE(back.ok());
 }
 
 }  // namespace

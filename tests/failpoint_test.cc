@@ -1,0 +1,362 @@
+// Fault-injection tests (ISSUE tentpole): every registered failpoint
+// site is forced to fire at least once, and every failure path must
+// come back as a clean non-OK Status — no crash, no partial state, and
+// atomic checkpoints must stay atomic. Also covers the registry's
+// trigger grammar and its deterministic firing semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/table_gan.h"
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  // Leave no site armed behind, whatever a test did.
+  void SetUp() override { failpoint::Reset(); }
+  void TearDown() override { failpoint::Reset(); }
+};
+
+// ------------------------------------------------------------------
+// Registry semantics.
+
+std::vector<bool> Evaluate(const char* site, int times) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<size_t>(times));
+  for (int i = 0; i < times; ++i) fired.push_back(TABLEGAN_FAILPOINT(site));
+  return fired;
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryEvaluation) {
+  failpoint::Scoped fp("t.always", "always");
+  EXPECT_EQ(Evaluate("t.always", 4), (std::vector<bool>{1, 1, 1, 1}));
+  EXPECT_EQ(failpoint::EvaluationCount("t.always"), 4);
+  EXPECT_EQ(failpoint::TriggerCount("t.always"), 4);
+}
+
+TEST_F(FailpointTest, OnceFiresOnlyFirst) {
+  failpoint::Scoped fp("t.once", "once");
+  EXPECT_EQ(Evaluate("t.once", 4), (std::vector<bool>{1, 0, 0, 0}));
+  EXPECT_EQ(failpoint::TriggerCount("t.once"), 1);
+}
+
+TEST_F(FailpointTest, AfterPassesNThenFiresForever) {
+  failpoint::Scoped fp("t.after", "after(3)");
+  EXPECT_EQ(Evaluate("t.after", 6), (std::vector<bool>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST_F(FailpointTest, EveryFiresOnMultiples) {
+  failpoint::Scoped fp("t.every", "every(3)");
+  EXPECT_EQ(Evaluate("t.every", 7),
+            (std::vector<bool>{0, 0, 1, 0, 0, 1, 0}));
+}
+
+TEST_F(FailpointTest, ProbIsSeededAndReproducible) {
+  ASSERT_TRUE(failpoint::Enable("t.prob", "prob(0.5,1234)").ok());
+  const std::vector<bool> first = Evaluate("t.prob", 64);
+  ASSERT_TRUE(failpoint::Enable("t.prob", "prob(0.5,1234)").ok());
+  EXPECT_EQ(Evaluate("t.prob", 64), first);  // same seed, same sequence
+  const int64_t fired = failpoint::TriggerCount("t.prob");
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+
+  ASSERT_TRUE(failpoint::Enable("t.prob", "prob(1)").ok());
+  EXPECT_EQ(Evaluate("t.prob", 8), (std::vector<bool>(8, true)));
+  ASSERT_TRUE(failpoint::Enable("t.prob", "prob(0)").ok());
+  EXPECT_EQ(Evaluate("t.prob", 8), (std::vector<bool>(8, false)));
+}
+
+TEST_F(FailpointTest, MalformedTriggersAreRejected) {
+  for (const char* bad : {"", "bogus", "after", "after()", "after(0)",
+                          "after(x)", "every(-1)", "prob(1.5)", "prob(x)",
+                          "prob(0.5,)", "once(1)"}) {
+    EXPECT_FALSE(failpoint::Enable("t.bad", bad).ok()) << "'" << bad << "'";
+  }
+  // A rejected trigger must not leave the site armed.
+  EXPECT_TRUE(failpoint::EnabledSites().empty());
+}
+
+TEST_F(FailpointTest, ConfigureFromSpecArmsEachClause) {
+  ASSERT_TRUE(
+      failpoint::ConfigureFromSpec("t.a=once;;t.b=after(2);").ok());
+  EXPECT_EQ(failpoint::EnabledSites(),
+            (std::vector<std::string>{"t.a", "t.b"}));
+  EXPECT_FALSE(failpoint::ConfigureFromSpec("justaname").ok());
+  EXPECT_FALSE(failpoint::ConfigureFromSpec("=once").ok());
+  failpoint::Reset();
+  EXPECT_TRUE(failpoint::EnabledSites().empty());
+}
+
+TEST_F(FailpointTest, DisabledRegistryShortCircuits) {
+  // With nothing armed the macro must not even reach the registry: the
+  // evaluation counter stays untouched.
+  EXPECT_FALSE(TABLEGAN_FAILPOINT("t.cold"));
+  EXPECT_EQ(failpoint::EvaluationCount("t.cold"), 0);
+  {
+    failpoint::Scoped fp("t.other", "once");
+    // Unrelated armed site: t.cold is evaluated (counted) but inert.
+    EXPECT_FALSE(TABLEGAN_FAILPOINT("t.cold"));
+    EXPECT_EQ(failpoint::EvaluationCount("t.cold"), 1);
+  }
+  EXPECT_FALSE(TABLEGAN_FAILPOINT("t.cold"));
+  EXPECT_EQ(failpoint::EvaluationCount("t.cold"), 1);
+}
+
+// ------------------------------------------------------------------
+// Checkpoint I/O sites. A tiny fitted model shared across tests.
+
+core::TableGan& TinyGan() {
+  static core::TableGan* gan = [] {
+    data::Schema schema;
+    data::ColumnSpec a;
+    a.name = "x";
+    a.type = data::ColumnType::kContinuous;
+    schema.AddColumn(a);
+    data::ColumnSpec b;
+    b.name = "label";
+    b.type = data::ColumnType::kDiscrete;
+    b.role = data::ColumnRole::kLabel;
+    schema.AddColumn(b);
+    data::Table t(schema);
+    for (int64_t r = 0; r < 12; ++r) {
+      t.AppendRow({static_cast<double>(r) * 0.25,
+                   static_cast<double>(r % 2)});
+    }
+    core::TableGanOptions opt;
+    opt.latent_dim = 4;
+    opt.base_channels = 4;
+    opt.epochs = 1;
+    opt.batch_size = 4;
+    opt.num_threads = 1;
+    auto* g = new core::TableGan(opt);
+    TABLEGAN_CHECK(g->Fit(t, 1).ok());
+    return g;
+  }();
+  return *gan;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST_F(FailpointTest, CheckpointOpenWriteFailureLeavesNothingBehind) {
+  const std::string path = "fp_open_write.tgan";
+  failpoint::Scoped fp("checkpoint.open_write", "once");
+  EXPECT_FALSE(TinyGan().Save(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST_F(FailpointTest, CheckpointShortWritePreservesPreviousFile) {
+  const std::string path = "fp_short_write.tgan";
+  ASSERT_TRUE(TinyGan().Save(path).ok());
+  const std::string before = ReadFileBytes(path);
+  ASSERT_FALSE(before.empty());
+  {
+    failpoint::Scoped fp("checkpoint.short_write", "once");
+    EXPECT_FALSE(TinyGan().Save(path).ok());
+  }
+  // Atomicity: the torn temp file is gone and the previous checkpoint
+  // is intact, byte for byte.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  EXPECT_EQ(ReadFileBytes(path), before);
+  EXPECT_TRUE(core::TableGan::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, CheckpointRenameFailurePreservesPreviousFile) {
+  const std::string path = "fp_rename.tgan";
+  ASSERT_TRUE(TinyGan().Save(path).ok());
+  const std::string before = ReadFileBytes(path);
+  {
+    failpoint::Scoped fp("checkpoint.rename", "once");
+    EXPECT_FALSE(TinyGan().Save(path).ok());
+  }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  EXPECT_EQ(ReadFileBytes(path), before);
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, CheckpointCorruptByteIsCaughtByCrc) {
+  const std::string path = "fp_corrupt.tgan";
+  {
+    failpoint::Scoped fp("checkpoint.corrupt_byte", "once");
+    // The write itself succeeds; the flipped byte is only detectable
+    // on read.
+    ASSERT_TRUE(TinyGan().Save(path).ok());
+  }
+  Result<core::TableGan> loaded = core::TableGan::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, CheckpointOpenReadFailureIsClean) {
+  const std::string path = "fp_open_read.tgan";
+  ASSERT_TRUE(TinyGan().Save(path).ok());
+  failpoint::Scoped fp("checkpoint.open_read", "once");
+  EXPECT_FALSE(core::TableGan::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, CheckpointTruncatedReadIsRejected) {
+  const std::string path = "fp_truncate.tgan";
+  ASSERT_TRUE(TinyGan().Save(path).ok());
+  failpoint::Scoped fp("checkpoint.truncate_read", "always");
+  EXPECT_FALSE(core::TableGan::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, MidTrainingCheckpointFailureAbortsFitWithStatus) {
+  data::Schema schema;
+  data::ColumnSpec a;
+  a.name = "x";
+  a.type = data::ColumnType::kContinuous;
+  schema.AddColumn(a);
+  data::ColumnSpec b;
+  b.name = "label";
+  b.type = data::ColumnType::kDiscrete;
+  b.role = data::ColumnRole::kLabel;
+  schema.AddColumn(b);
+  data::Table t(schema);
+  for (int64_t r = 0; r < 12; ++r) {
+    t.AppendRow({static_cast<double>(r), static_cast<double>(r % 2)});
+  }
+  core::TableGanOptions opt;
+  opt.latent_dim = 4;
+  opt.base_channels = 4;
+  opt.epochs = 2;
+  opt.batch_size = 4;
+  opt.num_threads = 1;
+  opt.checkpoint_every = 1;
+  opt.checkpoint_dir = ".";
+  failpoint::Scoped fp("checkpoint.rename", "once");
+  core::TableGan gan(opt);
+  // The epoch-1 checkpoint write fails; Fit must propagate the error
+  // instead of crashing or training on with a torn checkpoint.
+  EXPECT_FALSE(gan.Fit(t, 1).ok());
+  std::remove("ckpt-epoch-0001.tgan");
+  std::remove("ckpt-epoch-0002.tgan");
+  std::remove("latest.tgan");
+}
+
+// ------------------------------------------------------------------
+// CSV sites.
+
+data::Table SmallCsvTable() {
+  data::Schema schema;
+  data::ColumnSpec a;
+  a.name = "v";
+  a.type = data::ColumnType::kContinuous;
+  schema.AddColumn(a);
+  data::ColumnSpec b;
+  b.name = "k";
+  b.type = data::ColumnType::kDiscrete;
+  schema.AddColumn(b);
+  data::Table t(schema);
+  for (int64_t r = 0; r < 5; ++r) {
+    t.AppendRow({0.5 * static_cast<double>(r), static_cast<double>(r)});
+  }
+  return t;
+}
+
+TEST_F(FailpointTest, CsvOpenWriteFailureIsClean) {
+  failpoint::Scoped fp("csv.open_write", "once");
+  EXPECT_FALSE(data::WriteCsv(SmallCsvTable(), "fp_csv.tmp").ok());
+}
+
+TEST_F(FailpointTest, CsvMidFileWriteFailureIsClean) {
+  const std::string path = "fp_csv_row.tmp";
+  failpoint::Scoped fp("csv.write_row", "after(2)");
+  // Rows 1-2 write; the stream breaks on row 3 and WriteCsv must
+  // report it rather than return OK with a truncated file.
+  EXPECT_FALSE(data::WriteCsv(SmallCsvTable(), path).ok());
+  // after(2): rows 1-2 pass, row 3 breaks the stream (and the trigger
+  // keeps firing on the remaining no-op row writes).
+  EXPECT_EQ(failpoint::EvaluationCount("csv.write_row"), 5);
+  EXPECT_GE(failpoint::TriggerCount("csv.write_row"), 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, CsvOpenReadFailureIsClean) {
+  const std::string path = "fp_csv_read.tmp";
+  data::Table t = SmallCsvTable();
+  ASSERT_TRUE(data::WriteCsv(t, path).ok());
+  failpoint::Scoped fp("csv.open_read", "once");
+  EXPECT_FALSE(data::ReadCsv(t.schema(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, CsvMidFileReadFailureIsIoErrorNotTruncation) {
+  const std::string path = "fp_csv_bad.tmp";
+  data::Table t = SmallCsvTable();
+  ASSERT_TRUE(data::WriteCsv(t, path).ok());
+  failpoint::Scoped fp("csv.read_record", "after(3)");
+  // Header + 2 rows read; then the stream goes bad. Silent truncation
+  // (an OK 2-row table) would be the dangerous outcome here.
+  Result<data::Table> back = data::ReadCsv(t.schema(), path);
+  EXPECT_FALSE(back.ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------
+// Dataset loading site.
+
+TEST_F(FailpointTest, DatasetMakeFailureIsClean) {
+  failpoint::Scoped fp("dataset.make", "always");
+  EXPECT_FALSE(data::MakeDataset("adult", 0.01, 7).ok());
+}
+
+// ------------------------------------------------------------------
+// Thread-pool sites.
+
+TEST_F(FailpointTest, ParallelForPropagatesInjectedFailureAndRecovers) {
+  ThreadPool pool(3);
+  {
+    failpoint::Scoped fp("threadpool.parallel_for", "once");
+    EXPECT_THROW(pool.ParallelFor(8, [](int) {}), std::runtime_error);
+  }
+  // The pool stays usable after a failed ParallelFor.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(8, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST_F(FailpointTest, SubmittedTaskFailureIsSwallowedAndWorkerSurvives) {
+  ThreadPool pool(2);
+  std::atomic<bool> first{false};
+  std::atomic<bool> second{false};
+  {
+    failpoint::Scoped fp("threadpool.task", "once");
+    pool.Submit([&] { first.store(true); });
+    pool.WaitIdle();  // must unblock even though the task body was killed
+  }
+  EXPECT_FALSE(first.load());
+  pool.Submit([&] { second.store(true); });
+  pool.WaitIdle();
+  EXPECT_TRUE(second.load());
+}
+
+}  // namespace
+}  // namespace tablegan

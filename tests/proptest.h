@@ -1,0 +1,252 @@
+#ifndef TABLEGAN_TESTS_PROPTEST_H_
+#define TABLEGAN_TESTS_PROPTEST_H_
+
+// Minimal seeded property-testing harness (DESIGN.md §11).
+//
+// A property is a function of a case seed (or of a table generated from
+// one) returning "" on success and a diagnostic on failure. Everything
+// a case does derives from its seed, so any failure replays from the
+// seed alone:
+//
+//   TABLEGAN_PROP_SEED=<seed> [TABLEGAN_PROP_ROWS=<rows>] ./some_test
+//
+// re-runs exactly the failing case (the harness prints that command on
+// failure). TABLEGAN_PROP_CASES overrides the per-invariant case count
+// (the quick ctest default is kDefaultPropCases). Table-based
+// properties shrink a failure by halving the row count while the
+// predicate still fails, and report the smallest failing size.
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace testing_util {
+
+inline constexpr int kDefaultPropCases = 100;
+
+inline int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  return std::strtoll(text, nullptr, 10);
+}
+
+inline int PropCases(int default_cases = kDefaultPropCases) {
+  return static_cast<int>(EnvInt64("TABLEGAN_PROP_CASES", default_cases));
+}
+
+/// Runs `property` over PropCases() seeds derived from `base_seed`
+/// (or over the single TABLEGAN_PROP_SEED replay seed). Stops and
+/// reports the reproduction seed at the first failure.
+inline void ForAllSeeds(const char* prop_name, uint64_t base_seed,
+                        const std::function<std::string(uint64_t)>& property,
+                        int default_cases = kDefaultPropCases) {
+  const char* replay = std::getenv("TABLEGAN_PROP_SEED");
+  if (replay != nullptr && *replay != '\0') {
+    const uint64_t seed = std::strtoull(replay, nullptr, 10);
+    const std::string err = property(seed);
+    if (!err.empty()) {
+      ADD_FAILURE() << prop_name << " failed on replay seed " << seed
+                    << "\n  " << err;
+    }
+    return;
+  }
+  const int cases = PropCases(default_cases);
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = MixSeeds(base_seed, static_cast<uint64_t>(i));
+    const std::string err = property(seed);
+    if (!err.empty()) {
+      ADD_FAILURE() << prop_name << " failed at case " << i << "/" << cases
+                    << "\n  " << err << "\n  reproduce with: TABLEGAN_PROP_SEED="
+                    << seed;
+      return;
+    }
+  }
+}
+
+/// Table-generating variant with shrinking: the case's row count is
+/// derived from its seed (1..max_rows); on failure the harness halves
+/// the row count while the predicate still fails and reports the
+/// smallest failing (seed, rows) pair.
+inline void ForAllTables(
+    const char* prop_name, uint64_t base_seed, int64_t max_rows,
+    const std::function<data::Table(uint64_t seed, int64_t rows)>& gen,
+    const std::function<std::string(const data::Table&)>& predicate,
+    int default_cases = kDefaultPropCases) {
+  constexpr uint64_t kRowsSalt = 0x526F7773ULL;  // "Rows"
+  const int64_t replay_rows = EnvInt64("TABLEGAN_PROP_ROWS", 0);
+  ForAllSeeds(
+      prop_name, base_seed,
+      [&](uint64_t seed) -> std::string {
+        int64_t rows =
+            replay_rows > 0
+                ? replay_rows
+                : 1 + static_cast<int64_t>(MixSeeds(seed, kRowsSalt) %
+                                           static_cast<uint64_t>(max_rows));
+        std::string err = predicate(gen(seed, rows));
+        if (err.empty()) return "";
+        // Shrink by halving while the failure persists.
+        for (int64_t r = rows / 2; r >= 1; r /= 2) {
+          std::string smaller = predicate(gen(seed, r));
+          if (smaller.empty()) break;
+          rows = r;
+          err = std::move(smaller);
+        }
+        return err + "\n  smallest failing size: TABLEGAN_PROP_ROWS=" +
+               std::to_string(rows);
+      },
+      default_cases);
+}
+
+/// ------------------------------------------------------------------
+/// Generators. Everything is a pure function of the Rng stream.
+
+struct SchemaGenOptions {
+  int min_columns = 1;
+  int max_columns = 12;
+  /// Decorate some column names and category levels with commas,
+  /// quotes, line breaks and non-ASCII text (CSV's hard cases).
+  bool gnarly_text = true;
+  /// Force the last column to be a binary {0,1} discrete label (role
+  /// kLabel) so the table can train a TableGan classifier.
+  bool with_label = false;
+};
+
+inline std::string GnarlyDecoration(Rng* rng) {
+  static const char* kPool[] = {
+      "",        ", x",     " \"q\"",  "π∆",  // πΔ
+      " tail ",  "a,b",     "\n2nd",   "éü",  // éü
+  };
+  return kPool[rng->UniformInt(0, 7)];
+}
+
+inline data::Schema RandomSchema(Rng* rng, const SchemaGenOptions& opt = {}) {
+  const int cols =
+      static_cast<int>(rng->UniformInt(opt.min_columns, opt.max_columns));
+  data::Schema schema;
+  for (int c = 0; c < cols; ++c) {
+    data::ColumnSpec spec;
+    spec.name = "c" + std::to_string(c);
+    if (opt.gnarly_text && rng->NextBool(0.3)) {
+      spec.name += GnarlyDecoration(rng);
+    }
+    if (opt.with_label && c == cols - 1) {
+      spec.type = data::ColumnType::kDiscrete;
+      spec.role = data::ColumnRole::kLabel;
+      schema.AddColumn(std::move(spec));
+      continue;
+    }
+    const int type = static_cast<int>(rng->UniformInt(0, 2));
+    spec.type = type == 0   ? data::ColumnType::kContinuous
+                : type == 1 ? data::ColumnType::kDiscrete
+                            : data::ColumnType::kCategorical;
+    if (spec.type == data::ColumnType::kCategorical) {
+      // Single-category columns are a deliberate edge: their encoded
+      // span is zero everywhere downstream.
+      const int levels = rng->NextBool(0.15)
+                             ? 1
+                             : static_cast<int>(rng->UniformInt(2, 6));
+      for (int l = 0; l < levels; ++l) {
+        std::string level = "l" + std::to_string(l);
+        if (opt.gnarly_text && rng->NextBool(0.3)) {
+          level += GnarlyDecoration(rng);
+        }
+        spec.categories.push_back(std::move(level));
+      }
+    }
+    spec.role = rng->NextBool(0.5) ? data::ColumnRole::kQuasiIdentifier
+                                   : data::ColumnRole::kSensitive;
+    schema.AddColumn(std::move(spec));
+  }
+  return schema;
+}
+
+/// One random cell value for a continuous column: mostly moderate
+/// Gaussians, sometimes NaN-free extremes (full-range magnitudes,
+/// denormals, signed zeros).
+inline double RandomContinuousValue(Rng* rng) {
+  if (rng->NextBool(0.12)) {
+    static const double kExtremes[] = {
+        1.7976931348623157e308,  -1.7976931348623157e308, 1e308,   -1e308,
+        4.9406564584124654e-324, -4.9406564584124654e-324, 1e-308, -1e-308,
+        0.0,                     -0.0,                     1e30,   -1e30,
+    };
+    return kExtremes[rng->UniformInt(0, 11)];
+  }
+  return rng->Gaussian(0.0, 1e3);
+}
+
+/// A table on `schema` with `rows` rows. Each column independently has
+/// a chance of being constant (min == max after Fit); discrete values
+/// stay within ±1e6 so float32 encoding round-trips them exactly.
+inline data::Table RandomTableOn(const data::Schema& schema, Rng* rng,
+                                 int64_t rows) {
+  const int cols = schema.num_columns();
+  data::Table t(schema);
+  std::vector<bool> constant(static_cast<size_t>(cols));
+  std::vector<double> pinned(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    constant[static_cast<size_t>(c)] = rng->NextBool(0.15);
+    const data::ColumnSpec& spec = schema.column(c);
+    switch (spec.type) {
+      case data::ColumnType::kContinuous:
+        pinned[static_cast<size_t>(c)] = RandomContinuousValue(rng);
+        break;
+      case data::ColumnType::kDiscrete:
+        pinned[static_cast<size_t>(c)] =
+            static_cast<double>(rng->UniformInt(-1000000, 1000000));
+        break;
+      case data::ColumnType::kCategorical:
+        pinned[static_cast<size_t>(c)] = static_cast<double>(
+            rng->UniformInt(0, spec.num_categories() - 1));
+        break;
+    }
+  }
+  std::vector<double> row(static_cast<size_t>(cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const data::ColumnSpec& spec = schema.column(c);
+      double v;
+      if (spec.role == data::ColumnRole::kLabel) {
+        v = rng->NextBool(0.5) ? 1.0 : 0.0;
+      } else if (constant[static_cast<size_t>(c)]) {
+        v = pinned[static_cast<size_t>(c)];
+      } else {
+        switch (spec.type) {
+          case data::ColumnType::kContinuous:
+            v = RandomContinuousValue(rng);
+            break;
+          case data::ColumnType::kDiscrete:
+            v = static_cast<double>(rng->UniformInt(-1000000, 1000000));
+            break;
+          case data::ColumnType::kCategorical:
+          default:
+            v = static_cast<double>(
+                rng->UniformInt(0, spec.num_categories() - 1));
+            break;
+        }
+      }
+      row[static_cast<size_t>(c)] = v;
+    }
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+inline data::Table RandomPropertyTable(uint64_t seed, int64_t rows,
+                                       const SchemaGenOptions& opt = {}) {
+  Rng rng(seed);
+  data::Schema schema = RandomSchema(&rng, opt);
+  return RandomTableOn(schema, &rng, rows);
+}
+
+}  // namespace testing_util
+}  // namespace tablegan
+
+#endif  // TABLEGAN_TESTS_PROPTEST_H_

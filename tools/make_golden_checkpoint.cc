@@ -1,0 +1,78 @@
+// Regenerates the committed cross-version checkpoint fixture
+// tests/data/tiny_v3.tgan used by checkpoint_golden_test: a minimal
+// table-GAN trained on a fixed 12-row table, saved in the legacy
+// version-3 on-disk format. The model and table are pinned — rerun this
+// tool (and re-commit the fixture) only when the format itself changes
+// on purpose, never to paper over an accidental byte difference.
+//
+//   ./make_golden_checkpoint <output-path>
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/table_gan.h"
+#include "data/table.h"
+
+namespace {
+
+tablegan::data::Table FixtureTable() {
+  tablegan::data::Schema schema;
+  tablegan::data::ColumnSpec income;
+  income.name = "income";
+  income.type = tablegan::data::ColumnType::kContinuous;
+  schema.AddColumn(income);
+  tablegan::data::ColumnSpec age;
+  age.name = "age";
+  age.type = tablegan::data::ColumnType::kDiscrete;
+  schema.AddColumn(age);
+  tablegan::data::ColumnSpec kind;
+  kind.name = "kind";
+  kind.type = tablegan::data::ColumnType::kCategorical;
+  kind.categories = {"a", "b", "c"};
+  schema.AddColumn(kind);
+  tablegan::data::ColumnSpec label;
+  label.name = "label";
+  label.type = tablegan::data::ColumnType::kDiscrete;
+  label.role = tablegan::data::ColumnRole::kLabel;
+  schema.AddColumn(label);
+
+  tablegan::data::Table t(schema);
+  for (int r = 0; r < 12; ++r) {
+    t.AppendRow({1000.0 + 125.5 * r, 20.0 + r, static_cast<double>(r % 3),
+                 static_cast<double>(r % 2)});
+  }
+  return t;
+}
+
+tablegan::core::TableGanOptions FixtureOptions() {
+  tablegan::core::TableGanOptions opt;
+  opt.latent_dim = 4;
+  opt.base_channels = 4;
+  opt.epochs = 2;
+  opt.batch_size = 4;
+  opt.num_threads = 1;
+  opt.seed = 20260806;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-path>\n", argv[0]);
+    return 2;
+  }
+  tablegan::core::TableGan gan(FixtureOptions());
+  const tablegan::Status fit = gan.Fit(FixtureTable(), 3);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "Fit: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+  const tablegan::Status save = gan.SaveCompat(argv[1], 3);
+  if (!save.ok()) {
+    std::fprintf(stderr, "SaveCompat: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote v3 fixture: %s\n", argv[1]);
+  return 0;
+}

@@ -18,6 +18,8 @@ asan_tests=(
   serialization_test
   checkpoint_resume_test
   workspace_reuse_test
+  failpoint_test
+  property_fuzz_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \
