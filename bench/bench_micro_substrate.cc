@@ -17,10 +17,158 @@
 #include "nn/conv_transpose2d.h"
 #include "nn/init.h"
 #include "privacy/dcr.h"
+#include "tensor/im2col.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/matmul.h"
 
 namespace tablegan {
 namespace {
+
+// --- Per-backend kernel benches (BENCH_simd_kernels.json). Arg(0)
+// selects the backend (0 = scalar, 1 = avx2, 2 = avx2fma); runs are
+// single-threaded so items_per_second reads directly as FLOP/s of the
+// serial kernel, and the avx2/scalar ratio is the SIMD speedup the
+// dispatch layer buys. Hosts without AVX2 report the vector rows as
+// skipped instead of failing.
+
+const kernels::Backend* BenchBackend(int which) {
+  switch (which) {
+    case 0: return &kernels::Scalar();
+    case 1: return kernels::Avx2(/*fma=*/false);
+    default: return kernels::Avx2(/*fma=*/true);
+  }
+}
+
+// Overrides dispatch for the duration of one benchmark run.
+struct BackendScope {
+  explicit BackendScope(const kernels::Backend* b) {
+    kernels::OverrideBackend(b);
+  }
+  ~BackendScope() { kernels::OverrideBackend(nullptr); }
+};
+
+void BM_GemmBackend(benchmark::State& state) {
+  const kernels::Backend* backend =
+      BenchBackend(static_cast<int>(state.range(0)));
+  if (backend == nullptr) {
+    state.SkipWithError("AVX2 backend unavailable on this host");
+    return;
+  }
+  const auto n = static_cast<int64_t>(state.range(1));
+  Rng rng(1);
+  Tensor a = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor c({n, n});
+  BackendScope scope(backend);
+  SetNumThreads(1);
+  for (auto _ : state) {
+    ops::Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(backend->name);
+}
+BENCHMARK(BM_GemmBackend)
+    ->ArgsProduct({{0, 1, 2}, {64, 128, 256}})
+    ->UseRealTime();
+
+void BM_GemmNtBackend(benchmark::State& state) {
+  const kernels::Backend* backend =
+      BenchBackend(static_cast<int>(state.range(0)));
+  if (backend == nullptr) {
+    state.SkipWithError("AVX2 backend unavailable on this host");
+    return;
+  }
+  const auto n = static_cast<int64_t>(state.range(1));
+  Rng rng(2);
+  Tensor a = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor c({n, n});
+  BackendScope scope(backend);
+  SetNumThreads(1);
+  for (auto _ : state) {
+    ops::RawGemmNT(n, n, n, a.data(), b.data(), c.data(),
+                   /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(backend->name);
+}
+BENCHMARK(BM_GemmNtBackend)
+    ->ArgsProduct({{0, 1, 2}, {128, 256}})
+    ->UseRealTime();
+
+void BM_GemmTnBackend(benchmark::State& state) {
+  const kernels::Backend* backend =
+      BenchBackend(static_cast<int>(state.range(0)));
+  if (backend == nullptr) {
+    state.SkipWithError("AVX2 backend unavailable on this host");
+    return;
+  }
+  const auto n = static_cast<int64_t>(state.range(1));
+  Rng rng(3);
+  Tensor a = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform({n, n}, -1, 1, &rng);
+  Tensor c({n, n});
+  BackendScope scope(backend);
+  SetNumThreads(1);
+  for (auto _ : state) {
+    ops::RawGemmTN(n, n, n, a.data(), b.data(), c.data(),
+                   /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(backend->name);
+}
+BENCHMARK(BM_GemmTnBackend)
+    ->ArgsProduct({{0, 1, 2}, {128, 256}})
+    ->UseRealTime();
+
+void BM_ConvForwardBackend(benchmark::State& state) {
+  const kernels::Backend* backend =
+      BenchBackend(static_cast<int>(state.range(0)));
+  if (backend == nullptr) {
+    state.SkipWithError("AVX2 backend unavailable on this host");
+    return;
+  }
+  Rng rng(4);
+  nn::Conv2d conv(32, 64, 4, 2, 1);
+  nn::DcganInitialize(&conv, &rng);
+  Tensor x = Tensor::Uniform({64, 32, 16, 16}, -1, 1, &rng);
+  BackendScope scope(backend);
+  SetNumThreads(1);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(backend->name);
+}
+BENCHMARK(BM_ConvForwardBackend)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
+
+void BM_ActivationBackend(benchmark::State& state) {
+  const kernels::Backend* backend =
+      BenchBackend(static_cast<int>(state.range(0)));
+  if (backend == nullptr) {
+    state.SkipWithError("AVX2 backend unavailable on this host");
+    return;
+  }
+  const int64_t n = 1 << 16;
+  Rng rng(5);
+  Tensor x = Tensor::Uniform({n}, -1, 1, &rng);
+  Tensor y({n});
+  for (auto _ : state) {
+    backend->leaky_relu(n, 0.2f, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(backend->name);
+}
+BENCHMARK(BM_ActivationBackend)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<int64_t>(state.range(0));

@@ -2,80 +2,67 @@
 
 #include <cmath>
 
+#include "tensor/kernels/kernels.h"
+
 namespace tablegan {
 namespace nn {
 
-// Forward/Backward write into pooled buffers (NewBuffer) with the same
-// per-element float expressions the copy-then-mutate originals used, so
-// results are bitwise identical with or without a bound workspace. The
-// cached activations are copy-assigned members: their capacity is reused
-// across steps, so steady-state caching does not allocate either.
+// Forward/Backward write into pooled buffers (NewBuffer) through the
+// dispatched elementwise kernels, which keep the original per-element
+// float expressions, so results are bitwise identical with or without a
+// bound workspace. The cached activations are copy-assigned members:
+// their capacity is reused across steps, so steady-state caching does
+// not allocate either. Infer reuses the same kernels in place (`y` may
+// alias `x` per the backend contract).
 
 Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   Tensor out = NewBuffer(input.shape());
-  const float* in = input.data();
-  float* o = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) {
-    o[i] = in[i] < 0.0f ? 0.0f : in[i];
-  }
+  kernels::Active().relu(out.size(), input.data(), out.data());
   return out;
 }
 
 Tensor ReLU::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_input_));
   Tensor grad = NewBuffer(grad_output.shape());
-  const float* go = grad_output.data();
-  float* g = grad.data();
-  for (int64_t i = 0; i < grad.size(); ++i) {
-    g[i] = cached_input_[i] <= 0.0f ? 0.0f : go[i];
-  }
+  kernels::Active().relu_bwd(grad.size(), cached_input_.data(),
+                             grad_output.data(), grad.data());
   return grad;
 }
 
 Tensor ReLU::Infer(const Tensor& input) const {
   Tensor out = input;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (out[i] < 0.0f) out[i] = 0.0f;
-  }
+  kernels::Active().relu(out.size(), out.data(), out.data());
   return out;
 }
 
 Tensor LeakyReLU::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   Tensor out = NewBuffer(input.shape());
-  const float* in = input.data();
-  float* o = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) {
-    o[i] = in[i] < 0.0f ? in[i] * negative_slope_ : in[i];
-  }
+  kernels::Active().leaky_relu(out.size(), negative_slope_, input.data(),
+                               out.data());
   return out;
 }
 
 Tensor LeakyReLU::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_input_));
   Tensor grad = NewBuffer(grad_output.shape());
-  const float* go = grad_output.data();
-  float* g = grad.data();
-  for (int64_t i = 0; i < grad.size(); ++i) {
-    g[i] = cached_input_[i] <= 0.0f ? go[i] * negative_slope_ : go[i];
-  }
+  kernels::Active().leaky_relu_bwd(grad.size(), negative_slope_,
+                                   cached_input_.data(), grad_output.data(),
+                                   grad.data());
   return grad;
 }
 
 Tensor LeakyReLU::Infer(const Tensor& input) const {
   Tensor out = input;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (out[i] < 0.0f) out[i] *= negative_slope_;
-  }
+  kernels::Active().leaky_relu(out.size(), negative_slope_, out.data(),
+                               out.data());
   return out;
 }
 
 Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
   Tensor out = NewBuffer(input.shape());
-  const float* in = input.data();
-  float* o = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) o[i] = std::tanh(in[i]);
+  kernels::Active().tanh_fwd(out.size(), input.data(), out.data());
   cached_output_ = out;
   return out;
 }
@@ -83,27 +70,20 @@ Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
 Tensor Tanh::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_output_));
   Tensor grad = NewBuffer(grad_output.shape());
-  const float* go = grad_output.data();
-  float* g = grad.data();
-  for (int64_t i = 0; i < grad.size(); ++i) {
-    g[i] = go[i] * (1.0f - cached_output_[i] * cached_output_[i]);
-  }
+  kernels::Active().tanh_bwd(grad.size(), cached_output_.data(),
+                             grad_output.data(), grad.data());
   return grad;
 }
 
 Tensor Tanh::Infer(const Tensor& input) const {
   Tensor out = input;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  kernels::Active().tanh_fwd(out.size(), out.data(), out.data());
   return out;
 }
 
 Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
   Tensor out = NewBuffer(input.shape());
-  const float* in = input.data();
-  float* o = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) {
-    o[i] = 1.0f / (1.0f + std::exp(-in[i]));
-  }
+  kernels::Active().sigmoid_fwd(out.size(), input.data(), out.data());
   cached_output_ = out;
   return out;
 }
@@ -111,19 +91,14 @@ Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
 Tensor Sigmoid::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.SameShape(cached_output_));
   Tensor grad = NewBuffer(grad_output.shape());
-  const float* go = grad_output.data();
-  float* g = grad.data();
-  for (int64_t i = 0; i < grad.size(); ++i) {
-    g[i] = go[i] * (cached_output_[i] * (1.0f - cached_output_[i]));
-  }
+  kernels::Active().sigmoid_bwd(grad.size(), cached_output_.data(),
+                                grad_output.data(), grad.data());
   return grad;
 }
 
 Tensor Sigmoid::Infer(const Tensor& input) const {
   Tensor out = input;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
-  }
+  kernels::Active().sigmoid_fwd(out.size(), out.data(), out.data());
   return out;
 }
 

@@ -3,12 +3,17 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernels/kernels.h"
+
 namespace tablegan {
 namespace nn {
 namespace {
 
 // Iterates a NCHW or NF tensor grouping elements by feature/channel `c`.
-// Calls fn(c, element_index) for every element.
+// Calls fn(c, element_index) for every element. Used by the cold paths;
+// the hot moment/normalize/backward loops go through the dispatched
+// kernels, which walk elements in this same (row, channel, spatial)
+// order.
 template <typename Fn>
 void ForEachByChannel(const std::vector<int64_t>& shape, Fn fn) {
   if (shape.size() == 2) {
@@ -30,6 +35,15 @@ void ForEachByChannel(const std::vector<int64_t>& shape, Fn fn) {
 int64_t ElementsPerChannel(const std::vector<int64_t>& shape) {
   if (shape.size() == 2) return shape[0];
   return shape[0] * shape[2] * shape[3];
+}
+
+// The [rows, channels, spatial] view the kernels operate on; an NF
+// tensor is spatial == 1.
+void ChannelView(const std::vector<int64_t>& shape, int64_t* rows,
+                 int64_t* channels, int64_t* spatial) {
+  *rows = shape[0];
+  *channels = shape[1];
+  *spatial = shape.size() == 2 ? 1 : shape[2] * shape[3];
 }
 
 }  // namespace
@@ -57,27 +71,19 @@ Tensor BatchNorm::Forward(const Tensor& input, bool training) {
   cached_training_ = training;
   const int64_t m = ElementsPerChannel(input.shape());
   TABLEGAN_CHECK(m > 0);
+  int64_t rows, channels, spatial;
+  ChannelView(input.shape(), &rows, &channels, &spatial);
 
-  // Member scratch replaces the per-call mean/var tensors; zeroing (or
-  // copy-assigning) it reproduces the fresh-tensor contents bit for bit.
+  // Member scratch replaces the per-call mean/var tensors; the moments
+  // kernel writes every element, so stale pool contents are harmless.
   Tensor& mean = mean_scratch_;
   Tensor& var = var_scratch_;
   if (training) {
     mean.ResizeUninitialized({num_features_});
-    mean.SetZero();
     var.ResizeUninitialized({num_features_});
-    var.SetZero();
-    ForEachByChannel(input.shape(),
-                     [&](int64_t c, int64_t i) { mean[c] += input[i]; });
+    kernels::Active().bn_moments(rows, channels, spatial, input.data(),
+                                 mean.data(), var.data());
     for (int64_t c = 0; c < num_features_; ++c) {
-      mean[c] /= static_cast<float>(m);
-    }
-    ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
-      const float d = input[i] - mean[c];
-      var[c] += d * d;
-    });
-    for (int64_t c = 0; c < num_features_; ++c) {
-      var[c] /= static_cast<float>(m);
       running_mean_[c] = momentum_ * running_mean_[c] +
                          (1.0f - momentum_) * mean[c];
       running_var_[c] = momentum_ * running_var_[c] +
@@ -94,11 +100,10 @@ Tensor BatchNorm::Forward(const Tensor& input, bool training) {
   }
   cached_xhat_.ResizeUninitialized(input.shape());
   Tensor output = NewBuffer(input.shape());
-  ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
-    const float xhat = (input[i] - mean[c]) * cached_inv_std_[c];
-    cached_xhat_[i] = xhat;
-    output[i] = gamma_[c] * xhat + beta_[c];
-  });
+  kernels::Active().bn_normalize(rows, channels, spatial, input.data(),
+                                 mean.data(), cached_inv_std_.data(),
+                                 gamma_.data(), beta_.data(),
+                                 cached_xhat_.data(), output.data());
   return output;
 }
 
@@ -115,17 +120,21 @@ Tensor BatchNorm::Infer(const Tensor& input) const {
   for (int64_t c = 0; c < num_features_; ++c) {
     inv_std[c] = 1.0f / std::sqrt(running_var_[c] + eps_);
   }
+  int64_t rows, channels, spatial;
+  ChannelView(input.shape(), &rows, &channels, &spatial);
   Tensor output(input.shape());
-  ForEachByChannel(input.shape(), [&](int64_t c, int64_t i) {
-    const float xhat = (input[i] - running_mean_[c]) * inv_std[c];
-    output[i] = gamma_[c] * xhat + beta_[c];
-  });
+  kernels::Active().bn_normalize(rows, channels, spatial, input.data(),
+                                 running_mean_.data(), inv_std.data(),
+                                 gamma_.data(), beta_.data(),
+                                 /*xhat=*/nullptr, output.data());
   return output;
 }
 
 Tensor BatchNorm::Backward(const Tensor& grad_output) {
   TABLEGAN_CHECK(grad_output.shape() == cached_shape_);
   const int64_t m = ElementsPerChannel(cached_shape_);
+  int64_t rows, channels, spatial;
+  ChannelView(cached_shape_, &rows, &channels, &spatial);
 
   Tensor& sum_dy = sum_dy_;
   Tensor& sum_dy_xhat = sum_dy_xhat_;
@@ -133,10 +142,10 @@ Tensor BatchNorm::Backward(const Tensor& grad_output) {
   sum_dy.SetZero();
   sum_dy_xhat.ResizeUninitialized({num_features_});
   sum_dy_xhat.SetZero();
-  ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {
-    sum_dy[c] += grad_output[i];
-    sum_dy_xhat[c] += grad_output[i] * cached_xhat_[i];
-  });
+  kernels::Active().bn_backward_reduce(rows, channels, spatial,
+                                       grad_output.data(),
+                                       cached_xhat_.data(), sum_dy.data(),
+                                       sum_dy_xhat.data());
   for (int64_t c = 0; c < num_features_; ++c) {
     grad_beta_[c] += sum_dy[c];
     grad_gamma_[c] += sum_dy_xhat[c];
@@ -146,13 +155,13 @@ Tensor BatchNorm::Backward(const Tensor& grad_output) {
   Tensor grad_input = NewBuffer(cached_shape_);
   if (cached_training_) {
     const float inv_m = 1.0f / static_cast<float>(m);
-    ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {
-      grad_input[i] = gamma_[c] * cached_inv_std_[c] *
-                      (grad_output[i] - sum_dy[c] * inv_m -
-                       cached_xhat_[i] * sum_dy_xhat[c] * inv_m);
-    });
+    kernels::Active().bn_backward_input(
+        rows, channels, spatial, grad_output.data(), cached_xhat_.data(),
+        gamma_.data(), cached_inv_std_.data(), sum_dy.data(),
+        sum_dy_xhat.data(), inv_m, grad_input.data());
   } else {
-    // Inference-mode statistics are constants w.r.t. the input.
+    // Inference-mode statistics are constants w.r.t. the input. Cold
+    // path (only reached by explicit eval-mode backward), kept local.
     ForEachByChannel(cached_shape_, [&](int64_t c, int64_t i) {
       grad_input[i] = gamma_[c] * cached_inv_std_[c] * grad_output[i];
     });

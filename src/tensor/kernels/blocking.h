@@ -1,0 +1,24 @@
+#ifndef TABLEGAN_TENSOR_KERNELS_BLOCKING_H_
+#define TABLEGAN_TENSOR_KERNELS_BLOCKING_H_
+
+#include <cstdint>
+
+namespace tablegan {
+namespace kernels {
+
+// Cache-block sizes shared by every backend. They are part of the
+// numerics contract, not just a tuning knob: the NT kernel accumulates
+// each output element in per-l-block partial sums (acc over [l0, l1),
+// then c += acc), so two backends only produce bitwise-equal results if
+// they cut the depth axis at the same block boundaries. The NN and TN
+// kernels accumulate straight into C, where re-blocking is bitwise
+// neutral, but they keep the same constants for cache behavior.
+inline constexpr int64_t kGemmBlockK = 256;  // NN depth block
+inline constexpr int64_t kGemmBlockN = 512;  // NN output-column block
+inline constexpr int64_t kNtBlockJ = 64;     // NT B-row block
+inline constexpr int64_t kNtBlockL = 256;    // NT depth block (contractual)
+
+}  // namespace kernels
+}  // namespace tablegan
+
+#endif  // TABLEGAN_TENSOR_KERNELS_BLOCKING_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
 
@@ -16,6 +17,11 @@ namespace {
 // the serial kernel. Results are therefore bitwise identical at any thread
 // count. The gate and grain are pure functions of the problem shape, never
 // of the thread count.
+//
+// The serial block kernels themselves live one layer down, in
+// tensor/kernels/ (scalar reference plus the runtime-selected SIMD
+// backend); this file only partitions rows and forwards to
+// kernels::Active().
 constexpr int64_t kMinParallelFlops = int64_t{1} << 18;  // ~262k mul-adds
 constexpr int64_t kGrainFlops = int64_t{1} << 15;        // per-chunk floor
 
@@ -27,90 +33,18 @@ int64_t RowGrain(int64_t n, int64_t k) {
   return std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, n * k));
 }
 
-// Inner kernel: row-major C[m,n] += A[m,k] * B[k,n], cache-blocked over k
-// and n. The j-loop is a contiguous fused multiply-add that the compiler
-// auto-vectorizes.
-void GemmKernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                const float* b, float* c) {
-  constexpr int64_t kBlockK = 256;
-  constexpr int64_t kBlockN = 512;
-  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const int64_t k1 = std::min(k, k0 + kBlockK);
-    for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
-      const int64_t n1 = std::min(n, n0 + kBlockN);
-      for (int64_t i = 0; i < m; ++i) {
-        const float* arow = a + i * k;
-        float* crow = c + i * n;
-        for (int64_t kk = k0; kk < k1; ++kk) {
-          const float av = alpha * arow[kk];
-          if (av == 0.0f) continue;
-          const float* brow = b + kk * n;
-          for (int64_t j = n0; j < n1; ++j) {
-            crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-// Row-partitioned GemmKernel. Each chunk runs the serial kernel on its own
+// Row-partitioned gemm_nn. Each chunk runs the serial kernel on its own
 // block of A/C rows; per-row work does not depend on the partition.
 void ParallelGemm(int64_t m, int64_t n, int64_t k, float alpha,
                   const float* a, const float* b, float* c) {
+  const auto gemm_nn = kernels::Active().gemm_nn;
   if (!WorthThreading(m, n, k)) {
-    GemmKernel(m, n, k, alpha, a, b, c);
+    gemm_nn(m, n, k, alpha, a, b, c);
     return;
   }
   ParallelFor(m, RowGrain(n, k), [=](int64_t r0, int64_t r1) {
-    GemmKernel(r1 - r0, n, k, alpha, a + r0 * k, b, c + r0 * n);
+    gemm_nn(r1 - r0, n, k, alpha, a + r0 * k, b, c + r0 * n);
   });
-}
-
-// C[m,n] += A[m,k] * B[n,k]^T, cache-blocked over the B rows (j) and the
-// shared depth (l) so a kBlockJ x kBlockL tile of B stays hot across all
-// rows of A. Per element the l0 tiles accumulate in ascending order, which
-// is independent of how the i range is partitioned across threads.
-void NtKernel(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
-              float* c, bool accumulate) {
-  constexpr int64_t kBlockJ = 64;
-  constexpr int64_t kBlockL = 256;
-  if (!accumulate) {
-    for (int64_t i = 0; i < m; ++i) std::fill(c + i * n, c + i * n + n, 0.0f);
-  }
-  for (int64_t l0 = 0; l0 < k; l0 += kBlockL) {
-    const int64_t l1 = std::min(k, l0 + kBlockL);
-    for (int64_t j0 = 0; j0 < n; j0 += kBlockJ) {
-      const int64_t j1 = std::min(n, j0 + kBlockJ);
-      for (int64_t i = 0; i < m; ++i) {
-        const float* arow = a + i * k;
-        float* crow = c + i * n;
-        for (int64_t j = j0; j < j1; ++j) {
-          const float* brow = b + j * k;
-          float acc = 0.0f;
-          for (int64_t l = l0; l < l1; ++l) acc += arow[l] * brow[l];
-          crow[j] += acc;
-        }
-      }
-    }
-  }
-}
-
-// C rows [r0, r1) of C[m,n] += A[k,m]^T * B[k,n]. The l loop stays
-// outermost exactly as in the serial kernel, so each element accumulates
-// its k terms in ascending order regardless of the row partition.
-void TnKernel(int64_t r0, int64_t r1, int64_t m, int64_t n, int64_t k,
-              const float* a, const float* b, float* c) {
-  for (int64_t l = 0; l < k; ++l) {
-    const float* arow = a + l * m;
-    const float* brow = b + l * n;
-    for (int64_t i = r0; i < r1; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
 }
 
 }  // namespace
@@ -162,24 +96,26 @@ void RawGemmNN(int64_t m, int64_t n, int64_t k, const float* a,
 
 void RawGemmNT(int64_t m, int64_t n, int64_t k, const float* a,
                const float* b, float* c, bool accumulate) {
+  const auto gemm_nt = kernels::Active().gemm_nt;
   if (!WorthThreading(m, n, k)) {
-    NtKernel(m, n, k, a, b, c, accumulate);
+    gemm_nt(m, n, k, a, b, c, accumulate);
     return;
   }
   ParallelFor(m, RowGrain(n, k), [=](int64_t r0, int64_t r1) {
-    NtKernel(r1 - r0, n, k, a + r0 * k, b, c + r0 * n, accumulate);
+    gemm_nt(r1 - r0, n, k, a + r0 * k, b, c + r0 * n, accumulate);
   });
 }
 
 void RawGemmTN(int64_t m, int64_t n, int64_t k, const float* a,
                const float* b, float* c, bool accumulate) {
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  const auto gemm_tn = kernels::Active().gemm_tn;
   if (!WorthThreading(m, n, k)) {
-    TnKernel(0, m, m, n, k, a, b, c);
+    gemm_tn(0, m, m, n, k, a, b, c);
     return;
   }
   ParallelFor(m, RowGrain(n, k), [=](int64_t r0, int64_t r1) {
-    TnKernel(r0, r1, m, n, k, a, b, c);
+    gemm_tn(r0, r1, m, n, k, a, b, c);
   });
 }
 

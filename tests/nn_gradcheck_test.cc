@@ -74,6 +74,61 @@ TEST(GradCheck, ConvTranspose2d) {
   GradCheckLayer(&layer, Tensor::Uniform({2, 3, 4, 4}, -1.0f, 1.0f, &rng));
 }
 
+// Random-shape sweeps through the dispatched im2col/col2im path
+// (Conv2d backward and ConvTranspose2d forward both fold patches with
+// kernels::Active().col2im): finite differences must agree with the
+// analytic gradients for whatever backend dispatch selected, across
+// kernel/stride/padding combinations that hit the strided scalar path
+// as well as the contiguous stride-1 fast path.
+TEST(GradCheck, Conv2dRandomShapes) {
+  Rng rng(40);
+  for (int caseno = 0; caseno < 4; ++caseno) {
+    const int in_ch = static_cast<int>(rng.UniformInt(1, 3));
+    const int out_ch = static_cast<int>(rng.UniformInt(1, 4));
+    const int kernel = static_cast<int>(rng.UniformInt(2, 4));
+    const int stride = static_cast<int>(rng.UniformInt(1, 3));
+    const int padding = static_cast<int>(rng.UniformInt(0, kernel - 1));
+    const int64_t side = rng.UniformInt(kernel, kernel + 4);
+    const int64_t batch = rng.UniformInt(1, 3);
+    nn::Conv2d layer(in_ch, out_ch, kernel, stride, padding,
+                     /*bias=*/caseno % 2 == 0);
+    nn::DcganInitialize(&layer, &rng);
+    for (int64_t i = 0; i < layer.weight().size(); ++i) {
+      layer.weight()[i] *= 10.0f;
+    }
+    SCOPED_TRACE("conv2d case " + std::to_string(caseno) + " k=" +
+                 std::to_string(kernel) + " s=" + std::to_string(stride) +
+                 " p=" + std::to_string(padding) + " side=" +
+                 std::to_string(side));
+    GradCheckLayer(&layer, Tensor::Uniform({batch, in_ch, side, side},
+                                           -1.0f, 1.0f, &rng));
+  }
+}
+
+TEST(GradCheck, ConvTranspose2dRandomShapes) {
+  Rng rng(41);
+  for (int caseno = 0; caseno < 4; ++caseno) {
+    const int in_ch = static_cast<int>(rng.UniformInt(1, 4));
+    const int out_ch = static_cast<int>(rng.UniformInt(1, 3));
+    const int kernel = static_cast<int>(rng.UniformInt(2, 4));
+    const int stride = static_cast<int>(rng.UniformInt(1, 2));
+    const int padding = static_cast<int>(rng.UniformInt(0, kernel - 1));
+    const int64_t side = rng.UniformInt(2, 5);
+    const int64_t batch = rng.UniformInt(1, 3);
+    nn::ConvTranspose2d layer(in_ch, out_ch, kernel, stride, padding);
+    nn::DcganInitialize(&layer, &rng);
+    for (int64_t i = 0; i < layer.weight().size(); ++i) {
+      layer.weight()[i] *= 10.0f;
+    }
+    SCOPED_TRACE("convT case " + std::to_string(caseno) + " k=" +
+                 std::to_string(kernel) + " s=" + std::to_string(stride) +
+                 " p=" + std::to_string(padding) + " side=" +
+                 std::to_string(side));
+    GradCheckLayer(&layer, Tensor::Uniform({batch, in_ch, side, side},
+                                           -1.0f, 1.0f, &rng));
+  }
+}
+
 TEST(GradCheck, BatchNorm2d) {
   Rng rng(6);
   nn::BatchNorm layer(3);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cfloat>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +21,8 @@
 #include "data/record_matrix.h"
 #include "data/table.h"
 #include "proptest.h"
+#include "tensor/im2col.h"
+#include "tensor/kernels/kernels.h"
 
 namespace tablegan {
 namespace {
@@ -291,6 +294,125 @@ TEST(PropertyFuzz, SampleIsDeterministicUnderChunking) {
         if (!diff.empty()) {
           return "chunked sampling diverges (total " + std::to_string(total) +
                  "): " + diff;
+        }
+        return "";
+      });
+}
+
+/// The runtime-dispatched kernel backend agrees with the scalar
+/// reference on random shapes, to the DESIGN.md §12 contract: col2im
+/// (pure data movement) and relu/leaky_relu (comparisons) bitwise; GEMM
+/// and tanh_bwd within an accumulation-scaled multiple of FLT_EPSILON of
+/// the exact double-precision result, in both backends. On hosts where
+/// dispatch resolves to scalar this degenerates to self-consistency.
+TEST(PropertyFuzz, DispatchedKernelsMatchScalarWithinUlpBound) {
+  const kernels::Backend& active = kernels::Active();
+  const kernels::Backend& scalar = kernels::Scalar();
+  ForAllSeeds(
+      "DispatchedKernelsMatchScalarWithinUlpBound", 0x51D0ULL,
+      [&](uint64_t seed) -> std::string {
+        Rng rng(seed);
+        auto rand_vec = [&rng](int64_t n) {
+          std::vector<float> v(static_cast<size_t>(n));
+          for (auto& x : v) {
+            x = rng.NextBool(0.10)
+                    ? 0.0f
+                    : static_cast<float>(rng.Gaussian(0.0, 1.0));
+          }
+          return v;
+        };
+
+        // GEMM: |backend - double_ref| <= 64 eps (sum |terms| + 1).
+        const int64_t m = rng.UniformInt(1, 16);
+        const int64_t n = rng.UniformInt(1, 48);
+        const int64_t k = rng.UniformInt(1, 48);
+        const auto a = rand_vec(m * k);
+        const auto b = rand_vec(k * n);
+        std::vector<float> c_act(static_cast<size_t>(m * n), 0.0f);
+        std::vector<float> c_sca(static_cast<size_t>(m * n), 0.0f);
+        active.gemm_nn(m, n, k, 1.0f, a.data(), b.data(), c_act.data());
+        scalar.gemm_nn(m, n, k, 1.0f, a.data(), b.data(), c_sca.data());
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            double dref = 0.0, scale = 0.0;
+            for (int64_t l = 0; l < k; ++l) {
+              const double t =
+                  static_cast<double>(a[static_cast<size_t>(i * k + l)]) *
+                  b[static_cast<size_t>(l * n + j)];
+              dref += t;
+              scale += std::abs(t);
+            }
+            const double bound = 64.0 * FLT_EPSILON * (scale + 1.0);
+            const double va = c_act[static_cast<size_t>(i * n + j)];
+            const double vs = c_sca[static_cast<size_t>(i * n + j)];
+            if (std::abs(va - dref) > bound || std::abs(vs - dref) > bound) {
+              std::ostringstream os;
+              os.precision(17);
+              os << "gemm_nn (" << i << "," << j << ") m=" << m << " n=" << n
+                 << " k=" << k << ": active=" << va << " scalar=" << vs
+                 << " ref=" << dref << " bound=" << bound;
+              return os.str();
+            }
+          }
+        }
+
+        // col2im: bitwise across backends.
+        ops::Conv2dGeometry g;
+        g.in_channels = rng.UniformInt(1, 3);
+        g.kernel = rng.UniformInt(1, 5);
+        g.stride = rng.UniformInt(1, 3);
+        g.padding = rng.UniformInt(0, g.kernel - 1);
+        g.in_h = rng.UniformInt(g.kernel, 12);
+        g.in_w = rng.UniformInt(g.kernel, 12);
+        if (g.out_h() > 0 && g.out_w() > 0) {
+          const auto cols =
+              rand_vec(g.patch_size() * g.out_h() * g.out_w());
+          const auto img0 = rand_vec(g.in_channels * g.in_h * g.in_w);
+          auto img_act = img0;
+          auto img_sca = img0;
+          active.col2im(g, cols.data(), img_act.data());
+          scalar.col2im(g, cols.data(), img_sca.data());
+          if (std::memcmp(img_act.data(), img_sca.data(),
+                          img_act.size() * sizeof(float)) != 0) {
+            return "col2im differs between backends (k=" +
+                   std::to_string(g.kernel) +
+                   " s=" + std::to_string(g.stride) +
+                   " p=" + std::to_string(g.padding) + ")";
+          }
+        }
+
+        // Activations: relu / leaky_relu bitwise; tanh_bwd bounded.
+        const int64_t an = rng.UniformInt(1, 200);
+        const auto x = rand_vec(an);
+        const auto dy = rand_vec(an);
+        std::vector<float> ya(static_cast<size_t>(an));
+        std::vector<float> ys(static_cast<size_t>(an));
+        active.relu(an, x.data(), ya.data());
+        scalar.relu(an, x.data(), ys.data());
+        if (std::memcmp(ya.data(), ys.data(), ya.size() * sizeof(float)) !=
+            0) {
+          return "relu differs between backends (n=" + std::to_string(an) +
+                 ")";
+        }
+        active.leaky_relu_bwd(an, 0.2f, x.data(), dy.data(), ya.data());
+        scalar.leaky_relu_bwd(an, 0.2f, x.data(), dy.data(), ys.data());
+        if (std::memcmp(ya.data(), ys.data(), ya.size() * sizeof(float)) !=
+            0) {
+          return "leaky_relu_bwd differs between backends (n=" +
+                 std::to_string(an) + ")";
+        }
+        active.tanh_bwd(an, x.data(), dy.data(), ya.data());
+        scalar.tanh_bwd(an, x.data(), dy.data(), ys.data());
+        for (int64_t i = 0; i < an; ++i) {
+          const double t =
+              static_cast<double>(dy[static_cast<size_t>(i)]) *
+              (1.0 - static_cast<double>(x[static_cast<size_t>(i)]) *
+                         x[static_cast<size_t>(i)]);
+          const double bound = 64.0 * FLT_EPSILON * (std::abs(t) + 1.0);
+          if (std::abs(ya[static_cast<size_t>(i)] - t) > bound ||
+              std::abs(ys[static_cast<size_t>(i)] - t) > bound) {
+            return "tanh_bwd out of bound at " + std::to_string(i);
+          }
         }
         return "";
       });

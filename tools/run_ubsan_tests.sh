@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the repo with TABLEGAN_SANITIZE=undefined and runs the kernel
+# and substrate tests under UBSan (-fno-sanitize-recover=all, so any
+# undefined behavior — misaligned vector loads, signed overflow in index
+# arithmetic, out-of-range float casts — fails the run). The SIMD
+# backends are the main target: every intrinsics path is driven through
+# the parity suite's awkward-shape sweep.
+#
+# Usage: tools/run_ubsan_tests.sh [build-dir]   (default: build-ubsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-ubsan}"
+
+ubsan_tests=(
+  common_test
+  tensor_test
+  matmul_parallel_test
+  kernel_parity_test
+  nn_test
+  nn_gradcheck_test
+  nn_misc_test
+  conv_sweep_test
+  property_fuzz_test
+)
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTABLEGAN_SANITIZE=undefined
+cmake --build "${build_dir}" -j "$(nproc)" --target "${ubsan_tests[@]}"
+
+filter="$(IFS='|'; echo "${ubsan_tests[*]}")"
+# print_stacktrace gives symbolized reports. The kernel-golden CRCs pin
+# the default -O3 codegen of the scalar backend; a sanitizer build
+# compiles it differently, so only the backend-parity half of
+# kernel_parity_test is meaningful here.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+TABLEGAN_SKIP_KERNEL_GOLDEN=1 \
+  ctest --test-dir "${build_dir}" --output-on-failure -R "^(${filter})$"
