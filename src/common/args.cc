@@ -1,0 +1,56 @@
+#include "common/args.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace tablegan {
+namespace args {
+
+Result<int64_t> ParseInt(const std::string& text, int64_t min_value,
+                         int64_t max_value) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  if (*end != '\0') {
+    return Status::InvalidArgument("trailing characters in integer: '" +
+                                   text + "'");
+  }
+  if (errno == ERANGE || v < min_value || v > max_value) {
+    return Status::InvalidArgument(
+        "integer out of range [" + std::to_string(min_value) + ", " +
+        std::to_string(max_value) + "]: '" + text + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  if (*end != '\0') {
+    return Status::InvalidArgument("trailing characters in number: '" +
+                                   text + "'");
+  }
+  // ERANGE underflow returns the nearest (sub)normal, which is the right
+  // value; overflow to +/-HUGE_VAL is an error.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::InvalidArgument("number out of range: '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace args
+}  // namespace tablegan

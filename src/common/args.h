@@ -1,0 +1,33 @@
+#ifndef TABLEGAN_COMMON_ARGS_H_
+#define TABLEGAN_COMMON_ARGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tablegan {
+namespace args {
+
+/// Strict integer parsing for command-line flags and wire fields.
+///
+/// Unlike std::atoi/atoll — which silently return 0 for garbage and stop
+/// at the first non-digit, so "--epochs 1e3" trains 1 epoch and
+/// "--threads x" becomes 0 — these reject empty input, trailing
+/// characters, and values outside [min_value, max_value] with an
+/// InvalidArgument status naming the offending text.
+
+/// Parses a base-10 integer. Leading whitespace, a leading '+'/'-', and
+/// nothing else around the digits are accepted.
+Result<int64_t> ParseInt(const std::string& text,
+                         int64_t min_value = INT64_MIN,
+                         int64_t max_value = INT64_MAX);
+
+/// Parses a finite double; rejects empty input, trailing garbage and
+/// overflow (underflow to subnormals/zero is accepted, matching ReadCsv).
+Result<double> ParseDouble(const std::string& text);
+
+}  // namespace args
+}  // namespace tablegan
+
+#endif  // TABLEGAN_COMMON_ARGS_H_

@@ -410,11 +410,41 @@ Status TableGan::FitMultiLabel(const data::Table& table,
 
 Result<data::Table> TableGan::Sample(int64_t n) {
   if (!fitted_) return Status::FailedPrecondition("Sample before Fit");
-  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  // A zero- (or negative-) row request is a no-op: the persisted
+  // rows-emitted position must not move and the workspace pool must not
+  // be touched, so interleaving empty requests — routine for a serving
+  // frontend — leaves the deterministic stream bit-for-bit unchanged.
+  if (n <= 0) return data::Table(schema_);
   ScopedNumThreads scoped_threads(options_.num_threads);
+  TABLEGAN_ASSIGN_OR_RETURN(
+      data::Table out, GenerateRows(sample_stream_seed_,
+                                    sample_rows_emitted_, n));
+  sample_rows_emitted_ += static_cast<uint64_t>(n);
+  return out;
+}
+
+Result<data::Table> TableGan::SampleRange(uint64_t seed, int64_t row_begin,
+                                          int64_t row_end) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SampleRange before Fit");
+  }
+  if (row_begin < 0 || row_end < row_begin) {
+    return Status::InvalidArgument(
+        "invalid row range [" + std::to_string(row_begin) + ", " +
+        std::to_string(row_end) + ")");
+  }
+  if (row_end == row_begin) return data::Table(schema_);
+  // Same domain tag as the constructor, so seed == options.seed
+  // reproduces this model's own Sample stream from row 0.
+  return GenerateRows(MixSeeds(seed, kSampleStreamTag),
+                      static_cast<uint64_t>(row_begin),
+                      row_end - row_begin);
+}
+
+Result<data::Table> TableGan::GenerateRows(uint64_t stream_seed,
+                                           uint64_t first, int64_t n) const {
   const int64_t cells = static_cast<int64_t>(side_) * side_;
   const int64_t latent = options_.latent_dim;
-  const uint64_t first = sample_rows_emitted_;
   Tensor all({n, cells});
 
   // Row blocks of a fixed size, each generated independently: row i's
@@ -430,7 +460,7 @@ Result<data::Table> TableGan::Sample(int64_t n) {
     const int64_t take = std::min<int64_t>(kInferBlockRows, n - row0);
     Tensor z({take, latent});
     for (int64_t r = 0; r < take; ++r) {
-      Rng row_rng(MixSeeds(sample_stream_seed_,
+      Rng row_rng(MixSeeds(stream_seed,
                            first + static_cast<uint64_t>(row0 + r)));
       float* zr = z.data() + r * latent;
       // Same draw sequence as Tensor::Uniform.
@@ -451,7 +481,6 @@ Result<data::Table> TableGan::Sample(int64_t n) {
     // inner kernels can still use the pool.
     for (int64_t b = 0; b < num_blocks; ++b) run_block(b);
   }
-  sample_rows_emitted_ = first + static_cast<uint64_t>(n);
 
   Tensor matrices = all.Reshaped({n, 1, side_, side_});
   TABLEGAN_ASSIGN_OR_RETURN(Tensor records, codec_->FromMatrices(matrices));

@@ -75,7 +75,24 @@ class TableGan {
   /// identical across batch sizes and thread counts, while successive
   /// calls still produce fresh rows. Row blocks are generated in
   /// parallel across disjoint output slices when threads are available.
+  ///
+  /// n <= 0 returns an empty table with the training schema without
+  /// advancing the persisted rows-emitted position (and without touching
+  /// the workspace pool), so a zero-row request — e.g. relayed from a
+  /// remote client — cannot perturb subsequent deterministic output.
   Result<data::Table> Sample(int64_t n);
+
+  /// Stateless range sampling for the serving path: rows
+  /// [row_begin, row_end) of the logical sample table that a fresh model
+  /// with options.seed == `seed` would emit through Sample. Pure
+  /// function of (seed, row_begin, row_end) — it neither reads nor
+  /// advances the model's own sampling-stream position, so any worker
+  /// holding this model can serve any slice of the logical table,
+  /// bitwise identical to every other worker at any thread count.
+  /// Const and safe to call concurrently (the inference path is
+  /// cache-free; see nn::Layer::Infer).
+  Result<data::Table> SampleRange(uint64_t seed, int64_t row_begin,
+                                  int64_t row_end) const;
 
   /// Discriminator probability D(r) of being real, per record of
   /// `records` (normalized with the training normalizer). Used by the
@@ -138,6 +155,12 @@ class TableGan {
   /// Zeroes every label cell of every record matrix — remove(.) in Eq. 5.
   /// Writes the masked copy into `*out` (resized as needed).
   void RemoveLabelInto(const Tensor& matrices, Tensor* out) const;
+
+  /// Shared core of Sample and SampleRange: decodes rows
+  /// [first, first + n) of the latent stream keyed by `stream_seed`
+  /// (already domain-tagged) into a table. Requires n >= 1.
+  Result<data::Table> GenerateRows(uint64_t stream_seed, uint64_t first,
+                                   int64_t n) const;
 
   TableGanOptions options_;
   bool fitted_ = false;

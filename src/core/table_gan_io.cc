@@ -16,14 +16,17 @@
 // Adam powers are recomputed from the step count. SaveCompat(path, 3)
 // writes the legacy layout for round-trip tests.
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
 #include "common/crc32.h"
 #include "common/failpoint.h"
+#include "common/io_retry.h"
 #include "core/info_loss.h"
 #include "core/table_gan.h"
 #include "nn/optimizer.h"
@@ -134,27 +137,28 @@ bool ReadNet(std::istream& in, nn::Sequential* net) {
 // (checkpoint.rename).
 Status AtomicWriteFile(const std::string& path, std::string payload) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out || TABLEGAN_FAILPOINT("checkpoint.open_write")) {
-      // The open may have created an empty temp file before failing;
-      // never leave it behind.
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::IOError("cannot open for write: " + tmp);
-    }
-    if (TABLEGAN_FAILPOINT("checkpoint.corrupt_byte")) {
-      payload[payload.size() / 2] ^= 0x40;
-    }
-    std::streamsize len = static_cast<std::streamsize>(payload.size());
-    const bool short_write = TABLEGAN_FAILPOINT("checkpoint.short_write");
-    if (short_write) len /= 2;  // half the payload actually reaches disk
-    out.write(payload.data(), len);
-    out.flush();
-    if (!out || short_write) {
-      std::remove(tmp.c_str());
-      return Status::IOError("write failed: " + tmp);
-    }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0 || TABLEGAN_FAILPOINT("checkpoint.open_write")) {
+    // The open may have created an empty temp file before failing;
+    // never leave it behind.
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot open for write: " + tmp);
+  }
+  if (TABLEGAN_FAILPOINT("checkpoint.corrupt_byte")) {
+    payload[payload.size() / 2] ^= 0x40;
+  }
+  size_t len = payload.size();
+  const bool short_write = TABLEGAN_FAILPOINT("checkpoint.short_write");
+  if (short_write) len /= 2;  // half the payload actually reaches disk
+  // io::WriteFull retries EINTR and short write() returns — a SIGTERM
+  // arriving mid-checkpoint (the daemon's shutdown path) must not tear
+  // the file.
+  const Status written = io::WriteFull(fd, payload.data(), len);
+  ::close(fd);
+  if (!written.ok() || short_write) {
+    std::remove(tmp.c_str());
+    return Status::IOError("write failed: " + tmp);
   }
   if (TABLEGAN_FAILPOINT("checkpoint.rename") ||
       std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -169,16 +173,12 @@ Status AtomicWriteFile(const std::string& path, std::string payload) {
 // format version (3 or 4), and `*in` is positioned just past the magic.
 Status ReadVerifiedFile(const std::string& path, std::string* contents,
                         std::istringstream* in, int* version) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file || TABLEGAN_FAILPOINT("checkpoint.open_read")) {
+  if (TABLEGAN_FAILPOINT("checkpoint.open_read")) {
     return Status::IOError("cannot open for read: " + path);
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (!file.good() && !file.eof()) {
-    return Status::IOError("read failed: " + path);
-  }
-  *contents = std::move(buffer).str();
+  // EINTR-safe whole-file read: an interrupted read() resumes instead
+  // of reporting a spurious corrupt checkpoint.
+  TABLEGAN_ASSIGN_OR_RETURN(*contents, io::ReadWholeFile(path));
   if (TABLEGAN_FAILPOINT("checkpoint.truncate_read")) {
     // Simulates a partial read / concurrently truncated file; the magic
     // and CRC checks below must reject whatever half survives.

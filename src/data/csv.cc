@@ -1,12 +1,15 @@
 #include "data/csv.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/io_retry.h"
 
 namespace tablegan {
 namespace data {
@@ -134,19 +137,20 @@ Result<bool> ReadRecord(std::istream& in, std::vector<std::string>* cells,
   return true;
 }
 
-}  // namespace
-
-Status WriteCsv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out || TABLEGAN_FAILPOINT("csv.open_write")) {
-    return Status::IOError("cannot open for write: " + path);
-  }
+// Serializes the table into `out` (an in-memory stream); the per-row
+// csv.write_row failpoint breaks the stream exactly as a failing disk
+// write used to, so the mid-file-failure tests keep their semantics.
+// `where` names the destination in error messages.
+Status WriteCsvToStream(const Table& table, std::ostream& out,
+                        bool include_header, const std::string& where) {
   const Schema& schema = table.schema();
-  for (int c = 0; c < schema.num_columns(); ++c) {
-    if (c) out << ',';
-    WriteField(out, schema.column(c).name);
+  if (include_header) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c) out << ',';
+      WriteField(out, schema.column(c).name);
+    }
+    out << '\n';
   }
-  out << '\n';
   // max_digits10 makes the double -> text -> double trip lossless; the
   // old precision(10) silently perturbed values below ~1e-10 relative.
   out.precision(std::numeric_limits<double>::max_digits10);
@@ -177,15 +181,15 @@ Status WriteCsv(const Table& table, const std::string& path) {
     // mid-file, not just at the first byte.
     if (TABLEGAN_FAILPOINT("csv.write_row")) out.setstate(std::ios::badbit);
   }
-  if (!out) return Status::IOError("write failed: " + path);
+  if (!out) return Status::IOError("write failed: " + where);
   return Status::OK();
 }
 
-Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
-  std::ifstream in(path);
-  if (!in || TABLEGAN_FAILPOINT("csv.open_read")) {
-    return Status::IOError("cannot open for read: " + path);
-  }
+// Parses CSV text from an in-memory stream (the file path is only used
+// in error messages). Extracted so file- and string-based readers share
+// one parser.
+Result<Table> ReadCsvFromStream(const Schema& schema, std::istream& in,
+                                const std::string& path) {
   std::vector<std::string> header;
   int64_t line_no = 0;
   TABLEGAN_ASSIGN_OR_RETURN(bool has_header,
@@ -258,6 +262,58 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
     table.AppendRow(row);
   }
   return table;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  // Open first (matching the old ofstream order, so csv.open_write
+  // fires before any row is serialized), buffer the whole file, then
+  // push it to disk through the EINTR-retrying writer.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0 || TABLEGAN_FAILPOINT("csv.open_write")) {
+    if (fd >= 0) ::close(fd);
+    return Status::IOError("cannot open for write: " + path);
+  }
+  std::ostringstream out;
+  Status serialized =
+      WriteCsvToStream(table, out, /*include_header=*/true, path);
+  if (!serialized.ok()) {
+    ::close(fd);
+    return serialized;
+  }
+  const std::string text = std::move(out).str();
+  Status written = io::WriteFull(fd, text.data(), text.size());
+  ::close(fd);
+  if (!written.ok()) {
+    return Status::IOError(written.message() + ": " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> WriteCsvToString(const Table& table,
+                                     bool include_header) {
+  std::ostringstream out;
+  TABLEGAN_RETURN_NOT_OK(
+      WriteCsvToStream(table, out, include_header, "<string>"));
+  return std::move(out).str();
+}
+
+Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
+  if (TABLEGAN_FAILPOINT("csv.open_read")) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  // Whole-file read through the EINTR-safe loop; parsing then runs over
+  // the in-memory copy, so a signal can never tear a logical record.
+  TABLEGAN_ASSIGN_OR_RETURN(std::string text, io::ReadWholeFile(path));
+  std::istringstream in(std::move(text));
+  return ReadCsvFromStream(schema, in, path);
+}
+
+Result<Table> ReadCsvFromString(const Schema& schema,
+                                const std::string& text) {
+  std::istringstream in(text);
+  return ReadCsvFromStream(schema, in, "<string>");
 }
 
 }  // namespace data

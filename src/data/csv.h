@@ -10,13 +10,26 @@ namespace tablegan {
 namespace data {
 
 /// Writes `table` as CSV with a header row. Categorical cells are written
-/// as their level names; numeric cells with full double precision.
+/// as their level names; numeric cells with full double precision. The
+/// file write goes through the EINTR-safe io:: helpers, so a signal
+/// landing mid-write (routine for the serving daemon and supervised
+/// trainers) is retried instead of surfacing as a spurious I/O error.
 Status WriteCsv(const Table& table, const std::string& path);
+
+/// Serializes `table` to a CSV string (same layout as WriteCsv). With
+/// include_header false only data rows are emitted, so row-range shards
+/// of one logical table concatenate into a valid file.
+Result<std::string> WriteCsvToString(const Table& table,
+                                     bool include_header = true);
 
 /// Reads a CSV produced by WriteCsv (or hand-authored with the same
 /// header) against a known schema. Column order must match the schema;
 /// categorical cells may be level names or numeric level indices.
 Result<Table> ReadCsv(const Schema& schema, const std::string& path);
+
+/// ReadCsv over in-memory CSV text (e.g. a serve-protocol payload).
+Result<Table> ReadCsvFromString(const Schema& schema,
+                                const std::string& text);
 
 }  // namespace data
 }  // namespace tablegan

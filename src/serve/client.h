@@ -1,0 +1,54 @@
+#ifndef TABLEGAN_SERVE_CLIENT_H_
+#define TABLEGAN_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace tablegan {
+namespace serve {
+
+/// Blocking client for the synthesis daemon. One Client owns one TCP
+/// connection; requests on it are serial (the protocol has no request
+/// ids to match concurrent responses). For concurrent load, open one
+/// Client per thread — the bench does exactly that.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. IOError when the daemon is unreachable.
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and reads its response frame. A transport-level
+  /// failure (daemon died, frame corrupt) is a non-OK Status; a served
+  /// error (BUSY, UNKNOWN_MODEL, ...) is an OK Status with the wire
+  /// status in the response — callers distinguish "could not ask" from
+  /// "asked and was refused".
+  Result<SampleResponse> Call(const SampleRequest& req);
+
+  /// Convenience wrapper: requests rows [row_begin, row_end) of
+  /// (model_id, seed) and returns the CSV payload, folding any non-kOk
+  /// wire status into an error Status.
+  Result<std::string> SampleRange(const std::string& model_id, uint64_t seed,
+                                  int64_t row_begin, int64_t row_end,
+                                  Format format = Format::kCsv);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace tablegan
+
+#endif  // TABLEGAN_SERVE_CLIENT_H_

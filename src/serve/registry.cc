@@ -1,0 +1,41 @@
+#include "serve/registry.h"
+
+namespace tablegan {
+namespace serve {
+
+Status ModelRegistry::Load(const std::string& id, const std::string& path) {
+  TABLEGAN_ASSIGN_OR_RETURN(core::TableGan model,
+                            core::TableGan::Load(path));
+  return Add(id, std::move(model));
+}
+
+Status ModelRegistry::Add(const std::string& id, core::TableGan model) {
+  if (id.empty()) {
+    return Status::InvalidArgument("model id must be non-empty");
+  }
+  if (!model.fitted()) {
+    return Status::FailedPrecondition("model '" + id + "' is not fitted");
+  }
+  auto [it, inserted] = models_.emplace(
+      id, std::make_unique<core::TableGan>(std::move(model)));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("duplicate model id '" + id + "'");
+  }
+  return Status::OK();
+}
+
+const core::TableGan* ModelRegistry::Find(const std::string& id) const {
+  auto it = models_.find(id);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModelRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [id, model] : models_) out.push_back(id);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace tablegan

@@ -1,0 +1,46 @@
+#ifndef TABLEGAN_SERVE_REGISTRY_H_
+#define TABLEGAN_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/table_gan.h"
+
+namespace tablegan {
+namespace serve {
+
+/// In-memory collection of fitted models, keyed by the id clients put
+/// in their requests.
+///
+/// Models are registered before the server starts and are immutable
+/// afterwards; lookups only touch const state, so concurrent request
+/// handlers share the registry without locking (TableGan::SampleRange
+/// is const and thread-safe — the serving hot path never mutates a
+/// model).
+class ModelRegistry {
+ public:
+  /// Loads a checkpoint/model file and registers it under `id`.
+  /// InvalidArgument on a duplicate or empty id; load errors propagate.
+  Status Load(const std::string& id, const std::string& path);
+
+  /// Registers an already-constructed fitted model (tests, in-process
+  /// benches).
+  Status Add(const std::string& id, core::TableGan model);
+
+  /// nullptr when `id` is not registered.
+  const core::TableGan* Find(const std::string& id) const;
+
+  std::vector<std::string> ids() const;
+  size_t size() const { return models_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<core::TableGan>> models_;
+};
+
+}  // namespace serve
+}  // namespace tablegan
+
+#endif  // TABLEGAN_SERVE_REGISTRY_H_

@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/args.h"
+#include "common/failpoint.h"
+#include "common/io_retry.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -254,6 +262,118 @@ TEST(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
   EXPECT_EQ(inner.load(), 32);
   EXPECT_TRUE(saw_region.load());
   EXPECT_FALSE(InParallelRegion());
+}
+
+// ------------------------------------------------------------------
+// args::ParseInt / args::ParseDouble — strict flag parsing.
+
+TEST(ArgsTest, ParseIntAcceptsPlainIntegers) {
+  EXPECT_EQ(*args::ParseInt("0"), 0);
+  EXPECT_EQ(*args::ParseInt("42"), 42);
+  EXPECT_EQ(*args::ParseInt("-7"), -7);
+  EXPECT_EQ(*args::ParseInt("+13"), 13);
+  EXPECT_EQ(*args::ParseInt("  8"), 8);  // strtoll-style leading space
+  EXPECT_EQ(*args::ParseInt("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*args::ParseInt("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(ArgsTest, ParseIntRejectsWhatAtoiSwallows) {
+  // Each of these is a silent 0 / prefix-truncation under std::atoi.
+  EXPECT_FALSE(args::ParseInt("").ok());
+  EXPECT_FALSE(args::ParseInt("x").ok());
+  EXPECT_FALSE(args::ParseInt("12x").ok());
+  EXPECT_FALSE(args::ParseInt("1e3").ok());
+  EXPECT_FALSE(args::ParseInt("4.5").ok());
+  EXPECT_FALSE(args::ParseInt("7 ").ok());  // trailing space
+  EXPECT_FALSE(args::ParseInt("-").ok());
+  EXPECT_FALSE(args::ParseInt("9223372036854775808").ok());  // overflow
+}
+
+TEST(ArgsTest, ParseIntEnforcesBounds) {
+  EXPECT_EQ(*args::ParseInt("5", 1, 10), 5);
+  EXPECT_FALSE(args::ParseInt("0", 1, 10).ok());
+  EXPECT_FALSE(args::ParseInt("11", 1, 10).ok());
+  // The rejection names the offending text and the bounds.
+  const Status s = args::ParseInt("11", 1, 10).status();
+  EXPECT_NE(s.message().find("11"), std::string::npos);
+}
+
+TEST(ArgsTest, ParseDoubleStrictness) {
+  EXPECT_DOUBLE_EQ(*args::ParseDouble("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*args::ParseDouble("-1e-3"), -1e-3);
+  EXPECT_FALSE(args::ParseDouble("").ok());
+  EXPECT_FALSE(args::ParseDouble("1.5x").ok());
+  EXPECT_FALSE(args::ParseDouble("nanx").ok());
+  EXPECT_FALSE(args::ParseDouble("1e999").ok());  // overflow
+  // Gradual underflow is a value, not an error (matches ReadCsv).
+  EXPECT_TRUE(args::ParseDouble("1e-320").ok());
+}
+
+// ------------------------------------------------------------------
+// io:: — EINTR-safe read/write loops.
+
+TEST(IoRetryTest, WriteAndReadFullRetryInjectedEintr) {
+  failpoint::Reset();
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload(8192, 'q');
+  {
+    // The first write attempt is interrupted; the loop must retry and
+    // still move every byte.
+    failpoint::Scoped w("io.write_eintr", "once");
+    EXPECT_TRUE(io::WriteFull(fds[1], payload.data(), payload.size()).ok());
+    EXPECT_EQ(failpoint::TriggerCount("io.write_eintr"), 1);
+  }
+  ::close(fds[1]);
+  std::string got(payload.size(), '\0');
+  {
+    failpoint::Scoped r("io.read_eintr", "once");
+    auto n = io::ReadFull(fds[0], got.data(), got.size());
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    EXPECT_EQ(*n, payload.size());
+    EXPECT_EQ(failpoint::TriggerCount("io.read_eintr"), 1);
+  }
+  EXPECT_EQ(got, payload);
+  ::close(fds[0]);
+  failpoint::Reset();
+}
+
+TEST(IoRetryTest, ReadFullReportsEofShort) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+  ::close(fds[1]);
+  char buf[16];
+  auto n = io::ReadFull(fds[0], buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);  // < requested iff EOF intervened
+  ::close(fds[0]);
+}
+
+TEST(IoRetryTest, ReadWholeFileRoundTripsUnderEintr) {
+  failpoint::Reset();
+  const std::string path = "io_retry_whole_file.bin";
+  std::string payload;
+  for (int i = 0; i < 100000; ++i) {
+    payload.push_back(static_cast<char>(i * 131 % 251));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), f),
+            payload.size());
+  std::fclose(f);
+  {
+    failpoint::Scoped r("io.read_eintr", "once");
+    auto got = io::ReadWholeFile(path);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, payload);
+  }
+  std::remove(path.c_str());
+  auto missing = io::ReadWholeFile(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("cannot open for read"),
+            std::string::npos);
+  failpoint::Reset();
 }
 
 }  // namespace

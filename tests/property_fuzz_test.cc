@@ -280,6 +280,21 @@ TEST(PropertyFuzz, SampleIsDeterministicUnderChunking) {
         std::vector<data::Table> parts;
         int64_t remaining = total;
         while (remaining > 0) {
+          // Zero- and negative-row requests between chunks must be pure
+          // no-ops: empty table out, persisted stream position (and the
+          // bytes of every later chunk) untouched.
+          if (rng.NextBool(0.5)) {
+            Result<data::Table> none =
+                chunked.Sample(rng.NextBool(0.5) ? 0 : -3);
+            if (!none.ok()) {
+              return "Sample(<=0): " + none.status().ToString();
+            }
+            if (none->num_rows() != 0 ||
+                none->schema().num_columns() !=
+                    s.table.schema().num_columns()) {
+              return "Sample(<=0) not an empty table with the schema";
+            }
+          }
           const int64_t k = rng.UniformInt(1, remaining);
           Result<data::Table> part = chunked.Sample(k);
           if (!part.ok()) {

@@ -21,6 +21,7 @@ asan_tests=(
   failpoint_test
   property_fuzz_test
   kernel_parity_test
+  serve_protocol_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

@@ -25,6 +25,7 @@ tsan_tests=(
   eval_test
   privacy_test
   kernel_parity_test
+  serve_protocol_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

@@ -10,14 +10,23 @@
 //                         [--resume checkpoint.tgan]
 //   tablegan_cli sample   --model model.tgan --rows N --out synth.csv
 //                         [--threads N]
+//   tablegan_cli sample-remote --port P --model-id ID --rows N
+//                         --out synth.csv [--host 127.0.0.1] [--seed N]
+//                         [--begin I]
 //   tablegan_cli evaluate --data original.csv --schema table.schema
 //                         --released synth.csv
 //
 // `demo` materializes one of the four dataset simulators as CSV+schema
 // so the full workflow can be exercised without external data. `train`
 // fits table-GAN and saves the model; `sample` loads it and writes a
-// synthetic table; `evaluate` reports DCR and a quick model-
-// compatibility check between an original and a released table.
+// synthetic table; `sample-remote` fetches the same rows from a running
+// tablegan_serve daemon instead of loading the checkpoint locally;
+// `evaluate` reports DCR and a quick model-compatibility check between
+// an original and a released table.
+//
+// Numeric flags are parsed strictly (args::ParseInt/ParseDouble): a
+// typo like `--epochs 1e3` or `--threads x` is a usage error, not a
+// silent 1-epoch or 0-thread run.
 //
 // Long trains are recoverable: `--checkpoint-every N --checkpoint-dir d`
 // writes atomic CRC-checked checkpoints, and a killed run repeated with
@@ -26,6 +35,7 @@
 // streams per-epoch losses and timings as JSONL (schema: DESIGN.md §9).
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +43,7 @@
 #include <memory>
 #include <string>
 
+#include "common/args.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -45,6 +56,7 @@
 #include "ml/metrics.h"
 #include "ml/ml_data.h"
 #include "privacy/dcr.h"
+#include "serve/client.h"
 
 namespace tablegan {
 namespace {
@@ -65,6 +77,44 @@ struct Args {
       std::exit(2);
     }
     return v;
+  }
+
+  /// Checked numeric accessors: a value std::atoi would silently fold
+  /// to 0 (or truncate at the first non-digit) is a usage error here.
+  int64_t GetInt(const std::string& key, int64_t fallback,
+                 int64_t min_value, int64_t max_value) {
+    const char* v = Get(key);
+    if (v == nullptr) return fallback;
+    return CheckedInt(key, v, min_value, max_value);
+  }
+
+  int64_t RequireInt(const std::string& key, int64_t min_value,
+                     int64_t max_value) {
+    return CheckedInt(key, Require(key), min_value, max_value);
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    const char* v = Get(key);
+    if (v == nullptr) return fallback;
+    Result<double> parsed = args::ParseDouble(v);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", key.c_str(),
+                   parsed.status().message().c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+
+ private:
+  static int64_t CheckedInt(const std::string& key, const char* text,
+                            int64_t min_value, int64_t max_value) {
+    Result<int64_t> parsed = args::ParseInt(text, min_value, max_value);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", key.c_str(),
+                   parsed.status().message().c_str());
+      std::exit(2);
+    }
+    return *parsed;
   }
 };
 
@@ -92,12 +142,15 @@ T Unwrap(Result<T> result) {
   return std::move(result).value();
 }
 
+constexpr int64_t kMaxRows = int64_t{1} << 40;
+constexpr int64_t kMaxThreads = 4096;
+
 int CmdDemo(Args args) {
   const std::string name = args.Get("dataset", "adult");
-  const int64_t rows = std::atoll(args.Get("rows", "1000"));
+  const int64_t rows = args.GetInt("rows", 1000, 1, kMaxRows);
   const char* data_path = args.Require("data");
   const char* schema_path = args.Require("schema");
-  Rng rng(static_cast<uint64_t>(std::atoll(args.Get("seed", "7"))));
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7, 0, INT64_MAX)));
   data::Table table = [&] {
     if (name == "lacity") return data::MakeLaCityLike(rows, &rng);
     if (name == "health") return data::MakeHealthLike(rows, &rng);
@@ -135,19 +188,20 @@ int CmdTrain(Args args) {
   } else if (privacy != "low") {
     Fail(Status::InvalidArgument("--privacy must be low|mid|high"));
   }
-  options.epochs = std::atoi(args.Get("epochs", "60"));
-  options.learning_rate =
-      static_cast<float>(std::atof(args.Get("lr", "0.001")));
-  options.base_channels = std::atoi(args.Get("channels", "16"));
-  options.latent_dim = std::atoi(args.Get("latent", "32"));
-  options.ewma_weight =
-      static_cast<float>(std::atof(args.Get("ewma", "0.9")));
-  options.seed = static_cast<uint64_t>(std::atoll(args.Get("seed", "47")));
+  options.epochs = static_cast<int>(args.GetInt("epochs", 60, 1, 1000000));
+  options.learning_rate = static_cast<float>(args.GetDouble("lr", 0.001));
+  options.base_channels =
+      static_cast<int>(args.GetInt("channels", 16, 1, 4096));
+  options.latent_dim = static_cast<int>(args.GetInt("latent", 32, 1, 65536));
+  options.ewma_weight = static_cast<float>(args.GetDouble("ewma", 0.9));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 47, 0, INT64_MAX));
   // 0 defers to TABLEGAN_NUM_THREADS, then to the hardware default. Any
   // value reproduces the 1-thread results bit for bit.
-  options.num_threads = std::atoi(args.Get("threads", "0"));
+  options.num_threads =
+      static_cast<int>(args.GetInt("threads", 0, 0, kMaxThreads));
   options.verbose = true;
-  options.checkpoint_every = std::atoi(args.Get("checkpoint-every", "0"));
+  options.checkpoint_every =
+      static_cast<int>(args.GetInt("checkpoint-every", 0, 0, 1000000));
   options.checkpoint_dir = args.Get("checkpoint-dir", "");
   options.resume_from = args.Get("resume", "");
   if (options.checkpoint_every > 0 && options.checkpoint_dir.empty()) {
@@ -175,14 +229,47 @@ int CmdTrain(Args args) {
 }
 
 int CmdSample(Args args) {
-  const int threads = std::atoi(args.Get("threads", "0"));
+  const int threads =
+      static_cast<int>(args.GetInt("threads", 0, 0, kMaxThreads));
   if (threads > 0) SetNumThreads(threads);
   core::TableGan gan = Unwrap(core::TableGan::Load(args.Require("model")));
-  const int64_t rows = std::atoll(args.Require("rows"));
+  const int64_t rows = args.RequireInt("rows", 0, kMaxRows);
   data::Table synth = Unwrap(gan.Sample(rows));
   TABLEGAN_CHECK_OK(data::WriteCsv(synth, args.Require("out")));
   std::printf("sampled %lld synthetic rows to %s\n",
               static_cast<long long>(rows), args.Require("out"));
+  return 0;
+}
+
+int CmdSampleRemote(Args args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.RequireInt("port", 1, 65535));
+  const std::string model_id = args.Require("model-id");
+  const int64_t begin = args.GetInt("begin", 0, 0, kMaxRows);
+  const int64_t rows = args.RequireInt("rows", 0, kMaxRows);
+  const uint64_t seed =
+      static_cast<uint64_t>(args.GetInt("seed", 47, 0, INT64_MAX));
+  const char* out_path = args.Require("out");
+
+  serve::Client client;
+  TABLEGAN_CHECK_OK(client.Connect(host, port));
+  const std::string csv = Unwrap(client.SampleRange(
+      model_id, seed, begin, begin + rows,
+      // Sharded fetches (--begin > 0) get data rows only, so shards
+      // concatenate into one valid file behind a first header shard.
+      begin == 0 ? serve::Format::kCsv : serve::Format::kCsvNoHeader));
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) Fail(Status::IOError("cannot open for write: " +
+                                           std::string(out_path)));
+  std::fwrite(csv.data(), 1, csv.size(), out);
+  if (std::fclose(out) != 0) {
+    Fail(Status::IOError("write failed: " + std::string(out_path)));
+  }
+  std::printf("fetched rows [%lld, %lld) of model '%s' from %s:%d to %s\n",
+              static_cast<long long>(begin),
+              static_cast<long long>(begin + rows), model_id.c_str(),
+              host.c_str(), port, out_path);
   return 0;
 }
 
@@ -248,7 +335,8 @@ int CmdEvaluate(Args args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tablegan_cli <demo|train|sample|evaluate> "
+               "usage: tablegan_cli "
+               "<demo|train|sample|sample-remote|evaluate> "
                "--flag value ...\n(see the header comment of "
                "tools/tablegan_cli.cc for details)\n");
   return 2;
@@ -264,6 +352,9 @@ int main(int argc, char** argv) {
   if (cmd == "demo") return tablegan::CmdDemo(std::move(args));
   if (cmd == "train") return tablegan::CmdTrain(std::move(args));
   if (cmd == "sample") return tablegan::CmdSample(std::move(args));
+  if (cmd == "sample-remote") {
+    return tablegan::CmdSampleRemote(std::move(args));
+  }
   if (cmd == "evaluate") return tablegan::CmdEvaluate(std::move(args));
   return tablegan::Usage();
 }
