@@ -1,51 +1,76 @@
 #include "core/chunked.h"
 
+#include <exception>
 #include <memory>
 #include <vector>
 
+#include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/table_gan.h"
 #include "data/split.h"
 
 namespace tablegan {
 namespace core {
+namespace {
+
+// Domain tag separating chunk-seed derivation from every other MixSeeds
+// use (e.g. the sampling substream tag), so a chunk seed can never
+// collide with a sampling stream of the same base seed. ASCII "Chunk".
+constexpr uint64_t kChunkStreamTag = 0x4368756E6BULL;
+
+}  // namespace
+
+uint64_t ChunkSeed(uint64_t base_seed, int chunk_index) {
+  return MixSeeds(MixSeeds(base_seed, kChunkStreamTag),
+                  static_cast<uint64_t>(chunk_index));
+}
 
 Result<data::Table> ChunkedTrainAndSynthesize(
-    const data::Table& table, int label_col, int64_t num_samples,
+    const data::TableView& table, int label_col, int64_t num_samples,
     const ChunkedSynthesisOptions& options) {
   if (options.num_chunks < 1) {
     return Status::InvalidArgument("num_chunks must be >= 1");
   }
-  std::vector<data::Table> chunks =
-      data::SplitChunks(table, options.num_chunks);
+  std::vector<data::TableRangeView> chunks =
+      data::SplitChunkViews(table, options.num_chunks);
   const int k = static_cast<int>(chunks.size());
 
-  std::vector<Status> statuses(static_cast<size_t>(k));
+  // Every status starts as a sentinel error, not OK: when ParallelFor
+  // cancels unclaimed chunks after a failure (or a worker dies before
+  // writing its slot), the unrun chunks must not read as successes —
+  // a default-OK vector silently returned partial results.
+  std::vector<Status> statuses(
+      static_cast<size_t>(k),
+      Status::Internal("chunk not run (cancelled or never scheduled)"));
   std::vector<data::Table> outputs(static_cast<size_t>(k));
   ThreadPool pool(options.num_threads);
-  pool.ParallelFor(k, [&](int i) {
-    TableGanOptions gan_options = options.gan;
-    gan_options.seed = options.gan.seed + static_cast<uint64_t>(i) * 7919;
-    TableGan gan(gan_options);
-    Status st = gan.Fit(chunks[static_cast<size_t>(i)], label_col);
-    if (!st.ok()) {
-      statuses[static_cast<size_t>(i)] = st;
-      return;
-    }
-    const int64_t share =
-        num_samples * (i + 1) / k - num_samples * i / k;
-    if (share > 0) {
-      Result<data::Table> sampled = gan.Sample(share);
-      if (!sampled.ok()) {
-        statuses[static_cast<size_t>(i)] = sampled.status();
+  try {
+    pool.ParallelFor(k, [&](int i) {
+      TableGanOptions gan_options = options.gan;
+      gan_options.seed = ChunkSeed(options.gan.seed, i);
+      TableGan gan(gan_options);
+      Status st = gan.Fit(chunks[static_cast<size_t>(i)], label_col);
+      if (!st.ok()) {
+        statuses[static_cast<size_t>(i)] = st;
         return;
       }
-      outputs[static_cast<size_t>(i)] = std::move(sampled).value();
-    } else {
-      outputs[static_cast<size_t>(i)] = data::Table(table.schema());
-    }
-    statuses[static_cast<size_t>(i)] = Status::OK();
-  });
+      const int64_t share =
+          num_samples * (i + 1) / k - num_samples * i / k;
+      if (share > 0) {
+        Result<data::Table> sampled = gan.Sample(share);
+        if (!sampled.ok()) {
+          statuses[static_cast<size_t>(i)] = sampled.status();
+          return;
+        }
+        outputs[static_cast<size_t>(i)] = std::move(sampled).value();
+      } else {
+        outputs[static_cast<size_t>(i)] = data::Table(table.schema());
+      }
+      statuses[static_cast<size_t>(i)] = Status::OK();
+    });
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("chunk worker threw: ") + e.what());
+  }
   for (const Status& st : statuses) {
     TABLEGAN_RETURN_NOT_OK(st);
   }

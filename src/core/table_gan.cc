@@ -62,11 +62,11 @@ void TableGan::RemoveLabelInto(const Tensor& matrices, Tensor* out) const {
   }
 }
 
-Status TableGan::Fit(const data::Table& table, int label_col) {
+Status TableGan::Fit(const data::TableView& table, int label_col) {
   return FitMultiLabel(table, {label_col});
 }
 
-Status TableGan::FitMultiLabel(const data::Table& table,
+Status TableGan::FitMultiLabel(const data::TableView& table,
                                std::vector<int> label_cols) {
   if (table.num_rows() < 4) {
     return Status::InvalidArgument("need at least 4 training rows");
@@ -100,9 +100,12 @@ Status TableGan::FitMultiLabel(const data::Table& table,
   }
   codec_ = std::make_unique<data::RecordMatrixCodec>(table.num_columns(),
                                                      side_);
+  // One min/max pass over the view; no encoded copy of the table is ever
+  // built. Mini-batches below are encoded on the fly straight from the
+  // view's column pointers, so training an mmap'd columnar file touches
+  // each page as its rows come up in the shuffle and peak memory is
+  // O(batch), not O(table).
   TABLEGAN_RETURN_NOT_OK(normalizer_.Fit(table));
-  TABLEGAN_ASSIGN_OR_RETURN(Tensor records, normalizer_.Transform(table));
-  TABLEGAN_ASSIGN_OR_RETURN(Tensor matrices, codec_->ToMatrices(records));
 
   generator_ = BuildGenerator(side_, options_.latent_dim,
                               options_.base_channels, &rng_);
@@ -202,14 +205,15 @@ Status TableGan::FitMultiLabel(const data::Table& table,
     for (int64_t start = 0; start < n; start += batch) {
       const int64_t bsize = std::min<int64_t>(batch, n - start);
       if (bsize < 2) break;
-      // --- Assemble the real mini-batch (Alg. 2 line 6).
+      // --- Assemble the real mini-batch (Alg. 2 line 6): zero the pad
+      // cells (exactly what the codec writes there), then encode the
+      // batch's rows directly from the view. Bitwise identical to
+      // gathering rows of the old precomputed Transform+ToMatrices
+      // tensor (see MinMaxNormalizer::EncodeRowsInto).
       x.ResizeUninitialized({bsize, 1, side_, side_});
-      for (int64_t b = 0; b < bsize; ++b) {
-        const int64_t row = order[static_cast<size_t>(start + b)];
-        std::copy(matrices.data() + row * cells,
-                  matrices.data() + (row + 1) * cells,
-                  x.data() + b * cells);
-      }
+      x.SetZero();
+      normalizer_.EncodeRowsInto(table, order.data() + start, bsize,
+                                 x.data(), cells);
       // Ground-truth labels l(x) in {0,1}: decode the label cells from
       // the [-1,1] encoding.
       labels.ResizeUninitialized({bsize, k});

@@ -11,6 +11,7 @@
 #include "data/normalizer.h"
 #include "data/record_matrix.h"
 #include "data/table.h"
+#include "data/table_view.h"
 #include "tensor/workspace.h"
 
 namespace tablegan {
@@ -54,13 +55,21 @@ class TableGan {
   /// Trains on `table`; `label_col` is the ground-truth label attribute
   /// the classifier network learns (paper §4.1.3). The whole table —
   /// label included — is synthesized.
-  Status Fit(const data::Table& table, int label_col);
+  ///
+  /// Takes any TableView: training reads rows through the view's column
+  /// pointers one mini-batch at a time (never materializing the encoded
+  /// table), so an mmap-backed ColumnarReader trains out-of-core with
+  /// memory proportional to the batch size — and, because every batch
+  /// cell is computed with the identical per-cell expression, produces
+  /// checkpoints and samples bitwise identical to fitting the same rows
+  /// from an in-RAM Table at any thread count (DESIGN.md §14).
+  Status Fit(const data::TableView& table, int label_col);
 
   /// Multi-label variant (paper §4.2.3): the classifier becomes a
   /// multi-task network with one sigmoid head per label sharing the
   /// convolutional trunk; the classification loss averages the per-label
   /// discrepancies.
-  Status FitMultiLabel(const data::Table& table,
+  Status FitMultiLabel(const data::TableView& table,
                        std::vector<int> label_cols);
 
   bool fitted() const { return fitted_; }

@@ -1,0 +1,187 @@
+#include "data/columnar.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/io_retry.h"
+#include "data/schema_text.h"
+
+namespace tablegan {
+namespace data {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'G', 'C', 'L', '0', '0', '0', '1'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+constexpr size_t kFixedHeaderSize = kMagicSize + 3 * sizeof(uint64_t);
+constexpr size_t kFooterSize = sizeof(uint32_t);
+
+size_t PadTo8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+// Header through the end of the (padded) schema text.
+size_t DataOffset(size_t schema_len) {
+  return kFixedHeaderSize + PadTo8(schema_len);
+}
+
+}  // namespace
+
+bool LooksLikeColumnarFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  char magic[kMagicSize];
+  Result<size_t> got = io::ReadFull(fd, magic, kMagicSize);
+  ::close(fd);
+  return got.ok() && *got == kMagicSize &&
+         std::memcmp(magic, kMagic, kMagicSize) == 0;
+}
+
+Status WriteColumnar(const TableView& table, const std::string& path) {
+  const std::string schema_text = SchemaToText(table.schema());
+  // The embedded schema must survive the text format (which cannot
+  // represent e.g. commas or line breaks in column names) — otherwise
+  // Open would read back a different schema than was written. Reject
+  // loudly instead of persisting a silently-mangled header.
+  Result<Schema> reparsed = ParseSchemaText(schema_text);
+  if (!reparsed.ok() || !reparsed->Equals(table.schema())) {
+    return Status::InvalidArgument(
+        "schema is not representable in columnar schema text (column "
+        "names/levels must be free of ',', '|', '#' and line breaks): " +
+        path);
+  }
+  const uint64_t rows = static_cast<uint64_t>(table.num_rows());
+  const uint64_t cols = static_cast<uint64_t>(table.num_columns());
+  const uint64_t schema_len = schema_text.size();
+
+  std::string header;
+  header.reserve(DataOffset(schema_text.size()));
+  header.append(kMagic, kMagicSize);
+  header.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  header.append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  header.append(reinterpret_cast<const char*>(&schema_len),
+                sizeof(schema_len));
+  header.append(schema_text);
+  header.resize(DataOffset(schema_text.size()), '\0');  // align columns
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0 || TABLEGAN_FAILPOINT("columnar.open_write")) {
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot open for write: " + tmp);
+  }
+  // Stream header then each column block, accumulating the CRC
+  // incrementally so no second pass (and no full-file copy) is needed.
+  uint32_t crc = Crc32(header.data(), header.size());
+  Status written = io::WriteFull(fd, header.data(), header.size());
+  const bool short_write = TABLEGAN_FAILPOINT("columnar.short_write");
+  // Simulated bit rot: the first column byte on disk diverges from the
+  // byte the CRC was computed over, so Open must still succeed (the
+  // header and length are intact) but VerifyCrc must fail.
+  bool corrupt_byte = TABLEGAN_FAILPOINT("columnar.corrupt_byte");
+  for (int c = 0; written.ok() && c < table.num_columns(); ++c) {
+    const double* col = table.column_data(c);
+    size_t bytes = static_cast<size_t>(rows) * sizeof(double);
+    if (short_write && c + 1 == table.num_columns()) {
+      bytes /= 2;  // the last column block is torn mid-write
+    }
+    if (bytes == 0) continue;
+    crc = Crc32(col, bytes, crc);
+    if (corrupt_byte) {
+      corrupt_byte = false;
+      double flipped = col[0];
+      reinterpret_cast<char*>(&flipped)[0] ^= 0x40;
+      written = io::WriteFull(fd, &flipped, sizeof(double));
+      if (written.ok() && bytes > sizeof(double)) {
+        written = io::WriteFull(fd, col + 1, bytes - sizeof(double));
+      }
+      continue;
+    }
+    written = io::WriteFull(fd, col, bytes);
+  }
+  if (written.ok() && !short_write) {
+    written = io::WriteFull(fd, &crc, kFooterSize);
+  }
+  ::close(fd);
+  if (!written.ok() || short_write) {
+    std::remove(tmp.c_str());
+    return Status::IOError("write failed: " + tmp);
+  }
+  if (TABLEGAN_FAILPOINT("columnar.rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<ColumnarReader> ColumnarReader::Open(const std::string& path) {
+  TABLEGAN_ASSIGN_OR_RETURN(MmapFile map, MmapFile::Open(path));
+  size_t size = map.size();
+  if (TABLEGAN_FAILPOINT("columnar.truncated_footer")) {
+    // Simulates a file that lost its tail (footer and part of the last
+    // column); every check below sees the shorter length.
+    size = size > kFooterSize ? size - kFooterSize - 3 : 0;
+  }
+  if (size < kFixedHeaderSize + kFooterSize ||
+      std::memcmp(map.data(), kMagic, kMagicSize) != 0) {
+    return Status::InvalidArgument("not a columnar table file: " + path);
+  }
+  uint64_t rows = 0, cols = 0, schema_len = 0;
+  std::memcpy(&rows, map.data() + kMagicSize, sizeof(rows));
+  std::memcpy(&cols, map.data() + kMagicSize + 8, sizeof(cols));
+  std::memcpy(&schema_len, map.data() + kMagicSize + 16, sizeof(schema_len));
+  // Sanity before any size arithmetic: a corrupt header must not drive
+  // an overflowing multiply below.
+  if (cols > (1u << 20) || schema_len > (1u << 26) ||
+      rows > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("implausible columnar header: " + path);
+  }
+  const size_t data_off = DataOffset(static_cast<size_t>(schema_len));
+  const uint64_t data_bytes = rows * cols * sizeof(double);
+  const uint64_t expected = data_off + data_bytes + kFooterSize;
+  if (expected != size) {
+    return Status::IOError(
+        "truncated columnar file (expected " + std::to_string(expected) +
+        " bytes, have " + std::to_string(size) + "): " + path);
+  }
+  TABLEGAN_ASSIGN_OR_RETURN(
+      Schema schema,
+      ParseSchemaText(std::string(map.data() + kFixedHeaderSize,
+                                  static_cast<size_t>(schema_len))));
+  if (static_cast<uint64_t>(schema.num_columns()) != cols) {
+    return Status::InvalidArgument(
+        "columnar header declares " + std::to_string(cols) +
+        " columns but its schema has " +
+        std::to_string(schema.num_columns()) + ": " + path);
+  }
+  ColumnarReader out;
+  out.map_ = std::move(map);
+  out.path_ = path;
+  out.schema_ = std::move(schema);
+  out.num_rows_ = static_cast<int64_t>(rows);
+  out.data_offset_ = data_off;
+  return out;
+}
+
+const double* ColumnarReader::column_data(int col) const {
+  if (num_rows_ == 0) return nullptr;
+  return reinterpret_cast<const double*>(map_.data() + data_offset_) +
+         static_cast<int64_t>(col) * num_rows_;
+}
+
+Status ColumnarReader::VerifyCrc() const {
+  const size_t body = map_.size() - kFooterSize;
+  uint32_t stored = 0;
+  std::memcpy(&stored, map_.data() + body, kFooterSize);
+  if (Crc32(map_.data(), body) != stored) {
+    return Status::IOError("corrupt columnar file (CRC mismatch): " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace tablegan

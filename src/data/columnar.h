@@ -1,0 +1,89 @@
+#ifndef TABLEGAN_DATA_COLUMNAR_H_
+#define TABLEGAN_DATA_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/mmap_file.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "data/table_view.h"
+
+namespace tablegan {
+namespace data {
+
+/// Binary columnar on-disk table format (DESIGN.md §14).
+///
+/// Layout (little-endian host; a cache format, like the checkpoints):
+///
+///   offset 0   magic "TGCL0001" (8 bytes)
+///          8   u64 num_rows
+///         16   u64 num_cols
+///         24   u64 schema_len (bytes of schema text)
+///         32   schema text (schema_text.h format), zero-padded to the
+///              next 8-byte boundary so the column data is aligned
+///   data_off   num_cols blocks of num_rows doubles, one per column,
+///              in schema order, each contiguous
+///     footer   u32 CRC-32 (common/crc32) over every byte before it
+///
+/// The doubles are the exact bit patterns of the in-RAM Table columns,
+/// so write -> read -> materialize is bitwise identity (a property-fuzz
+/// invariant), and a model trained from the mmap is bitwise identical
+/// to one trained from the Table the file was written from.
+///
+/// Opening is O(1): the reader maps the file, checks the magic, header
+/// sanity and the exact expected file length (which catches truncation
+/// without touching column data), and parses the schema text. The
+/// footer CRC guards against bit rot, not truncation; verifying it
+/// requires one full pass, so it is a separate call (VerifyCrc) used by
+/// `tablegan_cli inspect`, `convert` and the tests rather than by Open.
+
+/// True when the file at `path` starts with the columnar magic. Used to
+/// sniff table inputs (CLI --data, the serving daemon's registry) so
+/// columnar files need no format flag. False on unreadable files.
+bool LooksLikeColumnarFile(const std::string& path);
+
+/// Serializes `table` to `path` atomically (temp file + rename) with
+/// the CRC-32 footer. Column data streams straight out of the view's
+/// column_data pointers through the EINTR-safe io:: helpers.
+///
+/// Failpoint sites (tests force each; the target path is never torn):
+/// columnar.open_write, columnar.corrupt_byte (CRC must catch it),
+/// columnar.short_write, columnar.rename.
+Status WriteColumnar(const TableView& table, const std::string& path);
+
+/// Zero-copy mmap-backed reader; satisfies TableView, so it trains,
+/// normalizes and splits exactly like an in-RAM Table without ever
+/// materializing the rows.
+class ColumnarReader : public TableView {
+ public:
+  /// Opens and validates `path` in O(1) (no column data is read).
+  /// Truncated or foreign files are rejected; failpoint site
+  /// columnar.truncated_footer simulates a file that lost its tail.
+  static Result<ColumnarReader> Open(const std::string& path);
+
+  const Schema& schema() const override { return schema_; }
+  int64_t num_rows() const override { return num_rows_; }
+  const double* column_data(int col) const override;
+
+  /// Recomputes the CRC-32 over the mapped body against the footer —
+  /// one full sequential pass over the map.
+  Status VerifyCrc() const;
+
+  const std::string& path() const { return path_; }
+  /// Bytes of the backing file.
+  size_t file_size() const { return map_.size(); }
+
+ private:
+  MmapFile map_;
+  std::string path_;
+  Schema schema_;
+  int64_t num_rows_ = 0;
+  size_t data_offset_ = 0;
+};
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_COLUMNAR_H_

@@ -1,0 +1,78 @@
+#include "data/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace tablegan {
+namespace data {
+
+MmapFile::~MmapFile() { Unmap(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MmapFile::Unmap() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = -1;
+  for (;;) {
+    if (TABLEGAN_FAILPOINT("mmap.open_eintr")) {
+      errno = EINTR;  // simulated interrupted open; loop must retry
+      continue;
+    }
+    fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0 || errno != EINTR) break;
+  }
+  if (fd < 0 || TABLEGAN_FAILPOINT("mmap.open")) {
+    if (fd >= 0) ::close(fd);
+    return Status::IOError("cannot open for read: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("cannot stat regular file: " + path);
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ == 0) {
+    ::close(fd);
+    return out;  // empty file: valid, unmapped
+  }
+  void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The fd is not needed past this point either way.
+  ::close(fd);
+  if (addr == MAP_FAILED || TABLEGAN_FAILPOINT("mmap.map")) {
+    if (addr != MAP_FAILED) ::munmap(addr, out.size_);
+    return Status::IOError(std::string("mmap failed: ") +
+                           std::strerror(errno) + ": " + path);
+  }
+  out.addr_ = addr;
+  return out;
+}
+
+}  // namespace data
+}  // namespace tablegan

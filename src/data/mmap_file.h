@@ -1,0 +1,55 @@
+#ifndef TABLEGAN_DATA_MMAP_FILE_H_
+#define TABLEGAN_DATA_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace tablegan {
+namespace data {
+
+/// Read-only memory-mapped file (RAII).
+///
+/// Opening is O(1) in the file size: the kernel maps the pages lazily
+/// and faults them in on first touch, so a multi-gigabyte columnar
+/// table becomes addressable without reading a byte of column data.
+/// The mapping is private/read-only; the backing file must not be
+/// truncated while mapped (mutating it is the writer's atomic
+/// temp-file + rename job, which never touches a mapped inode).
+///
+/// The open() syscall is retried on EINTR like every raw-fd loop in
+/// the library (common/io_retry). Failpoint sites, each forced by
+/// tests: `mmap.open_eintr` (simulated interrupted open — must retry
+/// and succeed), `mmap.open` (open failure), `mmap.map` (mmap
+/// failure). The fd is closed right after mapping; the mapping alone
+/// keeps the file alive.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. An empty file yields a valid object with
+  /// size() == 0 and data() == nullptr (mmap of length 0 is undefined).
+  static Result<MmapFile> Open(const std::string& path);
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+  bool mapped() const { return addr_ != nullptr; }
+
+ private:
+  void Unmap();
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_MMAP_FILE_H_

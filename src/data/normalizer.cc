@@ -28,20 +28,21 @@ double DecodeUnit(double u, double lo, double hi, double span) {
 
 }  // namespace
 
-Status MinMaxNormalizer::Fit(const Table& table) {
+Status MinMaxNormalizer::Fit(const TableView& table) {
   if (table.num_rows() == 0) {
     return Status::InvalidArgument("cannot fit normalizer on empty table");
   }
   const int cols = table.num_columns();
+  const int64_t n = table.num_rows();
   mins_.assign(static_cast<size_t>(cols), 0.0);
   maxs_.assign(static_cast<size_t>(cols), 0.0);
   types_.resize(static_cast<size_t>(cols));
   for (int c = 0; c < cols; ++c) {
-    const auto& col = table.column(c);
+    const double* col = table.column_data(c);
     double lo = col[0], hi = col[0];
-    for (double v : col) {
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
+    for (int64_t r = 0; r < n; ++r) {
+      lo = std::min(lo, col[r]);
+      hi = std::max(hi, col[r]);
     }
     mins_[static_cast<size_t>(c)] = lo;
     maxs_[static_cast<size_t>(c)] = hi;
@@ -50,7 +51,7 @@ Status MinMaxNormalizer::Fit(const Table& table) {
   return Status::OK();
 }
 
-Result<Tensor> MinMaxNormalizer::Transform(const Table& table) const {
+Result<Tensor> MinMaxNormalizer::Transform(const TableView& table) const {
   if (!fitted()) return Status::FailedPrecondition("normalizer not fitted");
   if (table.num_columns() != num_columns()) {
     return Status::InvalidArgument("column count mismatch in Transform");
@@ -62,15 +63,38 @@ Result<Tensor> MinMaxNormalizer::Transform(const Table& table) const {
     const double lo = mins_[static_cast<size_t>(c)];
     const double hi = maxs_[static_cast<size_t>(c)];
     const double span = hi - lo;
-    const auto& col = table.column(c);
+    const double* col = table.column_data(c);
     for (int64_t r = 0; r < n; ++r) {
-      const double v = col[static_cast<size_t>(r)];
+      const double v = col[r];
       out.at2(r, c) = span > 0.0
                           ? static_cast<float>(EncodeUnit(v, lo, hi, span))
                           : 0.0f;
     }
   }
   return out;
+}
+
+void MinMaxNormalizer::EncodeRowsInto(const TableView& table,
+                                      const int64_t* rows, int64_t count,
+                                      float* out, int64_t stride) const {
+  TABLEGAN_CHECK(fitted() && table.num_columns() == num_columns());
+  TABLEGAN_CHECK(stride >= num_columns());
+  const int cols = num_columns();
+  // Column-major like Transform: the source column stays hot and the
+  // per-column bounds are hoisted, while each output row lands at its
+  // own stride offset.
+  for (int c = 0; c < cols; ++c) {
+    const double lo = mins_[static_cast<size_t>(c)];
+    const double hi = maxs_[static_cast<size_t>(c)];
+    const double span = hi - lo;
+    const double* col = table.column_data(c);
+    for (int64_t i = 0; i < count; ++i) {
+      const double v = col[rows[i]];
+      out[i * stride + c] =
+          span > 0.0 ? static_cast<float>(EncodeUnit(v, lo, hi, span))
+                     : 0.0f;
+    }
+  }
 }
 
 Result<Table> MinMaxNormalizer::InverseTransform(const Tensor& encoded,

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "data/table.h"
+#include "data/table_view.h"
 #include "tensor/tensor.h"
 
 namespace tablegan {
@@ -25,14 +26,26 @@ class MinMaxNormalizer {
   MinMaxNormalizer() = default;
 
   /// Learns per-column min/max from `table`. Constant columns are handled
-  /// by mapping every value to 0.
-  Status Fit(const Table& table);
+  /// by mapping every value to 0. Takes any TableView, so fitting reads
+  /// straight out of an mmap'd columnar file as readily as a Table.
+  Status Fit(const TableView& table);
 
   bool fitted() const { return !mins_.empty(); }
   int num_columns() const { return static_cast<int>(mins_.size()); }
 
   /// Encodes the whole table as a [rows, cols] float tensor in [-1, 1].
-  Result<Tensor> Transform(const Table& table) const;
+  Result<Tensor> Transform(const TableView& table) const;
+
+  /// Encodes `count` selected rows (`rows[i]` indexes into `table`) into
+  /// `out`, one row every `stride` floats, writing num_columns() cells
+  /// per row and leaving the rest of each stride untouched. Cell (i, c)
+  /// is computed with exactly the per-cell expression of Transform, so a
+  /// mini-batch assembled this way is bitwise identical to gathering the
+  /// same rows out of Transform's full tensor — which is what lets
+  /// TableGan::Fit stream batches straight off an mmap'd columnar file
+  /// instead of materializing the whole encoded table.
+  void EncodeRowsInto(const TableView& table, const int64_t* rows,
+                      int64_t count, float* out, int64_t stride) const;
 
   /// Decodes a [rows, cols] tensor back into a table under `schema`,
   /// rounding discrete/categorical attributes and clamping to the fitted

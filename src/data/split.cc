@@ -22,19 +22,25 @@ TrainTestSplit SplitTrainTest(const Table& table, double test_fraction,
 }
 
 std::vector<Table> SplitChunks(const Table& table, int num_chunks) {
+  std::vector<Table> out;
+  for (const TableRangeView& view : SplitChunkViews(table, num_chunks)) {
+    out.push_back(view.Materialize());
+  }
+  return out;
+}
+
+std::vector<TableRangeView> SplitChunkViews(const TableView& table,
+                                            int num_chunks) {
   TABLEGAN_CHECK(num_chunks >= 1);
   const int64_t n = table.num_rows();
   num_chunks = static_cast<int>(
       std::min<int64_t>(num_chunks, std::max<int64_t>(n, 1)));
-  std::vector<Table> out;
+  std::vector<TableRangeView> out;
   out.reserve(static_cast<size_t>(num_chunks));
   int64_t start = 0;
   for (int k = 0; k < num_chunks; ++k) {
     const int64_t end = n * (k + 1) / num_chunks;
-    std::vector<int64_t> rows;
-    rows.reserve(static_cast<size_t>(end - start));
-    for (int64_t i = start; i < end; ++i) rows.push_back(i);
-    out.push_back(table.SelectRows(rows));
+    out.emplace_back(table, start, end - start);
     start = end;
   }
   return out;

@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "data/table.h"
+#include "data/table_view.h"
 
 namespace tablegan {
 namespace data {
@@ -23,6 +24,14 @@ TrainTestSplit SplitTrainTest(const Table& table, double test_fraction,
 /// Splits a table into `num_chunks` near-equal row ranges for the
 /// multi-chunk parallel training mode (paper §4.4).
 std::vector<Table> SplitChunks(const Table& table, int num_chunks);
+
+/// Zero-copy variant of SplitChunks: the same clamping and row-range
+/// math, but each chunk is a TableRangeView into `table` instead of a
+/// materialized copy. This is what lets multi-chunk training run over
+/// an mmap'd columnar file without ever loading it into RAM. The views
+/// borrow `table`; it must outlive them.
+std::vector<TableRangeView> SplitChunkViews(const TableView& table,
+                                            int num_chunks);
 
 }  // namespace data
 }  // namespace tablegan

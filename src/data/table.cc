@@ -1,5 +1,7 @@
 #include "data/table.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace tablegan {
@@ -26,6 +28,11 @@ const std::vector<double>& Table::column(int col) const {
   return columns_[static_cast<size_t>(col)];
 }
 
+const double* Table::column_data(int col) const {
+  TABLEGAN_DCHECK(col >= 0 && col < num_columns());
+  return columns_[static_cast<size_t>(col)].data();
+}
+
 void Table::AppendRow(const std::vector<double>& values) {
   TABLEGAN_CHECK(static_cast<int>(values.size()) == num_columns())
       << "row width " << values.size() << " vs schema " << num_columns();
@@ -44,6 +51,13 @@ std::vector<double> Table::Row(int64_t row) const {
 void Table::Resize(int64_t rows) {
   for (auto& col : columns_) col.resize(static_cast<size_t>(rows), 0.0);
   num_rows_ = rows;
+}
+
+void Table::FillColumn(int col, const double* values, int64_t n) {
+  TABLEGAN_DCHECK(col >= 0 && col < num_columns());
+  TABLEGAN_CHECK(n <= num_rows_)
+      << "FillColumn of " << n << " values into " << num_rows_ << " rows";
+  std::copy(values, values + n, columns_[static_cast<size_t>(col)].begin());
 }
 
 Table Table::SelectRows(const std::vector<int64_t>& rows) const {
@@ -78,12 +92,26 @@ Result<Table> Table::SelectColumns(const std::vector<int>& cols) const {
 
 Result<Table> Table::ConcatRows(const std::vector<Table>& parts) {
   if (parts.empty()) return Status::InvalidArgument("no tables to concat");
-  Table out(parts[0].schema());
+  int64_t total = 0;
   for (const Table& p : parts) {
     if (!p.schema().Equals(parts[0].schema())) {
       return Status::InvalidArgument("schema mismatch in ConcatRows");
     }
-    for (int64_t r = 0; r < p.num_rows(); ++r) out.AppendRow(p.Row(r));
+    total += p.num_rows();
+  }
+  // Per-column block copies into a pre-sized table: the old code built
+  // every row through Row()/AppendRow(), allocating a fresh
+  // std::vector<double> per row and push_back-ing cell by cell.
+  Table out(parts[0].schema());
+  out.Resize(total);
+  for (int c = 0; c < out.num_columns(); ++c) {
+    auto& dst = out.columns_[static_cast<size_t>(c)];
+    int64_t at = 0;
+    for (const Table& p : parts) {
+      const auto& src = p.columns_[static_cast<size_t>(c)];
+      std::copy(src.begin(), src.end(), dst.begin() + at);
+      at += p.num_rows();
+    }
   }
   return out;
 }

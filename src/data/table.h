@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "data/schema.h"
+#include "data/table_view.h"
 
 namespace tablegan {
 namespace data {
@@ -16,14 +17,19 @@ namespace data {
 /// category list; discrete values as integral doubles. This single
 /// numeric representation is what every stage of the pipeline
 /// (normalization, GAN training, anonymizers, ML models) operates on.
-class Table {
+///
+/// Table satisfies the TableView interface, so everything written
+/// against a view (Normalizer::Fit, TableGan::Fit, SplitChunkViews)
+/// accepts a Table directly; the mmap-backed ColumnarReader is the
+/// other implementation (DESIGN.md §14).
+class Table : public TableView {
  public:
   Table() = default;
   explicit Table(Schema schema);
 
-  const Schema& schema() const { return schema_; }
-  int num_columns() const { return schema_.num_columns(); }
-  int64_t num_rows() const { return num_rows_; }
+  const Schema& schema() const override { return schema_; }
+  int64_t num_rows() const override { return num_rows_; }
+  const double* column_data(int col) const override;
 
   /// Cell access (bounds-checked in debug builds via CHECK).
   double Get(int64_t row, int col) const;
@@ -39,6 +45,10 @@ class Table {
 
   /// Pre-allocates `rows` zero-filled rows (faster bulk fill).
   void Resize(int64_t rows);
+
+  /// Block-copies `n` values into column `col` starting at row 0; the
+  /// table must already hold >= n rows (Resize first).
+  void FillColumn(int col, const double* values, int64_t n);
 
   /// Returns a new table with the given row subset (indices may repeat).
   Table SelectRows(const std::vector<int64_t>& rows) const;

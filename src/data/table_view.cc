@@ -1,0 +1,37 @@
+#include "data/table_view.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace data {
+
+Table TableView::Materialize() const {
+  Table out(schema());
+  const int64_t n = num_rows();
+  out.Resize(n);
+  for (int c = 0; c < num_columns(); ++c) {
+    const double* src = column_data(c);
+    if (n > 0) out.FillColumn(c, src, n);
+  }
+  return out;
+}
+
+TableRangeView::TableRangeView(const TableView& base, int64_t begin,
+                               int64_t rows)
+    : base_(&base), begin_(begin), rows_(rows) {
+  TABLEGAN_CHECK(begin >= 0 && rows >= 0 &&
+                 begin + rows <= base.num_rows())
+      << "row range [" << begin << ", " << begin + rows
+      << ") outside table of " << base.num_rows() << " rows";
+}
+
+const double* TableRangeView::column_data(int col) const {
+  const double* base = base_->column_data(col);
+  return base == nullptr ? nullptr : base + begin_;
+}
+
+}  // namespace data
+}  // namespace tablegan

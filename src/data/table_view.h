@@ -1,0 +1,69 @@
+#ifndef TABLEGAN_DATA_TABLE_VIEW_H_
+#define TABLEGAN_DATA_TABLE_VIEW_H_
+
+#include <cstdint>
+
+#include "data/schema.h"
+
+namespace tablegan {
+namespace data {
+
+class Table;
+
+/// Read-only columnar view of a relational table.
+///
+/// The one interface the training pipeline consumes: a schema plus one
+/// contiguous array of doubles per column. Both the in-RAM `Table` and
+/// the mmap-backed `ColumnarReader` satisfy it, so `Normalizer::Fit`,
+/// `TableGan::Fit` batch assembly and the chunk splitter are agnostic to
+/// whether rows live on the heap or on a memory-mapped file — the
+/// out-of-core path is the in-RAM path pointed at different memory, and
+/// produces bitwise-identical results (DESIGN.md §14).
+///
+/// Implementations keep the backing storage alive for the lifetime of
+/// the view; `column_data` pointers are stable for that lifetime.
+class TableView {
+ public:
+  virtual ~TableView() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual int64_t num_rows() const = 0;
+
+  /// Pointer to the `num_rows()` contiguous values of column `col`.
+  /// May be null only when num_rows() == 0.
+  virtual const double* column_data(int col) const = 0;
+
+  int num_columns() const { return schema().num_columns(); }
+
+  /// Cell access for cold paths; hot loops should hoist column_data.
+  double Cell(int64_t row, int col) const { return column_data(col)[row]; }
+
+  /// Deep-copies the viewed rows into an in-RAM Table.
+  Table Materialize() const;
+};
+
+/// Zero-copy view of a contiguous row range [begin, begin + rows) of
+/// another view. Because every column is contiguous, a row range of a
+/// column is itself contiguous — chunked training splits a table into
+/// these instead of copying chunk tables (paper §4.4 at mmap scale).
+/// The base view must outlive the range view.
+class TableRangeView : public TableView {
+ public:
+  TableRangeView(const TableView& base, int64_t begin, int64_t rows);
+
+  const Schema& schema() const override { return base_->schema(); }
+  int64_t num_rows() const override { return rows_; }
+  const double* column_data(int col) const override;
+
+  int64_t begin() const { return begin_; }
+
+ private:
+  const TableView* base_;
+  int64_t begin_ = 0;
+  int64_t rows_ = 0;
+};
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_TABLE_VIEW_H_

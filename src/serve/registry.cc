@@ -1,23 +1,88 @@
 #include "serve/registry.h"
 
+#include <utility>
+
 namespace tablegan {
 namespace serve {
+namespace {
+
+class ModelSource : public RowSource {
+ public:
+  explicit ModelSource(core::TableGan model) : model_(std::move(model)) {}
+
+  Result<data::Table> SampleRange(uint64_t seed, int64_t row_begin,
+                                  int64_t row_end) const override {
+    return model_.SampleRange(seed, row_begin, row_end);
+  }
+
+ private:
+  core::TableGan model_;
+};
+
+class ColumnarSource : public RowSource {
+ public:
+  explicit ColumnarSource(data::ColumnarReader table)
+      : table_(std::move(table)) {}
+
+  // A stored table has fixed contents: the seed is ignored (every seed
+  // serves the same rows) and, unlike a generator, the range is bounded
+  // by the file, so past-the-end reads are client errors rather than
+  // more synthesis.
+  Result<data::Table> SampleRange(uint64_t /*seed*/, int64_t row_begin,
+                                  int64_t row_end) const override {
+    if (row_begin < 0 || row_end < row_begin) {
+      return Status::InvalidArgument(
+          "invalid row range [" + std::to_string(row_begin) + ", " +
+          std::to_string(row_end) + ")");
+    }
+    if (row_end > table_.num_rows()) {
+      return Status::InvalidArgument(
+          "row range ends at " + std::to_string(row_end) +
+          " but columnar table '" + table_.path() + "' has " +
+          std::to_string(table_.num_rows()) + " rows");
+    }
+    return data::TableRangeView(table_, row_begin, row_end - row_begin)
+        .Materialize();
+  }
+
+ private:
+  data::ColumnarReader table_;
+};
+
+}  // namespace
 
 Status ModelRegistry::Load(const std::string& id, const std::string& path) {
+  if (data::LooksLikeColumnarFile(path)) {
+    TABLEGAN_ASSIGN_OR_RETURN(data::ColumnarReader table,
+                              data::ColumnarReader::Open(path));
+    // One full integrity pass at load time; the serving path then
+    // trusts the map.
+    TABLEGAN_RETURN_NOT_OK(table.VerifyCrc());
+    return Add(id, std::move(table));
+  }
   TABLEGAN_ASSIGN_OR_RETURN(core::TableGan model,
                             core::TableGan::Load(path));
   return Add(id, std::move(model));
 }
 
 Status ModelRegistry::Add(const std::string& id, core::TableGan model) {
-  if (id.empty()) {
-    return Status::InvalidArgument("model id must be non-empty");
-  }
   if (!model.fitted()) {
     return Status::FailedPrecondition("model '" + id + "' is not fitted");
   }
-  auto [it, inserted] = models_.emplace(
-      id, std::make_unique<core::TableGan>(std::move(model)));
+  return Insert(id, std::make_unique<ModelSource>(std::move(model)));
+}
+
+Status ModelRegistry::Add(const std::string& id,
+                          data::ColumnarReader table) {
+  return Insert(id, std::make_unique<ColumnarSource>(std::move(table)));
+}
+
+Status ModelRegistry::Insert(const std::string& id,
+                             std::unique_ptr<RowSource> source) {
+  if (id.empty()) {
+    return Status::InvalidArgument("model id must be non-empty");
+  }
+  auto [it, inserted] = sources_.emplace(id, std::move(source));
   (void)it;
   if (!inserted) {
     return Status::InvalidArgument("duplicate model id '" + id + "'");
@@ -25,15 +90,15 @@ Status ModelRegistry::Add(const std::string& id, core::TableGan model) {
   return Status::OK();
 }
 
-const core::TableGan* ModelRegistry::Find(const std::string& id) const {
-  auto it = models_.find(id);
-  return it == models_.end() ? nullptr : it->second.get();
+const RowSource* ModelRegistry::Find(const std::string& id) const {
+  auto it = sources_.find(id);
+  return it == sources_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> ModelRegistry::ids() const {
   std::vector<std::string> out;
-  out.reserve(models_.size());
-  for (const auto& [id, model] : models_) out.push_back(id);
+  out.reserve(sources_.size());
+  for (const auto& [id, source] : sources_) out.push_back(id);
   return out;
 }
 

@@ -8,36 +8,63 @@
 
 #include "common/status.h"
 #include "core/table_gan.h"
+#include "data/columnar.h"
 
 namespace tablegan {
 namespace serve {
 
-/// In-memory collection of fitted models, keyed by the id clients put
+/// What the serving hot path needs from a registered entry: a
+/// deterministic, const, thread-safe row-range generator. Two
+/// implementations — a fitted table-GAN (rows are synthesized by
+/// TableGan::SampleRange) and an mmap'd columnar table (rows are read
+/// straight out of the map; useful for serving pre-generated synthetic
+/// tables, or real holdouts, through the same protocol).
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  /// Rows [row_begin, row_end) of this source's logical table. Pure
+  /// function of (seed, row_begin, row_end); must be safe to call
+  /// concurrently.
+  virtual Result<data::Table> SampleRange(uint64_t seed, int64_t row_begin,
+                                          int64_t row_end) const = 0;
+};
+
+/// In-memory collection of row sources, keyed by the id clients put
 /// in their requests.
 ///
-/// Models are registered before the server starts and are immutable
+/// Sources are registered before the server starts and are immutable
 /// afterwards; lookups only touch const state, so concurrent request
-/// handlers share the registry without locking (TableGan::SampleRange
-/// is const and thread-safe — the serving hot path never mutates a
-/// model).
+/// handlers share the registry without locking (both SampleRange
+/// implementations are const and thread-safe — the serving hot path
+/// never mutates an entry).
 class ModelRegistry {
  public:
-  /// Loads a checkpoint/model file and registers it under `id`.
-  /// InvalidArgument on a duplicate or empty id; load errors propagate.
+  /// Loads a file and registers it under `id`. The format is sniffed:
+  /// a columnar table file (data/columnar.h magic) becomes a columnar
+  /// source serving its stored rows — CRC-verified once at load, so a
+  /// corrupt file is rejected at startup rather than served; anything
+  /// else is loaded as a model/checkpoint file. InvalidArgument on a
+  /// duplicate or empty id; load errors propagate.
   Status Load(const std::string& id, const std::string& path);
 
   /// Registers an already-constructed fitted model (tests, in-process
   /// benches).
   Status Add(const std::string& id, core::TableGan model);
 
+  /// Registers an opened columnar table.
+  Status Add(const std::string& id, data::ColumnarReader table);
+
   /// nullptr when `id` is not registered.
-  const core::TableGan* Find(const std::string& id) const;
+  const RowSource* Find(const std::string& id) const;
 
   std::vector<std::string> ids() const;
-  size_t size() const { return models_.size(); }
+  size_t size() const { return sources_.size(); }
 
  private:
-  std::map<std::string, std::unique_ptr<core::TableGan>> models_;
+  Status Insert(const std::string& id, std::unique_ptr<RowSource> source);
+
+  std::map<std::string, std::unique_ptr<RowSource>> sources_;
 };
 
 }  // namespace serve

@@ -180,7 +180,7 @@ void Server::HandleConnection(int fd) {
 
 SampleResponse Server::Serve(const SampleRequest& req) const {
   SampleResponse resp;
-  const core::TableGan* model = registry_->Find(req.model_id);
+  const RowSource* model = registry_->Find(req.model_id);
   if (model == nullptr) {
     resp.status = WireStatus::kUnknownModel;
     resp.payload = "unknown model id '" + req.model_id + "'";

@@ -1,0 +1,395 @@
+// Tests for the mmap-backed columnar table format (data/columnar.h)
+// and the TableView seam it rides on: round-trip bitwise identity,
+// corruption/truncation rejection, failpoint coverage of every write
+// and open seam, zero-copy range views, and — the tentpole contract —
+// out-of-core training from a ColumnarReader being bitwise identical
+// to training from the in-RAM Table at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "core/chunked.h"
+#include "core/table_gan.h"
+#include "data/columnar.h"
+#include "data/csv.h"
+#include "data/mmap_file.h"
+#include "data/normalizer.h"
+#include "data/split.h"
+#include "data/table.h"
+#include "data/table_view.h"
+#include "proptest.h"
+
+namespace tablegan {
+namespace data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::string CompareTablesBitwise(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows()) return "row count mismatch";
+  if (a.num_columns() != b.num_columns()) return "column count mismatch";
+  if (!a.schema().Equals(b.schema())) return "schema mismatch";
+  for (int c = 0; c < a.num_columns(); ++c) {
+    for (int64_t r = 0; r < a.num_rows(); ++r) {
+      if (!SameBits(a.Get(r, c), b.Get(r, c))) {
+        std::ostringstream os;
+        os.precision(17);
+        os << "cell (" << r << ", " << c << "): " << a.Get(r, c) << " vs "
+           << b.Get(r, c);
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// 6-attribute trainable table (4x4 record matrices), mirroring the
+// core_test fixture so GAN runs stay fast.
+Table TrainingTable(int64_t rows, uint64_t seed) {
+  Schema schema({
+      {"q", ColumnType::kDiscrete, ColumnRole::kQuasiIdentifier, {}},
+      {"a", ColumnType::kContinuous, ColumnRole::kSensitive, {}},
+      {"b", ColumnType::kContinuous, ColumnRole::kSensitive, {}},
+      {"c", ColumnType::kContinuous, ColumnRole::kSensitive, {}},
+      {"d", ColumnType::kDiscrete, ColumnRole::kSensitive, {}},
+      {"y", ColumnType::kDiscrete, ColumnRole::kLabel, {}},
+  });
+  Table t(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    const bool pos = rng.NextBool(0.5);
+    const double center = pos ? 3.0 : -3.0;
+    t.AppendRow({static_cast<double>(rng.UniformInt(0, 9)),
+                 rng.Gaussian(center, 0.5), rng.Gaussian(center, 0.5),
+                 rng.Gaussian(-center, 0.5),
+                 static_cast<double>(rng.UniformInt(0, 4)),
+                 pos ? 1.0 : 0.0});
+  }
+  return t;
+}
+
+core::TableGanOptions FastOptions() {
+  core::TableGanOptions o;
+  o.base_channels = 8;
+  o.epochs = 2;
+  o.batch_size = 32;
+  o.latent_dim = 16;
+  return o;
+}
+
+TEST(ColumnarTest, RoundTripIsBitwiseIdentity) {
+  const std::string path = TempPath("columnar_roundtrip.tgcl");
+  Table t = TrainingTable(257, 11);  // odd count exercises padding math
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->VerifyCrc().ok());
+  EXPECT_EQ(reader->num_rows(), 257);
+  EXPECT_EQ(reader->num_columns(), 6);
+  EXPECT_EQ(CompareTablesBitwise(t, reader->Materialize()), "");
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, ExtremeValuesRoundTrip) {
+  // Cells with full-range magnitudes, denormals and signed zeros: the
+  // format stores raw doubles, so every payload must survive
+  // bit-for-bit.
+  const std::string path = TempPath("columnar_gnarly.tgcl");
+  testing_util::SchemaGenOptions opt;
+  opt.gnarly_text = false;  // schema text cannot carry ','/newlines
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    Schema schema = testing_util::RandomSchema(&rng, opt);
+    Table t = testing_util::RandomTableOn(schema, &rng, 64);
+    ASSERT_TRUE(WriteColumnar(t, path).ok());
+    auto reader = ColumnarReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    ASSERT_TRUE(reader->VerifyCrc().ok());
+    EXPECT_EQ(CompareTablesBitwise(t, reader->Materialize()), "")
+        << "seed " << seed;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, RejectsSchemaTheTextFormatCannotRepresent) {
+  // A comma in a column name would be mangled by the embedded schema
+  // text; the writer must refuse rather than persist a header that
+  // reads back differently.
+  const std::string path = TempPath("columnar_badname.tgcl");
+  Schema schema({
+      {"amount, net", ColumnType::kContinuous, ColumnRole::kSensitive, {}},
+      {"y", ColumnType::kDiscrete, ColumnRole::kLabel, {}},
+  });
+  Table t(schema);
+  t.AppendRow({1.0, 0.0});
+  Status written = WriteColumnar(t, path);
+  EXPECT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, ZeroRowTableRoundTrips) {
+  const std::string path = TempPath("columnar_zero.tgcl");
+  Table t = TrainingTable(0, 1);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->num_rows(), 0);
+  EXPECT_TRUE(reader->VerifyCrc().ok());
+  Table back = reader->Materialize();
+  EXPECT_EQ(back.num_rows(), 0);
+  EXPECT_TRUE(back.schema().Equals(t.schema()));
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, SniffsFormatAndRejectsForeignFiles) {
+  const std::string colpath = TempPath("columnar_sniff.tgcl");
+  const std::string csvpath = TempPath("columnar_sniff.csv");
+  Table t = TrainingTable(16, 3);
+  ASSERT_TRUE(WriteColumnar(t, colpath).ok());
+  ASSERT_TRUE(WriteCsv(t, csvpath).ok());
+  EXPECT_TRUE(LooksLikeColumnarFile(colpath));
+  EXPECT_FALSE(LooksLikeColumnarFile(csvpath));
+  EXPECT_FALSE(LooksLikeColumnarFile(TempPath("no_such_file.tgcl")));
+  auto opened = ColumnarReader::Open(csvpath);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  std::remove(colpath.c_str());
+  std::remove(csvpath.c_str());
+}
+
+TEST(ColumnarTest, OpenRejectsTruncatedFile) {
+  const std::string path = TempPath("columnar_trunc.tgcl");
+  Table t = TrainingTable(64, 5);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 5);
+  auto reader = ColumnarReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIOError);
+  // A header-only stub (lost its whole body) is rejected too.
+  std::filesystem::resize_file(path, 40);
+  EXPECT_FALSE(ColumnarReader::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, VerifyCrcCatchesBitRot) {
+  const std::string path = TempPath("columnar_bitrot.tgcl");
+  Table t = TrainingTable(64, 6);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  // Flip one bit in the middle of the column data: Open still succeeds
+  // (header and length are intact) — only the CRC pass can tell.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    char b = 0;
+    f.seekg(200);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x01);
+    f.seekp(200);
+    f.write(&b, 1);
+  }
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_FALSE(reader->VerifyCrc().ok());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, WriteFailpointsNeverTearTheTarget) {
+  const std::string path = TempPath("columnar_failpoints.tgcl");
+  Table t = TrainingTable(32, 7);
+  for (const char* site : {"columnar.open_write", "columnar.short_write",
+                           "columnar.rename"}) {
+    std::remove(path.c_str());
+    failpoint::Scoped fp(site, "once");
+    EXPECT_FALSE(WriteColumnar(t, path).ok()) << site;
+    EXPECT_FALSE(std::filesystem::exists(path)) << site;
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << site;
+  }
+  // A corrupted byte on disk passes Open but must fail the CRC pass.
+  {
+    failpoint::Scoped fp("columnar.corrupt_byte", "once");
+    ASSERT_TRUE(WriteColumnar(t, path).ok());
+  }
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_FALSE(reader->VerifyCrc().ok());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, OpenFailpoints) {
+  const std::string path = TempPath("columnar_open_fp.tgcl");
+  Table t = TrainingTable(32, 8);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  {
+    failpoint::Scoped fp("mmap.open", "once");
+    EXPECT_FALSE(ColumnarReader::Open(path).ok());
+  }
+  {
+    failpoint::Scoped fp("mmap.map", "once");
+    EXPECT_FALSE(ColumnarReader::Open(path).ok());
+  }
+  {
+    // An interrupted open() must be retried, not surfaced.
+    failpoint::Scoped fp("mmap.open_eintr", "once");
+    EXPECT_TRUE(ColumnarReader::Open(path).ok());
+  }
+  {
+    failpoint::Scoped fp("columnar.truncated_footer", "once");
+    auto reader = ColumnarReader::Open(path);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::kIOError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, EmptyFileIsValidAndUnmapped) {
+  const std::string path = TempPath("mmap_empty.bin");
+  { std::ofstream out(path, std::ios::binary); }
+  auto map = MmapFile::Open(path);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map->size(), 0u);
+  EXPECT_FALSE(map->mapped());
+  EXPECT_FALSE(MmapFile::Open(TempPath("mmap_no_such_file")).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TableViewTest, RangeViewsMatchSelectRows) {
+  const std::string path = TempPath("columnar_ranges.tgcl");
+  Table t = TrainingTable(100, 9);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  for (auto [begin, rows] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 100}, {0, 1}, {99, 1}, {37, 20}, {50, 0}}) {
+    TableRangeView view(*reader, begin, rows);
+    std::vector<int64_t> idx;
+    for (int64_t r = begin; r < begin + rows; ++r) idx.push_back(r);
+    EXPECT_EQ(CompareTablesBitwise(t.SelectRows(idx), view.Materialize()),
+              "")
+        << "range [" << begin << ", " << begin + rows << ")";
+  }
+  // Chunk views over the reader materialize to the same tables as the
+  // copying splitter over the in-RAM table.
+  std::vector<Table> copied = SplitChunks(t, 7);
+  std::vector<TableRangeView> views = SplitChunkViews(*reader, 7);
+  ASSERT_EQ(copied.size(), views.size());
+  for (size_t i = 0; i < copied.size(); ++i) {
+    EXPECT_EQ(CompareTablesBitwise(copied[i], views[i].Materialize()), "");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableViewTest, NormalizerFitsIdenticallyOnReaderAndTable) {
+  const std::string path = TempPath("columnar_norm.tgcl");
+  Table t = TrainingTable(128, 10);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  MinMaxNormalizer on_table, on_reader;
+  ASSERT_TRUE(on_table.Fit(t).ok());
+  ASSERT_TRUE(on_reader.Fit(*reader).ok());
+  for (int c = 0; c < t.num_columns(); ++c) {
+    EXPECT_TRUE(SameBits(on_table.column_min(c), on_reader.column_min(c)));
+    EXPECT_TRUE(SameBits(on_table.column_max(c), on_reader.column_max(c)));
+  }
+  std::remove(path.c_str());
+}
+
+// The tentpole contract: a model fitted from the mmap'd file saves the
+// same bytes and samples the same rows as one fitted from the in-RAM
+// table, at every thread count.
+TEST(OutOfCoreTest, FitFromColumnarIsBitwiseIdenticalToFitFromTable) {
+  const std::string path = TempPath("columnar_oocfit.tgcl");
+  Table t = TrainingTable(192, 12);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+
+  std::string reference_model;
+  std::string reference_sample;
+  for (int threads : {1, 2, 4}) {
+    core::TableGanOptions o = FastOptions();
+    o.num_threads = threads;
+
+    core::TableGan from_table(o);
+    ASSERT_TRUE(from_table.Fit(t, 5).ok());
+    core::TableGan from_file(o);
+    ASSERT_TRUE(from_file.Fit(*reader, 5).ok());
+
+    const std::string p1 = TempPath("oocfit_table.tgan");
+    const std::string p2 = TempPath("oocfit_file.tgan");
+    ASSERT_TRUE(from_table.Save(p1).ok());
+    ASSERT_TRUE(from_file.Save(p2).ok());
+    const std::string table_bytes = ReadFileBytes(p1);
+    EXPECT_EQ(table_bytes, ReadFileBytes(p2)) << "threads=" << threads;
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+
+    auto s1 = from_table.Sample(64);
+    auto s2 = from_file.Sample(64);
+    ASSERT_TRUE(s1.ok() && s2.ok());
+    EXPECT_EQ(CompareTablesBitwise(*s1, *s2), "") << "threads=" << threads;
+
+    // And thread count changes nothing either.
+    if (reference_model.empty()) {
+      reference_model = table_bytes;
+      ASSERT_TRUE(WriteCsv(*s1, TempPath("oocfit_ref.csv")).ok());
+      reference_sample = ReadFileBytes(TempPath("oocfit_ref.csv"));
+    } else {
+      EXPECT_EQ(reference_model, table_bytes) << "threads=" << threads;
+      ASSERT_TRUE(WriteCsv(*s1, TempPath("oocfit_cur.csv")).ok());
+      EXPECT_EQ(reference_sample, ReadFileBytes(TempPath("oocfit_cur.csv")))
+          << "threads=" << threads;
+      std::remove(TempPath("oocfit_cur.csv").c_str());
+    }
+  }
+  std::remove(TempPath("oocfit_ref.csv").c_str());
+  std::remove(path.c_str());
+}
+
+TEST(OutOfCoreTest, ChunkedSynthesisMatchesOverReaderAndTable) {
+  const std::string path = TempPath("columnar_oocchunk.tgcl");
+  Table t = TrainingTable(160, 13);
+  ASSERT_TRUE(WriteColumnar(t, path).ok());
+  auto reader = ColumnarReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  core::ChunkedSynthesisOptions o;
+  o.gan = FastOptions();
+  o.num_chunks = 3;
+  o.num_threads = 2;
+  auto from_table = core::ChunkedTrainAndSynthesize(t, 5, 48, o);
+  auto from_file = core::ChunkedTrainAndSynthesize(*reader, 5, 48, o);
+  ASSERT_TRUE(from_table.ok()) << from_table.status().ToString();
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  EXPECT_EQ(CompareTablesBitwise(*from_table, *from_file), "");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace tablegan

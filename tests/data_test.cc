@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 
@@ -86,6 +87,32 @@ TEST(TableTest, ConcatRows) {
   ASSERT_TRUE(cat.ok());
   EXPECT_EQ(cat->num_rows(), 8);
   EXPECT_EQ(cat->Get(7, 0), 40);
+}
+
+TEST(TableTest, ConcatRowsIsBitwiseBlockCopy) {
+  // ConcatRows moves whole column blocks; every cell of the result must
+  // be bit-identical to its source, including payloads the arithmetic
+  // path would normalize (-0.0, denormals, DBL_MAX).
+  Table t(TinySchema());
+  t.AppendRow({-0.0, 4.9406564584124654e-324, 1.7976931348623157e308, 1});
+  t.AppendRow({1e308, -1e-308, -0.0, 0});
+  Table u(TinySchema());
+  u.AppendRow({0.0, -4.9406564584124654e-324, 42.5, 1});
+  auto cat = Table::ConcatRows({t, u, Table(TinySchema()), t});
+  ASSERT_TRUE(cat.ok());
+  ASSERT_EQ(cat->num_rows(), 5);
+  const Table* sources[] = {&t, &u, &t};
+  const int64_t starts[] = {0, 2, 3};
+  for (int part = 0; part < 3; ++part) {
+    for (int c = 0; c < cat->num_columns(); ++c) {
+      for (int64_t r = 0; r < sources[part]->num_rows(); ++r) {
+        const double a = sources[part]->Get(r, c);
+        const double b = cat->Get(starts[part] + r, c);
+        EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+            << "part " << part << " cell (" << r << ", " << c << ")";
+      }
+    }
+  }
 }
 
 TEST(TableTest, ConcatRowsRejectsSchemaMismatch) {

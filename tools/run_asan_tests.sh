@@ -22,6 +22,8 @@ asan_tests=(
   property_fuzz_test
   kernel_parity_test
   serve_protocol_test
+  columnar_test
+  chunked_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

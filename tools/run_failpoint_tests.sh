@@ -21,6 +21,7 @@ failpoint_tests=(
   property_fuzz_test
   tail_batch_test
   checkpoint_golden_test
+  columnar_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

@@ -26,6 +26,8 @@ tsan_tests=(
   privacy_test
   kernel_parity_test
   serve_protocol_test
+  columnar_test
+  chunked_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

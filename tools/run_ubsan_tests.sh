@@ -22,6 +22,8 @@ ubsan_tests=(
   nn_misc_test
   conv_sweep_test
   property_fuzz_test
+  columnar_test
+  chunked_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

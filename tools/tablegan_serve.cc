@@ -4,10 +4,14 @@
 //                  [--host 127.0.0.1] [--port 0] [--workers 4]
 //                  [--admission-depth 64] [--max-rows 1048576]
 //
-// Loads every named checkpoint into an in-memory registry, then serves
+// Loads every named entry into an in-memory registry, then serves
 // sample-range requests over the length-prefixed TCP protocol of
 // serve/protocol.h (clients: tablegan_cli sample-remote, the
-// serve::Client library, bench_serve). The bound port is printed on
+// serve::Client library, bench_serve). An entry's format is sniffed:
+// a model/checkpoint file samples through the generator, while a
+// columnar table file (tablegan_cli convert/sample --format columnar)
+// is mmap'd and serves its stored rows directly — same protocol, same
+// clients, CRC-verified once at startup. The bound port is printed on
 // stdout as `listening on HOST:PORT` — with --port 0 that line is how a
 // supervisor learns the ephemeral port.
 //
