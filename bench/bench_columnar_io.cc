@@ -167,13 +167,13 @@ void RunFull(const std::string& out_path) {
     out << "    {\"rows\": " << r.rows
         << ", \"csv_bytes\": " << r.csv_bytes
         << ", \"columnar_bytes\": " << r.columnar_bytes
-        << ", \"csv_parse_ms\": " << bench::FormatDouble(r.csv_parse_ms, 3)
+        << ", \"csv_parse_ms\": " << bench::JsonNumber(r.csv_parse_ms, 3)
         << ", \"columnar_open_ms\": "
-        << bench::FormatDouble(r.columnar_open_ms, 4)
+        << bench::JsonNumber(r.columnar_open_ms, 4)
         << ", \"gather_mmap_rows_per_sec\": "
-        << bench::FormatDouble(r.gather_mmap_rows_per_sec, 0)
+        << bench::JsonNumber(r.gather_mmap_rows_per_sec, 0)
         << ", \"gather_ram_rows_per_sec\": "
-        << bench::FormatDouble(r.gather_ram_rows_per_sec, 0) << "}"
+        << bench::JsonNumber(r.gather_ram_rows_per_sec, 0) << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

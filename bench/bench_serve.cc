@@ -209,10 +209,10 @@ void RunFull(const std::string& out_path) {
     const LevelResult& r = results[i];
     out << "    {\"clients\": " << r.clients
         << ", \"requests\": " << r.requests
-        << ", \"p50_ms\": " << bench::FormatDouble(r.p50_ms, 3)
-        << ", \"p95_ms\": " << bench::FormatDouble(r.p95_ms, 3)
-        << ", \"p99_ms\": " << bench::FormatDouble(r.p99_ms, 3)
-        << ", \"rows_per_sec\": " << bench::FormatDouble(r.rows_per_sec, 1)
+        << ", \"p50_ms\": " << bench::JsonNumber(r.p50_ms, 3)
+        << ", \"p95_ms\": " << bench::JsonNumber(r.p95_ms, 3)
+        << ", \"p99_ms\": " << bench::JsonNumber(r.p99_ms, 3)
+        << ", \"rows_per_sec\": " << bench::JsonNumber(r.rows_per_sec, 1)
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -1,0 +1,255 @@
+// Training-stability sweep (DESIGN.md §15): trains every loss mode —
+// DCGAN BCE, WGAN-GP, spectral-norm penalty — on scaled-up variants of
+// the §3 dataset generators (10-100x the bench row counts, 2-4x the
+// column counts) with the divergence guardrail armed at its defaults,
+// and asserts the guard never fires. Results (wall time, throughput,
+// final losses, guarded EWMA) go to BENCH_stability_sweep.json.
+//
+//   --smoke    tiny configuration used as a ctest gate: all three modes
+//              must complete a short widened-table run with zero
+//              anomalies; no JSON is written.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "data/datasets.h"
+
+namespace tablegan {
+namespace {
+
+// Widens `base` to `factor` times its column count by appending copies
+// of every column: continuous copies carry small deterministic noise
+// (so they are correlated but not degenerate duplicates), discrete and
+// categorical copies are verbatim (they must stay valid codes). Copies
+// are demoted to kSensitive so the label stays unique.
+data::Table WidenColumns(const data::Table& base, int factor,
+                         uint64_t seed) {
+  if (factor <= 1) return base;
+  data::Schema schema;
+  for (const data::ColumnSpec& spec : base.schema().columns()) {
+    schema.AddColumn(spec);
+  }
+  for (int w = 1; w < factor; ++w) {
+    for (const data::ColumnSpec& spec : base.schema().columns()) {
+      data::ColumnSpec copy = spec;
+      copy.name += "_w" + std::to_string(w);
+      copy.role = data::ColumnRole::kSensitive;
+      schema.AddColumn(copy);
+    }
+  }
+  data::Table wide(schema);
+  wide.Resize(base.num_rows());
+  const int cols = base.num_columns();
+  for (int c = 0; c < cols; ++c) {
+    wide.FillColumn(c, base.column(c).data(), base.num_rows());
+  }
+  Rng rng(MixSeeds(seed, 0x51DEULL));
+  std::vector<double> noisy(static_cast<size_t>(base.num_rows()));
+  for (int w = 1; w < factor; ++w) {
+    for (int c = 0; c < cols; ++c) {
+      const std::vector<double>& src = base.column(c);
+      const bool continuous = base.schema().column(c).type ==
+                              data::ColumnType::kContinuous;
+      if (!continuous) {
+        wide.FillColumn(w * cols + c, src.data(), base.num_rows());
+        continue;
+      }
+      for (int64_t r = 0; r < base.num_rows(); ++r) {
+        const double v = src[static_cast<size_t>(r)];
+        noisy[static_cast<size_t>(r)] =
+            v + 0.01 * (std::abs(v) + 1.0) * rng.Gaussian(0.0, 1.0);
+      }
+      wide.FillColumn(w * cols + c, noisy.data(), base.num_rows());
+    }
+  }
+  return wide;
+}
+
+data::Table MakeBase(const std::string& name, int64_t rows, Rng* rng) {
+  if (name == "lacity") return data::MakeLaCityLike(rows, rng);
+  if (name == "adult") return data::MakeAdultLike(rows, rng);
+  if (name == "health") return data::MakeHealthLike(rows, rng);
+  if (name == "airline") return data::MakeAirlineLike(rows, rng);
+  TABLEGAN_CHECK(false) << "unknown dataset " << name;
+  return data::Table();
+}
+
+const char* ModeName(core::LossMode mode) {
+  switch (mode) {
+    case core::LossMode::kDcgan:
+      return "dcgan";
+    case core::LossMode::kWganGp:
+      return "wgan-gp";
+    case core::LossMode::kSpectralNorm:
+      return "spectral-norm";
+  }
+  return "?";
+}
+
+struct SweepRun {
+  std::string dataset;
+  int64_t rows = 0;
+  int widen = 1;
+  int columns = 0;
+  int side = 0;
+  core::LossMode mode = core::LossMode::kDcgan;
+  int epochs = 0;
+  double seconds = 0.0;
+  double examples_per_sec = 0.0;
+  double final_d_loss = 0.0;
+  double final_g_loss = 0.0;
+  double loss_ewma = 0.0;
+  int anomalies = 0;
+};
+
+// Trains one (table, mode) cell with the guardrail at its defaults
+// (kHalt) and returns the telemetry. Any guard trigger fails the bench:
+// a divergence aborts Fit, and a runaway warning would count below.
+SweepRun RunCell(const data::Table& table, const std::string& dataset,
+                 int widen, core::LossMode mode, int epochs) {
+  SweepRun run;
+  run.dataset = dataset;
+  run.rows = table.num_rows();
+  run.widen = widen;
+  run.columns = table.num_columns();
+  run.mode = mode;
+  run.epochs = epochs;
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  core::TableGanOptions options = bench::BenchGanOptions(0.0f, 0.0f);
+  options.epochs = epochs;
+  options.loss_mode = mode;
+  options.seed = 4242;
+  options.num_threads = 1;  // single-core host, matches the other benches
+  double examples = 0.0;
+  options.metrics_callback = [&run, &examples](const TrainingMetrics& m) {
+    if (!m.anomaly.empty()) ++run.anomalies;
+    run.final_d_loss = m.d_loss;
+    run.final_g_loss = m.g_loss;
+    run.loss_ewma = m.loss_ewma;
+    examples += static_cast<double>(m.examples);
+  };
+  core::TableGan gan(options);
+  Stopwatch watch;
+  const Status fit = gan.Fit(table, label_col);
+  run.seconds = watch.ElapsedSeconds();
+  TABLEGAN_CHECK(fit.ok()) << "mode " << ModeName(mode) << " on " << dataset
+                           << " x" << widen << ": " << fit.ToString();
+  TABLEGAN_CHECK(run.anomalies == 0)
+      << ModeName(mode) << " on " << dataset << " x" << widen << " tripped "
+      << run.anomalies << " guardrail anomalies";
+  run.side = gan.side();
+  run.examples_per_sec =
+      run.seconds > 0.0 ? examples / run.seconds : 0.0;
+  return run;
+}
+
+constexpr core::LossMode kModes[] = {core::LossMode::kDcgan,
+                                     core::LossMode::kWganGp,
+                                     core::LossMode::kSpectralNorm};
+
+int RunSmoke() {
+  Rng rng(2024);
+  data::Table table =
+      WidenColumns(data::MakeAdultLike(200, &rng), /*factor=*/2, 7);
+  for (const core::LossMode mode : kModes) {
+    SweepRun run = RunCell(table, "adult", 2, mode, /*epochs=*/3);
+    std::printf("smoke %-14s rows=%lld cols=%d side=%d d=%.3f g=%.3f "
+                "anomalies=%d\n",
+                ModeName(mode), static_cast<long long>(run.rows),
+                run.columns, run.side, run.final_d_loss, run.final_g_loss,
+                run.anomalies);
+  }
+  std::printf("stability smoke PASS: 3 modes, 0 guardrail anomalies\n");
+  return 0;
+}
+
+void RunSweep(const std::string& out_path) {
+  bench::PrintHeader("Training-stability sweep: loss modes x scaled tables");
+  // Row counts are multiples of the ~900-row bench default (up to 100x);
+  // widen factors multiply the §3 column counts 2-4x, which also grows
+  // the record matrix side. Epoch counts shrink as the table grows so
+  // the whole sweep stays in CPU-minutes territory.
+  struct Config {
+    const char* dataset;
+    int64_t rows;
+    int widen;
+    int epochs;
+  };
+  const Config configs[] = {
+      {"adult", 9000, 1, 8},    // 10x rows
+      {"adult", 90000, 1, 2},   // 100x rows
+      {"adult", 9000, 4, 4},    // 10x rows, 4x columns (side 8)
+      {"lacity", 9000, 2, 4},   // 10x rows, 2x columns
+      {"health", 22500, 2, 3},  // 25x rows, 2x columns
+  };
+  const std::vector<int> widths{10, 9, 7, 6, 16, 12, 12, 12};
+  bench::PrintRow({"Dataset", "Rows", "Cols", "Side", "Mode", "Seconds",
+                   "Rows/s", "EWMA"},
+                  widths);
+  std::vector<SweepRun> runs;
+  for (const Config& cfg : configs) {
+    Rng rng(2024);
+    data::Table table = WidenColumns(MakeBase(cfg.dataset, cfg.rows, &rng),
+                                     cfg.widen, cfg.rows);
+    for (const core::LossMode mode : kModes) {
+      SweepRun run =
+          RunCell(table, cfg.dataset, cfg.widen, mode, cfg.epochs);
+      bench::PrintRow(
+          {run.dataset, std::to_string(run.rows),
+           std::to_string(run.columns), std::to_string(run.side),
+           ModeName(mode), bench::FormatDouble(run.seconds, 1),
+           bench::FormatDouble(run.examples_per_sec, 0),
+           bench::FormatDouble(run.loss_ewma, 3)},
+          widths);
+      runs.push_back(run);
+    }
+  }
+  std::printf("\nGuardrail: 0 anomalies across %zu runs (defaults: "
+              "halt, factor 50, warmup 3).\n",
+              runs.size());
+
+  std::ofstream out(out_path);
+  TABLEGAN_CHECK(out.good());
+  out << "{\n  \"bench\": \"stability_sweep\",\n  \"guard\": "
+      << "{\"action\": \"halt\", \"factor\": 50, \"warmup_epochs\": 3},\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const SweepRun& r = runs[i];
+    out << "    {\"dataset\": \"" << r.dataset << "\", \"rows\": " << r.rows
+        << ", \"widen\": " << r.widen << ", \"columns\": " << r.columns
+        << ", \"side\": " << r.side << ", \"loss_mode\": \""
+        << ModeName(r.mode) << "\", \"epochs\": " << r.epochs
+        << ", \"train_seconds\": " << bench::JsonNumber(r.seconds, 2)
+        << ", \"examples_per_sec\": "
+        << bench::JsonNumber(r.examples_per_sec, 1)
+        << ", \"final_d_loss\": " << bench::JsonNumber(r.final_d_loss, 4)
+        << ", \"final_g_loss\": " << bench::JsonNumber(r.final_g_loss, 4)
+        << ", \"loss_ewma\": " << bench::JsonNumber(r.loss_ewma, 4)
+        << ", \"anomalies\": " << r.anomalies << "}"
+        << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("Wrote %s\n", out_path.c_str());
+}
+
+}  // namespace
+}  // namespace tablegan
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return tablegan::RunSmoke();
+  }
+  const std::string out = argc > 1 ? argv[1] : "BENCH_stability_sweep.json";
+  tablegan::RunSweep(out);
+  return 0;
+}

@@ -167,18 +167,18 @@ void RunTrainStep(const std::string& out_path) {
       << "  \"epochs\": " << TrainStepOptions(true).epochs << ",\n"
       << "  \"num_threads\": 1,\n"
       << "  \"reuse_off\": {\n"
-      << "    \"steady_examples_per_sec\": " << bench::FormatDouble(off_eps, 3)
+      << "    \"steady_examples_per_sec\": " << bench::JsonNumber(off_eps, 3)
       << ",\n"
-      << "    \"total_seconds\": " << bench::FormatDouble(off.total_seconds, 4)
+      << "    \"total_seconds\": " << bench::JsonNumber(off.total_seconds, 4)
       << "\n  },\n"
       << "  \"reuse_on\": {\n"
-      << "    \"steady_examples_per_sec\": " << bench::FormatDouble(on_eps, 3)
+      << "    \"steady_examples_per_sec\": " << bench::JsonNumber(on_eps, 3)
       << ",\n"
-      << "    \"total_seconds\": " << bench::FormatDouble(on.total_seconds, 4)
+      << "    \"total_seconds\": " << bench::JsonNumber(on.total_seconds, 4)
       << ",\n"
       << "    \"post_warmup_allocs\": " << steady_allocs << ",\n"
       << "    \"workspace_bytes\": " << last.workspace_bytes << "\n  },\n"
-      << "  \"speedup\": " << bench::FormatDouble(speedup, 4) << "\n"
+      << "  \"speedup\": " << bench::JsonNumber(speedup, 4) << "\n"
       << "}\n";
   std::printf("Wrote %s\n", out_path.c_str());
 }

@@ -195,5 +195,10 @@ std::string FormatDouble(double v, int precision) {
   return os.str();
 }
 
+std::string JsonNumber(double v, int precision) {
+  if (!std::isfinite(v)) return "null";
+  return FormatDouble(v, precision);
+}
+
 }  // namespace bench
 }  // namespace tablegan

@@ -85,6 +85,13 @@ void PrintRow(const std::vector<std::string>& cells,
               const std::vector<int>& widths);
 std::string FormatDouble(double v, int precision = 3);
 
+/// FormatDouble for JSON output: a non-finite value renders as `null`.
+/// FormatDouble itself (std::fixed) would print bare `nan`/`inf`, which
+/// is not JSON — a diverged training run used to poison every BENCH_*
+/// json report it touched. Always use this helper, never FormatDouble,
+/// when writing a JSON value.
+std::string JsonNumber(double v, int precision = 3);
+
 }  // namespace bench
 }  // namespace tablegan
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -36,6 +38,22 @@ struct TrainingMetrics {
   int64_t workspace_allocs = 0;   // pool misses (fresh backing arrays)
   int64_t workspace_reuses = 0;   // pool hits (recycled backing arrays)
   int64_t workspace_bytes = 0;    // cumulative bytes owned by the pool
+  // Divergence-guardrail observability (DESIGN.md §15): the loss-EWMA
+  // the guard tracks, and a human-readable anomaly description when
+  // this epoch tripped it (empty = healthy). Non-finite losses are
+  // serialized as JSON null, so `anomaly` is also what tells a
+  // downstream parser *why* a null appeared.
+  double loss_ewma = 0.0;
+  std::string anomaly;
+};
+
+/// A discrete training event (as opposed to the per-epoch metrics
+/// stream): currently `diverged`, emitted when the guardrail fires.
+struct TrainingEvent {
+  std::string event;            // e.g. "diverged"
+  int64_t epoch = 0;            // epoch the event fired on (1-based)
+  std::string detail;           // anomaly description
+  std::string checkpoint_path;  // last-good auto-checkpoint, if written
 };
 
 /// Pluggable per-epoch telemetry consumer. The training loop calls
@@ -46,6 +64,12 @@ class MetricsSink {
  public:
   virtual ~MetricsSink() = default;
   virtual Status Record(const TrainingMetrics& metrics) = 0;
+  /// Discrete events (guardrail triggers). Default: ignored, so existing
+  /// sinks keep compiling; JsonlMetricsSink writes an event record.
+  virtual Status RecordEvent(const TrainingEvent& event) {
+    (void)event;
+    return Status::OK();
+  }
 };
 
 /// Streams each record as one JSON object per line (JSONL), flushed per
@@ -61,11 +85,55 @@ class JsonlMetricsSink : public MetricsSink {
   const Status& status() const { return status_; }
 
   Status Record(const TrainingMetrics& metrics) override;
+  Status RecordEvent(const TrainingEvent& event) override;
 
  private:
   std::string path_;
   std::ofstream out_;
   Status status_;
+};
+
+/// Per-epoch loss watchdog behind the training-stability guardrail
+/// (DESIGN.md §15). Observe() folds the epoch's loss terms into an EWMA
+/// of their total magnitude and reports an anomaly when
+///  - any observed loss is non-finite (always armed), or
+///  - the EWMA exceeds `runaway_factor` times the baseline established
+///    over the first `warmup_epochs` healthy epochs.
+///
+/// The guard only *reads* losses — arming it never changes the training
+/// arithmetic. State is tiny (two doubles + two counters) and is
+/// serialized in checkpoint format v5 so a resumed run replays the same
+/// guard decisions.
+class DivergenceGuard {
+ public:
+  DivergenceGuard(double ewma_weight, double runaway_factor,
+                  int warmup_epochs);
+
+  /// Folds one epoch's named loss values into the EWMA. Returns an
+  /// empty string when healthy, else a description of the anomaly
+  /// ("non-finite d_loss", "runaway loss EWMA ..."). A non-finite or
+  /// runaway epoch does NOT update the EWMA (the poisoned value would
+  /// stick in the statistics).
+  std::string Observe(
+      const std::vector<std::pair<const char*, double>>& losses);
+
+  double ewma() const { return ewma_; }
+  double baseline() const { return baseline_; }
+
+  /// --- Checkpoint state (v5 training section) -----------------------
+  int64_t observed_epochs() const { return observed_; }
+  void Restore(double ewma, double baseline, int64_t observed) {
+    ewma_ = ewma;
+    baseline_ = baseline;
+    observed_ = observed;
+  }
+
+ private:
+  double w_, factor_;
+  int warmup_;
+  double ewma_ = 0.0;
+  double baseline_ = 0.0;
+  int64_t observed_ = 0;  // healthy epochs folded into the EWMA
 };
 
 }  // namespace tablegan

@@ -4,13 +4,16 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/info_loss.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "nn/spectral_norm.h"
 #include "tensor/tensor_ops.h"
 
 namespace tablegan {
@@ -42,6 +45,16 @@ constexpr int64_t kInferBlockRows = 64;
 // Domain tag separating Sample's latent stream from every other use of
 // options.seed (weight init, shuffling).
 constexpr uint64_t kSampleStreamTag = 0x53616d706c65ULL;  // "Sample"
+
+// Domain tag for the spectral-norm power-iteration init vectors.
+constexpr uint64_t kSpectralStreamTag = 0x53706563ULL;  // "Spec"
+
+// Step size of the central-difference Hessian-vector product that turns
+// the WGAN gradient penalty into parameter gradients (DESIGN.md §15).
+// The record space is [-1, 1] and the perturbation direction is a unit
+// vector, so 1e-2 sits well inside the smooth regime of the LeakyReLU
+// critic while staying far above float cancellation noise.
+constexpr float kGpFdEpsilon = 1e-2f;
 
 }  // namespace
 
@@ -144,6 +157,27 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
     ws_.reset();
   }
 
+  // --- Training-stability machinery (DESIGN.md §15) ------------------
+  if (options_.sn_power_iters < 1) {
+    return Status::InvalidArgument("sn_power_iters must be >= 1");
+  }
+  if (options_.guard_warmup_epochs < 0 || options_.guard_max_rollbacks < 0) {
+    return Status::InvalidArgument(
+        "guard_warmup_epochs and guard_max_rollbacks must be >= 0");
+  }
+  const bool wgan = options_.loss_mode == LossMode::kWganGp;
+  std::unique_ptr<nn::SpectralNormRegularizer> sn;
+  if (options_.loss_mode == LossMode::kSpectralNorm) {
+    sn = std::make_unique<nn::SpectralNormRegularizer>(
+        discriminator_.Parameters(), discriminator_.Gradients(),
+        options_.sn_weight, options_.sn_power_iters,
+        MixSeeds(static_cast<uint64_t>(options_.seed), kSpectralStreamTag));
+    if (ws_ != nullptr) sn->BindWorkspace(ws_.get());
+  }
+  DivergenceGuard guard(options_.guard_ewma_weight, options_.guard_factor,
+                        options_.guard_warmup_epochs);
+  int64_t rollbacks_used = 0;
+
   const int64_t n = table.num_rows();
   const int64_t batch =
       std::max<int64_t>(2, std::min<int64_t>(options_.batch_size, n));
@@ -157,10 +191,12 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
     // Continue a checkpointed run: restores weights, optimizer moments,
     // the RNG stream, EWMA statistics and history, so the remaining
     // epochs replay exactly what an uninterrupted run would compute.
-    TrainingState state{0, &adam_g, &adam_d, &adam_c, &info};
+    TrainingState state{0,     &adam_g, &adam_d, &adam_c,
+                        &info, &guard,  sn.get()};
     TABLEGAN_RETURN_NOT_OK(
         RestoreTrainingState(options_.resume_from, &state));
     start_epoch = state.epochs_completed;
+    rollbacks_used = state.rollbacks_used;
     if (options_.verbose) {
       TABLEGAN_LOG(Info) << "resumed from " << options_.resume_from
                          << " at epoch " << start_epoch;
@@ -175,6 +211,71 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
     }
   }
 
+  // Last-good snapshot for the divergence guardrail: copies of every
+  // mutable training tensor (network weights and BatchNorm running
+  // statistics, Adam moments, info-loss EWMAs, spectral-norm vectors)
+  // plus the scalar optimizer/guard state, refreshed after each healthy
+  // epoch. Restoring it rewinds training — except the RNG stream, which
+  // deliberately keeps advancing: replaying the identical draws would
+  // diverge identically.
+  const bool guard_active =
+      options_.divergence_action != DivergenceAction::kOff;
+  std::vector<Tensor*> live;
+  std::vector<Tensor> snap;
+  int snap_epoch = start_epoch;
+  size_t snap_history = history_.size();
+  int64_t snap_steps[3] = {0, 0, 0};
+  double snap_pows[6] = {0, 0, 0, 0, 0, 0};
+  bool snap_info_init = false;
+  double snap_guard_ewma = 0.0, snap_guard_base = 0.0;
+  int64_t snap_guard_obs = 0;
+  nn::Adam* adams[3] = {&adam_g, &adam_d, &adam_c};
+  if (guard_active) {
+    auto add_net = [&live](nn::Sequential* net) {
+      for (Tensor* t : net->Parameters()) live.push_back(t);
+      for (Tensor* t : net->Buffers()) live.push_back(t);
+    };
+    add_net(generator_.get());
+    add_net(discriminator_.features.get());
+    add_net(discriminator_.head.get());
+    add_net(classifier_.features.get());
+    add_net(classifier_.head.get());
+    for (nn::Adam* a : adams) {
+      for (Tensor* t : a->MomentTensors()) live.push_back(t);
+    }
+    for (Tensor* t : info.EwmaTensors()) live.push_back(t);
+    if (sn != nullptr) {
+      for (Tensor* t : sn->StateTensors()) live.push_back(t);
+    }
+    snap.resize(live.size());
+  }
+  auto take_snapshot = [&](int epochs_done) {
+    for (size_t i = 0; i < live.size(); ++i) snap[i] = *live[i];
+    snap_epoch = epochs_done;
+    snap_history = history_.size();
+    for (int i = 0; i < 3; ++i) {
+      snap_steps[i] = adams[i]->step_count();
+      snap_pows[2 * i] = adams[i]->beta1_power();
+      snap_pows[2 * i + 1] = adams[i]->beta2_power();
+    }
+    snap_info_init = info.initialized();
+    snap_guard_ewma = guard.ewma();
+    snap_guard_base = guard.baseline();
+    snap_guard_obs = guard.observed_epochs();
+  };
+  auto restore_snapshot = [&]() {
+    for (size_t i = 0; i < live.size(); ++i) *live[i] = snap[i];
+    for (int i = 0; i < 3; ++i) {
+      adams[i]->set_step_count(snap_steps[i]);
+      adams[i]->set_bias_correction_powers(snap_pows[2 * i],
+                                           snap_pows[2 * i + 1]);
+    }
+    info.set_initialized(snap_info_init);
+    guard.Restore(snap_guard_ewma, snap_guard_base, snap_guard_obs);
+    history_.resize(snap_history);
+  };
+  if (guard_active) take_snapshot(start_epoch);
+
   // Batch-assembly and loss-gradient buffers, hoisted out of the loops
   // so the steady-state step allocates nothing: ResizeUninitialized
   // reuses each tensor's capacity once the first (largest) batch has
@@ -182,6 +283,12 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
   // never grows the buffers.
   Tensor x, labels, ones, zeros, z1, z2;
   Tensor bce_grad, cgrad, cin, pred, grad_logit;
+  // WGAN-GP scratch (kWganGp mode only): the interpolated batch, its
+  // per-sample critic input gradients (normalized in place), the
+  // perturbed batch of the finite-difference passes and the per-sample
+  // output seeds.
+  Tensor xhat, vhat, pert, gp_seed;
+  std::vector<float> gp_coefs;
 
   for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     // Re-derive the permutation from identity each epoch: an in-place
@@ -229,25 +336,119 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
       zeros.ResizeUninitialized({bsize, 1});
       zeros.SetZero();
 
-      // --- Discriminator update with L_orig^D (Alg. 2 line 8).
+      // --- Discriminator update (Alg. 2 line 8): L_orig^D for kDcgan
+      // and kSpectralNorm (the latter adds the weight penalty below), a
+      // Wasserstein critic with gradient penalty for kWganGp.
       phase_watch.Restart();
       z1.ResizeUninitialized({bsize, options_.latent_dim});
       z1.FillUniform(-1.0f, 1.0f, &rng_);
       Tensor fake_for_d = generator_->Forward(z1, /*training=*/true);
-      adam_d.ZeroGrad();
-      {
-        Tensor feat = discriminator_.features->Forward(x, true);
-        Tensor logits = discriminator_.head->Forward(feat, true);
-        stats.d_loss += nn::SigmoidBceWithLogits(logits, ones, &bce_grad);
-        discriminator_.features->Backward(
-            discriminator_.head->Backward(bce_grad));
-      }
-      {
-        Tensor feat = discriminator_.features->Forward(fake_for_d, true);
-        Tensor logits = discriminator_.head->Forward(feat, true);
-        stats.d_loss += nn::SigmoidBceWithLogits(logits, zeros, &bce_grad);
-        discriminator_.features->Backward(
-            discriminator_.head->Backward(bce_grad));
+      if (!wgan) {
+        adam_d.ZeroGrad();
+        {
+          Tensor feat = discriminator_.features->Forward(x, true);
+          Tensor logits = discriminator_.head->Forward(feat, true);
+          stats.d_loss += nn::SigmoidBceWithLogits(logits, ones, &bce_grad);
+          discriminator_.features->Backward(
+              discriminator_.head->Backward(bce_grad));
+        }
+        {
+          Tensor feat = discriminator_.features->Forward(fake_for_d, true);
+          Tensor logits = discriminator_.head->Forward(feat, true);
+          stats.d_loss += nn::SigmoidBceWithLogits(logits, zeros, &bce_grad);
+          discriminator_.features->Backward(
+              discriminator_.head->Backward(bce_grad));
+        }
+        if (sn != nullptr) stats.d_loss += sn->Apply();
+      } else {
+        const float inv_b = 1.0f / static_cast<float>(bsize);
+        // x̂ = a·x + (1-a)·G(z1), per-sample a ~ U[0,1) (Gulrajani et
+        // al., Algorithm 1).
+        xhat.ResizeUninitialized(x.shape());
+        for (int64_t b = 0; b < bsize; ++b) {
+          const float a = static_cast<float>(rng_.Uniform(0.0f, 1.0f));
+          const float* xr = x.data() + b * cells;
+          const float* fr = fake_for_d.data() + b * cells;
+          float* hr = xhat.data() + b * cells;
+          for (int64_t c = 0; c < cells; ++c) {
+            hr[c] = a * xr[c] + (1.0f - a) * fr[c];
+          }
+        }
+        // Per-sample critic input gradient g_i = ∇_x D(x̂_i): one
+        // backward pass seeded with ones. The pass also pollutes the
+        // parameter gradients; the ZeroGrad below discards that.
+        gp_seed.ResizeUninitialized({bsize, 1});
+        gp_seed.Fill(1.0f);
+        {
+          Tensor feat = discriminator_.features->Forward(xhat, true);
+          (void)discriminator_.head->Forward(feat, true);
+        }
+        Tensor gin = discriminator_.features->Backward(
+            discriminator_.head->Backward(gp_seed));
+        // GP = (1/b) Σ (‖g_i‖-1)².  vhat keeps the unit directions ĝ_i,
+        // gp_coefs the per-sample chain factor (‖g_i‖-1); a zero-grad
+        // sample contributes its penalty value but no HVP direction.
+        vhat = gin;
+        gp_coefs.resize(static_cast<size_t>(bsize));
+        double gp = 0.0;
+        for (int64_t b = 0; b < bsize; ++b) {
+          float* gr = vhat.data() + b * cells;
+          double sum = 0.0;
+          for (int64_t c = 0; c < cells; ++c) {
+            sum += static_cast<double>(gr[c]) * gr[c];
+          }
+          const float norm = static_cast<float>(std::sqrt(sum));
+          gp += static_cast<double>(norm - 1.0f) * (norm - 1.0f);
+          const float inv = norm > 1e-12f ? 1.0f / norm : 0.0f;
+          for (int64_t c = 0; c < cells; ++c) gr[c] *= inv;
+          gp_coefs[static_cast<size_t>(b)] = inv > 0.0f ? norm - 1.0f : 0.0f;
+        }
+        gp /= static_cast<double>(bsize);
+        adam_d.ZeroGrad();
+        // Critic loss mean D(fake) - mean D(real): the backward seeds
+        // are constant ±1/b rows.
+        double mean_real = 0.0, mean_fake = 0.0;
+        {
+          Tensor feat = discriminator_.features->Forward(x, true);
+          Tensor logits = discriminator_.head->Forward(feat, true);
+          for (int64_t b = 0; b < bsize; ++b) mean_real += logits[b];
+          bce_grad.ResizeUninitialized({bsize, 1});
+          bce_grad.Fill(-inv_b);
+          discriminator_.features->Backward(
+              discriminator_.head->Backward(bce_grad));
+        }
+        {
+          Tensor feat = discriminator_.features->Forward(fake_for_d, true);
+          Tensor logits = discriminator_.head->Forward(feat, true);
+          for (int64_t b = 0; b < bsize; ++b) mean_fake += logits[b];
+          bce_grad.Fill(inv_b);
+          discriminator_.features->Backward(
+              discriminator_.head->Backward(bce_grad));
+        }
+        mean_real *= inv_b;
+        mean_fake *= inv_b;
+        // Parameter gradient of the penalty without double backprop: a
+        // central-difference Hessian-vector product,
+        //   ∇_θ(v̂_iᵀ ∇_x D(x̂_i)) ≈ [∇_θ D(x̂+εv̂) - ∇_θ D(x̂-εv̂)] / 2ε,
+        // one forward/backward per sign with the chain factor
+        // λ·(‖g_i‖-1)/(b·ε) folded into seed row i. Parameter gradients
+        // accumulate across Backward calls (nn::Layer contract), so the
+        // two passes add straight onto the critic gradients above.
+        for (const float sign : {1.0f, -1.0f}) {
+          pert = xhat;
+          ops::AxpyInPlace(vhat, sign * kGpFdEpsilon, &pert);
+          Tensor feat = discriminator_.features->Forward(pert, true);
+          (void)discriminator_.head->Forward(feat, true);
+          for (int64_t b = 0; b < bsize; ++b) {
+            gp_seed[b] = sign * options_.gp_weight *
+                         gp_coefs[static_cast<size_t>(b)] * inv_b /
+                         kGpFdEpsilon;
+          }
+          discriminator_.features->Backward(
+              discriminator_.head->Backward(gp_seed));
+        }
+        stats.d_loss += static_cast<float>(
+            mean_fake - mean_real + options_.gp_weight * gp);
       }
       adam_d.Step();
       d_seconds += phase_watch.ElapsedSeconds();
@@ -291,9 +492,21 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
       }
       Tensor feat_fake = discriminator_.features->Forward(fake, true);
       Tensor logits_g = discriminator_.head->Forward(feat_fake, true);
-      stats.g_orig_loss +=
-          nn::SigmoidBceWithLogits(logits_g, ones, &bce_grad);
-      Tensor grad_feat = discriminator_.head->Backward(bce_grad);
+      Tensor grad_feat;
+      if (!wgan) {
+        stats.g_orig_loss +=
+            nn::SigmoidBceWithLogits(logits_g, ones, &bce_grad);
+        grad_feat = discriminator_.head->Backward(bce_grad);
+      } else {
+        // L_orig^G = -mean D(G(z)): constant -1/b seed rows.
+        const float inv_b = 1.0f / static_cast<float>(bsize);
+        double mean_g = 0.0;
+        for (int64_t b = 0; b < bsize; ++b) mean_g += logits_g[b];
+        stats.g_orig_loss += static_cast<float>(-mean_g * inv_b);
+        bce_grad.ResizeUninitialized({bsize, 1});
+        bce_grad.Fill(-inv_b);
+        grad_feat = discriminator_.head->Backward(bce_grad);
+      }
       if (options_.use_info_loss) {
         info.UpdateStatistics(feat_real, feat_fake);
         stats.info_loss += info.Loss();
@@ -353,13 +566,27 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
       stats.l_mean *= inv;
       stats.l_sd *= inv;
     }
-    history_.push_back(stats);
+    if (TABLEGAN_FAILPOINT("train.loss_nan")) {
+      // Deterministic divergence injection for the guardrail tests.
+      stats.d_loss = std::numeric_limits<float>::quiet_NaN();
+    }
+    const std::string anomaly =
+        guard.Observe({{"d_loss", stats.d_loss},
+                       {"g_loss", stats.g_orig_loss},
+                       {"info_loss", stats.info_loss},
+                       {"class_loss", stats.class_loss}});
+    const bool diverged = guard_active && !anomaly.empty();
+    // A poisoned epoch never enters the history: on rollback it is
+    // retried, on halt the model is rewound to the last-good state the
+    // history must keep matching.
+    if (!diverged) history_.push_back(stats);
     if (options_.verbose) {
       TABLEGAN_LOG(Info) << "epoch " << epoch + 1 << "/" << options_.epochs
                          << " d=" << stats.d_loss
                          << " g=" << stats.g_orig_loss
                          << " info=" << stats.info_loss
-                         << " class=" << stats.class_loss;
+                         << " class=" << stats.class_loss
+                         << (anomaly.empty() ? "" : " ANOMALY: " + anomaly);
     }
 
     if (options_.metrics_sink != nullptr || options_.metrics_callback) {
@@ -390,22 +617,70 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
         m.workspace_reuses = static_cast<int64_t>(takes - misses);
         m.workspace_bytes = static_cast<int64_t>(ws_->allocated_bytes());
       }
+      m.loss_ewma = guard.ewma();
+      m.anomaly = anomaly;
       if (options_.metrics_sink != nullptr) {
         TABLEGAN_RETURN_NOT_OK(options_.metrics_sink->Record(m));
       }
       if (options_.metrics_callback) options_.metrics_callback(m);
     }
 
+    if (diverged) {
+      // Rewind to the last-good snapshot — weights, moments, EWMA
+      // statistics, guard — but NOT the RNG stream: a rollback retries
+      // the epoch with fresh randomness instead of replaying the exact
+      // draws that just diverged.
+      restore_snapshot();
+      std::string auto_path;
+      if (!options_.checkpoint_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.checkpoint_dir, ec);
+        if (ec) {
+          return Status::IOError("cannot create checkpoint_dir " +
+                                 options_.checkpoint_dir + ": " +
+                                 ec.message());
+        }
+        auto_path = options_.checkpoint_dir + "/diverged-last-good.tgan";
+        TrainingState state{snap_epoch,  &adam_g, &adam_d,
+                            &adam_c,     &info,   &guard,
+                            sn.get(),    rollbacks_used};
+        TABLEGAN_RETURN_NOT_OK(SaveImpl(auto_path, &state, /*version=*/5));
+      }
+      if (options_.metrics_sink != nullptr) {
+        TrainingEvent ev;
+        ev.event = "diverged";
+        ev.epoch = epoch + 1;
+        ev.detail = anomaly;
+        ev.checkpoint_path = auto_path;
+        TABLEGAN_RETURN_NOT_OK(options_.metrics_sink->RecordEvent(ev));
+      }
+      if (options_.divergence_action == DivergenceAction::kRollback &&
+          rollbacks_used < options_.guard_max_rollbacks) {
+        ++rollbacks_used;
+        epoch = snap_epoch - 1;  // the loop increment retries snap_epoch
+        continue;
+      }
+      return Status::Internal(
+          "training diverged at epoch " + std::to_string(epoch + 1) + ": " +
+          anomaly +
+          (auto_path.empty()
+               ? " (model holds the last-good state)"
+               : "; last-good state checkpointed to " + auto_path));
+    }
+    if (guard_active) take_snapshot(epoch + 1);
+
     if (options_.checkpoint_every > 0 &&
         ((epoch + 1) % options_.checkpoint_every == 0 ||
          epoch + 1 == options_.epochs)) {
-      TrainingState state{epoch + 1, &adam_g, &adam_d, &adam_c, &info};
+      TrainingState state{epoch + 1, &adam_g, &adam_d,
+                          &adam_c,   &info,   &guard,
+                          sn.get(),  rollbacks_used};
       TABLEGAN_RETURN_NOT_OK(
           SaveImpl(CheckpointPath(options_.checkpoint_dir, epoch + 1),
-                   &state, /*version=*/4));
+                   &state, /*version=*/5));
       // Stable alias for "resume from wherever the run died".
       TABLEGAN_RETURN_NOT_OK(SaveImpl(
-          options_.checkpoint_dir + "/latest.tgan", &state, /*version=*/4));
+          options_.checkpoint_dir + "/latest.tgan", &state, /*version=*/5));
     }
   }
   fitted_ = true;

@@ -17,6 +17,7 @@
 namespace tablegan {
 namespace nn {
 class Adam;
+class SpectralNormRegularizer;
 }  // namespace nn
 namespace core {
 
@@ -120,9 +121,10 @@ class TableGan {
   Status Save(const std::string& path) const;
 
   /// Save() with an explicit on-disk format version. Supported versions:
-  /// 4 (current; equivalent to Save) and 3 (legacy: omits the sampling
+  /// 5 (current; equivalent to Save), 4 (omits the loss-mode and
+  /// guardrail fields) and 3 (legacy: additionally omits the sampling
   /// stream counters and Adam bias-correction powers). Used by tests to
-  /// exercise the version-3 compatibility path of Load.
+  /// exercise the older compatibility paths of Load.
   Status SaveCompat(const std::string& path, int version) const;
 
   /// Restores a model saved by Save() or a mid-training checkpoint.
@@ -147,11 +149,17 @@ class TableGan {
     nn::Adam* adam_d = nullptr;
     nn::Adam* adam_c = nullptr;
     InfoLossState* info = nullptr;
+    /// v5 additions; null / zero with pre-v5 files or when the feature
+    /// is off (guard always exists during Fit, sn only in kSpectralNorm
+    /// mode).
+    DivergenceGuard* guard = nullptr;
+    nn::SpectralNormRegularizer* sn = nullptr;
+    int64_t rollbacks_used = 0;
   };
 
   /// Serializes the model — plus the training section when `train` is
   /// non-null — to `path` atomically with a CRC-32 footer, in the given
-  /// on-disk format version (3 or 4; see SaveCompat).
+  /// on-disk format version (3, 4 or 5; see SaveCompat).
   Status SaveImpl(const std::string& path, const TrainingState* train,
                   int version) const;
 

@@ -1,20 +1,24 @@
 // Binary persistence for trained table-GAN models (TableGan::Save /
 // TableGan::Load) and mid-training checkpoints (see DESIGN.md §9).
 //
-// Format v4: magic "TGAN0004", then the model section (options, schema,
-// normalizer bounds, the sampling-stream counters, the parameter and
-// buffer tensors of the generator, discriminator and classifier in
-// construction order), then an optional training section (epoch counter,
-// RNG stream, Adam moments + bias-correction powers, info-loss EWMA
-// statistics, loss history), then a CRC-32 footer over everything
-// before it. Files are written to a temp name and renamed into place so
-// a crash mid-write never leaves a half-written file at the target
-// path, and Load verifies the CRC before parsing a single field.
+// Format v5: magic "TGAN0005", then the model section (options — since
+// v5 including the loss mode, penalty weights and guardrail settings —
+// schema, normalizer bounds, the sampling-stream counters, the
+// parameter and buffer tensors of the generator, discriminator and
+// classifier in construction order), then an optional training section
+// (epoch counter, RNG stream, Adam moments + bias-correction powers,
+// info-loss EWMA statistics, since v5 the divergence-guard EWMA state,
+// rollback counter and spectral-norm power-iteration vectors, loss
+// history), then a CRC-32 footer over everything before it. Files are
+// written to a temp name and renamed into place so a crash mid-write
+// never leaves a half-written file at the target path, and Load
+// verifies the CRC before parsing a single field.
 //
-// Version-3 files (no sampling-stream counters, no Adam powers) are
-// still read: the stream counters default to a fresh stream and the
-// Adam powers are recomputed from the step count. SaveCompat(path, 3)
-// writes the legacy layout for round-trip tests.
+// Version-4 files (no loss-mode/guardrail fields: the loaded model runs
+// the default DCGAN loss with a fresh guard) and version-3 files
+// (additionally no sampling-stream counters and no Adam powers) are
+// still read. SaveCompat(path, 3|4) writes the legacy layouts for
+// round-trip tests.
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -30,6 +34,7 @@
 #include "core/info_loss.h"
 #include "core/table_gan.h"
 #include "nn/optimizer.h"
+#include "nn/spectral_norm.h"
 
 namespace tablegan {
 namespace core {
@@ -38,6 +43,7 @@ namespace {
 constexpr char kMagicPrefix[4] = {'T', 'G', 'A', 'N'};
 constexpr char kMagicV3[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '3'};
 constexpr char kMagicV4[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '4'};
+constexpr char kMagicV5[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '5'};
 constexpr size_t kMagicSize = sizeof(kMagicV4);
 constexpr size_t kFooterSize = sizeof(uint32_t);
 
@@ -170,7 +176,8 @@ Status AtomicWriteFile(const std::string& path, std::string payload) {
 
 // Reads the whole file, checks magic, version and the CRC-32 footer.
 // On success `*contents` holds the full file, `*version` the on-disk
-// format version (3 or 4), and `*in` is positioned just past the magic.
+// format version (3, 4 or 5), and `*in` is positioned just past the
+// magic.
 Status ReadVerifiedFile(const std::string& path, std::string* contents,
                         std::istringstream* in, int* version) {
   if (TABLEGAN_FAILPOINT("checkpoint.open_read")) {
@@ -189,7 +196,9 @@ Status ReadVerifiedFile(const std::string& path, std::string* contents,
           0) {
     return Status::InvalidArgument("not a table-GAN model file: " + path);
   }
-  if (std::memcmp(contents->data(), kMagicV4, kMagicSize) == 0) {
+  if (std::memcmp(contents->data(), kMagicV5, kMagicSize) == 0) {
+    *version = 5;
+  } else if (std::memcmp(contents->data(), kMagicV4, kMagicSize) == 0) {
     *version = 4;
   } else if (std::memcmp(contents->data(), kMagicV3, kMagicSize) == 0) {
     *version = 3;
@@ -198,7 +207,7 @@ Status ReadVerifiedFile(const std::string& path, std::string* contents,
         "unsupported model file version '" +
         contents->substr(sizeof(kMagicPrefix),
                          kMagicSize - sizeof(kMagicPrefix)) +
-        "' (this build reads versions 0003-0004): " + path);
+        "' (this build reads versions 0003-0005): " + path);
   }
   const size_t body = contents->size() - kFooterSize;
   uint32_t stored = 0;
@@ -300,7 +309,40 @@ bool ReadHeader(std::istream& in, int version, Header* h) {
     if (!ReadU64(in, &h->sample_rows_emitted)) return false;
     h->has_stream = true;
   }
+  if (version >= 5) {
+    // Loss-mode and guardrail options. Pre-v5 files leave the defaults
+    // set by TableGanOptions: DCGAN loss, fresh guard.
+    if (!ReadI64(in, &v) || v < 0 || v > 2) return false;
+    o.loss_mode = static_cast<LossMode>(v);
+    if (!ReadF32(in, &o.gp_weight)) return false;
+    if (!ReadF32(in, &o.sn_weight)) return false;
+    if (!ReadI64(in, &v) || v < 1) return false;
+    o.sn_power_iters = static_cast<int>(v);
+    if (!ReadI64(in, &v) || v < 0 || v > 2) return false;
+    o.divergence_action = static_cast<DivergenceAction>(v);
+    if (!ReadF32(in, &o.guard_ewma_weight)) return false;
+    if (!ReadF32(in, &o.guard_factor)) return false;
+    if (!ReadI64(in, &v) || v < 0) return false;
+    o.guard_warmup_epochs = static_cast<int>(v);
+    if (!ReadI64(in, &v) || v < 0) return false;
+    o.guard_max_rollbacks = static_cast<int>(v);
+  }
   return true;
+}
+
+// Float-option equality for resume validation. Bit equality first so an
+// unset NaN sentinel matches itself; the numeric fallback lets +0 and
+// -0 compare equal. Comparing through an explicit f32 round-trip (the
+// serialized precision) keeps a value like 0.995 — not representable in
+// binary floating point — from failing the check should a field ever
+// widen to double on the struct while staying f32 on disk.
+bool SameF32(double a, double b) {
+  const float fa = static_cast<float>(a);
+  const float fb = static_cast<float>(b);
+  uint32_t ua = 0, ub = 0;
+  std::memcpy(&ua, &fa, sizeof(ua));
+  std::memcpy(&ub, &fb, sizeof(ub));
+  return ua == ub || fa == fb;
 }
 
 bool ReadAdam(std::istream& in, int version, nn::Adam* adam) {
@@ -333,12 +375,13 @@ void WriteAdam(std::ostream& out, int version, nn::Adam* adam) {
 
 Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
                           int version) const {
-  if (version != 3 && version != 4) {
+  if (version < 3 || version > 5) {
     return Status::InvalidArgument("unsupported save version " +
                                    std::to_string(version));
   }
   std::ostringstream out;
-  out.write(version >= 4 ? kMagicV4 : kMagicV3, kMagicSize);
+  out.write(version >= 5 ? kMagicV5 : (version >= 4 ? kMagicV4 : kMagicV3),
+            kMagicSize);
 
   // Options: the fields that shape the architecture, sampling and the
   // training trajectory (resume validates all of them).
@@ -384,6 +427,19 @@ Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
     WriteU64(out, sample_rows_emitted_);
   }
 
+  // Loss-mode and guardrail options (v5+).
+  if (version >= 5) {
+    WriteI64(out, static_cast<int64_t>(options_.loss_mode));
+    WriteF32(out, options_.gp_weight);
+    WriteF32(out, options_.sn_weight);
+    WriteI64(out, options_.sn_power_iters);
+    WriteI64(out, static_cast<int64_t>(options_.divergence_action));
+    WriteF32(out, options_.guard_ewma_weight);
+    WriteF32(out, options_.guard_factor);
+    WriteI64(out, options_.guard_warmup_epochs);
+    WriteI64(out, options_.guard_max_rollbacks);
+  }
+
   // Network state.
   auto write_net = [&out](nn::Sequential* net) {
     for (Tensor* t : AllState(net)) WriteTensor(out, *t);
@@ -407,6 +463,22 @@ Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
     WriteAdam(out, version, train->adam_c);
     WriteI64(out, train->info->initialized() ? 1 : 0);
     for (Tensor* t : train->info->EwmaTensors()) WriteTensor(out, *t);
+    if (version >= 5) {
+      // Divergence-guard state, rollback budget spent, and the
+      // spectral-norm power-iteration vectors (u then v per bound
+      // weight, binding order).
+      WriteF64(out, train->guard != nullptr ? train->guard->ewma() : 0.0);
+      WriteF64(out,
+               train->guard != nullptr ? train->guard->baseline() : 0.0);
+      WriteI64(out, train->guard != nullptr
+                        ? train->guard->observed_epochs()
+                        : 0);
+      WriteI64(out, train->rollbacks_used);
+      std::vector<Tensor*> sn_state;
+      if (train->sn != nullptr) sn_state = train->sn->StateTensors();
+      WriteI64(out, static_cast<int64_t>(sn_state.size()));
+      for (Tensor* t : sn_state) WriteTensor(out, *t);
+    }
     WriteI64(out, static_cast<int64_t>(history_.size()));
     for (const EpochStats& s : history_) {
       WriteF32(out, s.d_loss);
@@ -426,7 +498,7 @@ Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
 
 Status TableGan::Save(const std::string& path) const {
   if (!fitted_) return Status::FailedPrecondition("Save before Fit");
-  return SaveImpl(path, nullptr, 4);
+  return SaveImpl(path, nullptr, 5);
 }
 
 Status TableGan::SaveCompat(const std::string& path, int version) const {
@@ -511,16 +583,34 @@ Status TableGan::RestoreTrainingState(const std::string& path,
       o.batch_size != options_.batch_size || o.seed != options_.seed) {
     return mismatch("architecture options");
   }
-  if (o.learning_rate != options_.learning_rate ||
-      o.adam_beta1 != options_.adam_beta1 ||
-      o.adam_beta2 != options_.adam_beta2 ||
-      o.ewma_weight != options_.ewma_weight ||
-      o.info_loss_weight != options_.info_loss_weight ||
-      o.delta_mean != options_.delta_mean ||
-      o.delta_sd != options_.delta_sd ||
+  // Float options are compared through SameF32, never raw `==`/`!=`:
+  // the on-disk representation is f32, and the comparison must be
+  // against what survives that round trip (and an unset NaN must match
+  // itself).
+  if (!SameF32(o.learning_rate, options_.learning_rate) ||
+      !SameF32(o.adam_beta1, options_.adam_beta1) ||
+      !SameF32(o.adam_beta2, options_.adam_beta2) ||
+      !SameF32(o.ewma_weight, options_.ewma_weight) ||
+      !SameF32(o.info_loss_weight, options_.info_loss_weight) ||
+      !SameF32(o.delta_mean, options_.delta_mean) ||
+      !SameF32(o.delta_sd, options_.delta_sd) ||
       o.use_info_loss != options_.use_info_loss ||
       o.use_classifier != options_.use_classifier) {
     return mismatch("training options");
+  }
+  // v4 checkpoints carry no stability section; resuming them under a
+  // non-default loss mode would silently switch objectives mid-run, so
+  // the defaults ReadHeader leaves in place must match too.
+  if (o.loss_mode != options_.loss_mode ||
+      !SameF32(o.gp_weight, options_.gp_weight) ||
+      !SameF32(o.sn_weight, options_.sn_weight) ||
+      o.sn_power_iters != options_.sn_power_iters ||
+      o.divergence_action != options_.divergence_action ||
+      !SameF32(o.guard_ewma_weight, options_.guard_ewma_weight) ||
+      !SameF32(o.guard_factor, options_.guard_factor) ||
+      o.guard_warmup_epochs != options_.guard_warmup_epochs ||
+      o.guard_max_rollbacks != options_.guard_max_rollbacks) {
+    return mismatch("training-stability options");
   }
   if (h.side != side_) return mismatch("matrix side");
   if (h.label_cols != label_cols_) return mismatch("label columns");
@@ -568,6 +658,30 @@ Status TableGan::RestoreTrainingState(const std::string& path,
   train->info->set_initialized(v != 0);
   for (Tensor* t : train->info->EwmaTensors()) {
     if (!ReadTensorInto(in, t)) return corrupt();
+  }
+  if (version >= 5) {
+    double ewma = 0.0, baseline = 0.0;
+    int64_t observed = 0;
+    if (!ReadF64(in, &ewma) || !ReadF64(in, &baseline) ||
+        !ReadI64(in, &observed) || observed < 0) {
+      return corrupt();
+    }
+    if (train->guard != nullptr) {
+      train->guard->Restore(ewma, baseline, observed);
+    }
+    if (!ReadI64(in, &train->rollbacks_used) || train->rollbacks_used < 0) {
+      return corrupt();
+    }
+    std::vector<Tensor*> sn_state;
+    if (train->sn != nullptr) sn_state = train->sn->StateTensors();
+    if (!ReadI64(in, &v) || v != static_cast<int64_t>(sn_state.size())) {
+      // loss_mode was validated equal above, so a count mismatch means
+      // a corrupt file, not a mode change.
+      return corrupt();
+    }
+    for (Tensor* t : sn_state) {
+      if (!ReadTensorInto(in, t)) return corrupt();
+    }
   }
   int64_t num_epochs = 0;
   if (!ReadI64(in, &num_epochs) || num_epochs < 0 ||

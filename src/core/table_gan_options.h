@@ -10,6 +10,40 @@
 namespace tablegan {
 namespace core {
 
+/// Adversarial objective of the discriminator/generator game
+/// (DESIGN.md §15). The numeric values are the on-disk encoding of
+/// checkpoint format v5 — do not renumber.
+enum class LossMode : int {
+  /// The paper's DCGAN BCE loss (Alg. 2). Default; bitwise identical to
+  /// every pre-loss-mode build.
+  kDcgan = 0,
+  /// Wasserstein critic with a gradient penalty on interpolated
+  /// real/synthetic batches (Gulrajani et al.); `gp_weight` scales the
+  /// penalty. The standard remedy when the BCE game destabilizes on
+  /// large/wide tables (RCC-GAN, 2205.11693).
+  kWganGp = 1,
+  /// DCGAN BCE loss plus a spectral-norm-style penalty on every rank-2
+  /// discriminator weight (Dense / Conv2d), estimated by power
+  /// iteration; `sn_weight` scales the penalty.
+  kSpectralNorm = 2,
+};
+
+/// What Fit does when the divergence guardrail fires (loss went
+/// non-finite or the loss EWMA ran away, DESIGN.md §15). Numeric values
+/// are the checkpoint v5 encoding.
+enum class DivergenceAction : int {
+  /// Guardrail disabled: diverging runs keep training (pre-v5 behavior).
+  kOff = 0,
+  /// Auto-checkpoint the last-good state, restore it into the model and
+  /// abort Fit with a non-OK Status.
+  kHalt = 1,
+  /// Auto-checkpoint and restore the last-good state, then retry the
+  /// epoch with fresh randomness (the RNG stream is deliberately NOT
+  /// rolled back — replaying identical draws would diverge identically).
+  /// After `guard_max_rollbacks` retries the run halts.
+  kRollback = 2,
+};
+
 /// Hyper-parameters of table-GAN (paper §4, §5.1.5). Defaults follow the
 /// paper's DCGAN-default setup: Adam(2e-4, beta1 0.5), 25 epochs,
 /// mini-batch 64, latent z uniform on the 100-dim unit hypercube.
@@ -50,6 +84,37 @@ struct TableGanOptions {
   /// plain DCGAN baseline of §5.1.3.
   bool use_info_loss = true;
   bool use_classifier = true;
+
+  /// --- Training stability (DESIGN.md §15) ---------------------------
+  /// Adversarial objective. kDcgan reproduces the paper bit for bit;
+  /// the other modes trade exact reproduction for stability on
+  /// larger/wider tables. Serialized since checkpoint format v5 and
+  /// validated on resume.
+  LossMode loss_mode = LossMode::kDcgan;
+  /// WGAN-GP penalty weight (lambda; Gulrajani et al. use 10).
+  float gp_weight = 10.0f;
+  /// Spectral-norm penalty weight on rank-2 discriminator weights.
+  float sn_weight = 0.05f;
+  /// Power iterations per optimizer step for the spectral estimate. One
+  /// suffices in steady state (u/v warm-start from the previous step).
+  int sn_power_iters = 1;
+
+  /// Divergence guardrail: per-epoch loss-EWMA watchdog that fires on a
+  /// non-finite loss or on an EWMA exceeding `guard_factor` times the
+  /// post-warmup baseline. Detection never changes the training
+  /// arithmetic; only what happens after a trigger depends on the
+  /// action. Default kHalt: a diverging run stops with a non-OK Status
+  /// and its last-good state instead of silently training to garbage.
+  DivergenceAction divergence_action = DivergenceAction::kHalt;
+  /// EWMA weight of the guarded loss magnitude (higher = slower).
+  float guard_ewma_weight = 0.9f;
+  /// Runaway threshold: fires when ewma > guard_factor * baseline.
+  float guard_factor = 50.0f;
+  /// Epochs used to establish the baseline before the runaway check
+  /// arms (non-finite detection is always armed).
+  int guard_warmup_epochs = 3;
+  /// Retry budget for kRollback before the run halts anyway.
+  int guard_max_rollbacks = 3;
 
   /// Worker threads for the tensor substrate (GEMM and im2col conv
   /// kernels). 0 defers to the TABLEGAN_NUM_THREADS environment variable,

@@ -1,6 +1,7 @@
 #include "nn/loss.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -20,8 +21,23 @@ float SigmoidBceWithLogits(const Tensor& logits, const Tensor& targets,
   for (int64_t i = 0; i < n; ++i) {
     const float z = logits[i];
     const float t = targets[i];
-    // log(1 + exp(-|z|)) + max(z, 0) - z*t  is the stable BCE form.
-    loss += std::log1p(std::exp(-std::fabs(z))) + std::max(z, 0.0f) - z * t;
+    if (std::isfinite(z)) {
+      // softplus(z) - z*t in log-sum-exp form,
+      // log(1 + exp(-|z|)) + max(z, 0) - z*t — finite for every finite
+      // z (at z = ±100 the log1p term underflows gracefully to 0).
+      loss += std::log1p(std::exp(-std::fabs(z))) + std::max(z, 0.0f) -
+              z * t;
+    } else if (std::isnan(z)) {
+      loss += static_cast<double>(z);  // propagate for the guardrails
+    } else {
+      // Saturated ±inf logits: the closed form above evaluates
+      // inf - inf = NaN, but the limit of softplus(z) - z*t is exact:
+      // 0 when the logit points at the target, +inf otherwise.
+      const bool matches = z > 0.0f ? t >= 1.0f : t <= 0.0f;
+      if (!matches) loss += std::numeric_limits<double>::infinity();
+    }
+    // sigmoid saturates cleanly at the infinities (exp(-inf) = 0,
+    // exp(inf) = inf), so the gradient needs no special casing.
     const float sig = 1.0f / (1.0f + std::exp(-z));
     (*grad)[i] = (sig - t) * inv_n;
   }

@@ -267,6 +267,82 @@ TEST(ResumeValidationTest, MismatchedOptionsAreRejected) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ResumeValidationTest, NonRepresentableFloatOptionsRoundTrip) {
+  // 0.995 has no exact float32 representation; the resume check must
+  // compare the *post-round-trip* representations (what the checkpoint
+  // stores) rather than source-literal doubles, or every run configured
+  // with such a value would refuse to resume from its own checkpoint.
+  data::Table table = SmallTable(64, 51);
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  const std::string dir = TempPath("resume_nonrep");
+  TableGanOptions options = FastOptions();
+  options.epochs = 2;
+  options.ewma_weight = 0.995f;
+  options.guard_ewma_weight = 0.995f;
+  options.guard_factor = 49.9f;
+  options.delta_mean = 0.1f;
+  options.checkpoint_every = 2;
+  options.checkpoint_dir = dir;
+  {
+    TableGan gan(options);
+    ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  }
+  TableGanOptions resume = options;
+  resume.epochs = 4;  // extend the finished run
+  resume.checkpoint_every = 0;
+  resume.checkpoint_dir.clear();
+  resume.resume_from = dir + "/latest.tgan";
+  TableGan resumed(resume);
+  Status status = resumed.Fit(table, label_col);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(resumed.history().size(), 4u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResumeValidationTest, MismatchedStabilityOptionsAreRejected) {
+  // A v5 checkpoint records its loss mode and guardrail settings; a
+  // resume must not silently switch the training objective.
+  data::Table table = SmallTable(64, 61);
+  const int label_col =
+      table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
+  const std::string dir = TempPath("resume_stability_mismatch");
+  TableGanOptions options = FastOptions();
+  options.epochs = 2;
+  options.loss_mode = LossMode::kSpectralNorm;
+  options.checkpoint_every = 2;
+  options.checkpoint_dir = dir;
+  {
+    TableGan gan(options);
+    ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  }
+  const std::string ckpt = dir + "/latest.tgan";
+  {
+    TableGanOptions bad = options;
+    bad.loss_mode = LossMode::kWganGp;
+    bad.resume_from = ckpt;
+    TableGan g(bad);
+    Status status = g.Fit(table, label_col);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    TableGanOptions bad = options;
+    bad.sn_weight *= 2.0f;
+    bad.resume_from = ckpt;
+    TableGan g(bad);
+    EXPECT_FALSE(g.Fit(table, label_col).ok());
+  }
+  {
+    TableGanOptions bad = options;
+    bad.guard_factor = 10.0f;
+    bad.resume_from = ckpt;
+    TableGan g(bad);
+    EXPECT_FALSE(g.Fit(table, label_col).ok());
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ResumeValidationTest, CheckpointLoadsAsAModel) {
   data::Table table = SmallTable(64, 41);
   const int label_col =
@@ -351,14 +427,18 @@ TEST(SampleStreamTest, VersionedMagicBytes) {
       table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
   TableGan gan(FastOptions());
   ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  const std::string v5_path = TempPath("magic_v5.tgan");
   const std::string v4_path = TempPath("magic_v4.tgan");
   const std::string v3_path = TempPath("magic_v3.tgan");
-  ASSERT_TRUE(gan.Save(v4_path).ok());
+  ASSERT_TRUE(gan.Save(v5_path).ok());
+  ASSERT_TRUE(gan.SaveCompat(v4_path, 4).ok());
   ASSERT_TRUE(gan.SaveCompat(v3_path, 3).ok());
+  EXPECT_EQ(ReadFileBytes(v5_path).substr(0, 8), "TGAN0005");
   EXPECT_EQ(ReadFileBytes(v4_path).substr(0, 8), "TGAN0004");
   EXPECT_EQ(ReadFileBytes(v3_path).substr(0, 8), "TGAN0003");
   // An unsupported version number is rejected up front.
   EXPECT_FALSE(gan.SaveCompat(TempPath("magic_v2.tgan"), 2).ok());
+  std::remove(v5_path.c_str());
   std::remove(v4_path.c_str());
   std::remove(v3_path.c_str());
 }

@@ -1,0 +1,267 @@
+#ifndef TABLEGAN_TESTS_STRICT_JSON_H_
+#define TABLEGAN_TESTS_STRICT_JSON_H_
+
+// Minimal strict JSON reader for telemetry regression tests. Unlike a
+// lenient scanf-style check, this parser enforces the actual RFC 8259
+// grammar, so it rejects exactly the bugs the telemetry satellites are
+// about: bare `nan` / `inf` tokens, trailing commas, unquoted keys and
+// trailing garbage after the top-level value. Test-only; not part of
+// the library.
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tablegan {
+namespace testing_util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with the given key, or nullptr (objects only).
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& kv : object) {
+      if (kv.first == key) return &kv.second;
+    }
+    return nullptr;
+  }
+};
+
+namespace json_detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    if (!ParseValue(&v)) return std::nullopt;
+    SkipWs();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        return Literal("false");
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case '[':
+        return ParseArray(out);
+      case '{':
+        return ParseObject(out);
+      default:
+        return ParseNumber(out);  // rejects bare nan / inf / Infinity
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters are illegal
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char e = s_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                return false;
+              }
+            }
+            // Keep the escape verbatim; the tests only compare ASCII.
+            out->append("\\u").append(s_, pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  // number = [-] int [frac] [exp]; leading zeros and a lone '-' or '.'
+  // are rejected, which is what rules out nan/inf tokens and C-isms.
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return false;
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                                    nullptr);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      if (!ParseValue(&elem)) return false;
+      out->array.push_back(std::move(elem));
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        SkipWs();
+        continue;  // a ']' here would be a trailing comma -> ParseValue fails
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return false;  // unquoted key
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') return false;  // trailing ','
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace json_detail
+
+/// Parses `text` as one complete JSON value; std::nullopt on any
+/// grammar violation (bare nan/inf, trailing comma or garbage, ...).
+inline std::optional<JsonValue> ParseStrict(const std::string& text) {
+  return json_detail::Parser(text).Parse();
+}
+
+}  // namespace testing_util
+}  // namespace tablegan
+
+#endif  // TABLEGAN_TESTS_STRICT_JSON_H_

@@ -20,6 +20,8 @@ asan_tests=(
   workspace_reuse_test
   failpoint_test
   property_fuzz_test
+  loss_mode_test
+  divergence_guard_test
   kernel_parity_test
   serve_protocol_test
   columnar_test

@@ -19,6 +19,7 @@ build_dir="${1:-${repo_root}/build-asan}"
 failpoint_tests=(
   failpoint_test
   property_fuzz_test
+  divergence_guard_test
   tail_batch_test
   checkpoint_golden_test
   columnar_test

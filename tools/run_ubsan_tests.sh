@@ -22,6 +22,7 @@ ubsan_tests=(
   nn_misc_test
   conv_sweep_test
   property_fuzz_test
+  loss_mode_test
   columnar_test
   chunked_test
 )

@@ -8,6 +8,11 @@
 //                         [--threads N] [--metrics-out metrics.jsonl]
 //                         [--checkpoint-every N] [--checkpoint-dir dir]
 //                         [--resume checkpoint.tgan]
+//                         [--loss dcgan|wgan-gp|spectral-norm]
+//                         [--gp-weight X] [--sn-weight X] [--sn-iters N]
+//                         [--diverge off|halt|rollback] [--guard-ewma X]
+//                         [--guard-factor X] [--guard-warmup N]
+//                         [--guard-max-rollbacks N]
 //   tablegan_cli sample   --model model.tgan --rows N --out synth.csv
 //                         [--threads N] [--format csv|columnar]
 //   tablegan_cli sample-remote --port P --model-id ID --rows N
@@ -45,6 +50,13 @@
 // the same flags plus `--resume d/latest.tgan` continues at the saved
 // epoch, bitwise identical to an uninterrupted run. `--metrics-out`
 // streams per-epoch losses and timings as JSONL (schema: DESIGN.md §9).
+//
+// `--loss` selects the adversarial objective (DESIGN.md §15): the
+// paper's DCGAN BCE (default), a WGAN-GP critic, or DCGAN plus a
+// spectral-norm weight penalty. `--diverge` controls the divergence
+// guardrail: on a non-finite or runaway loss EWMA the run halts (or
+// rolls back to the last-good epoch) after auto-checkpointing
+// `<checkpoint-dir>/diverged-last-good.tgan`.
 
 #include <algorithm>
 #include <cstdint>
@@ -233,6 +245,42 @@ int CmdTrain(Args args) {
       static_cast<int>(args.GetInt("checkpoint-every", 0, 0, 1000000));
   options.checkpoint_dir = args.Get("checkpoint-dir", "");
   options.resume_from = args.Get("resume", "");
+  // Training-stability knobs (DESIGN.md §15). The defaults reproduce
+  // the paper's DCGAN objective bit for bit with the guardrail halting
+  // on divergence.
+  const std::string loss = args.Get("loss", "dcgan");
+  if (loss == "wgan-gp") {
+    options.loss_mode = core::LossMode::kWganGp;
+  } else if (loss == "spectral-norm") {
+    options.loss_mode = core::LossMode::kSpectralNorm;
+  } else if (loss != "dcgan") {
+    Fail(Status::InvalidArgument(
+        "--loss must be dcgan|wgan-gp|spectral-norm"));
+  }
+  options.gp_weight = static_cast<float>(
+      args.GetDouble("gp-weight", options.gp_weight));
+  options.sn_weight = static_cast<float>(
+      args.GetDouble("sn-weight", options.sn_weight));
+  options.sn_power_iters = static_cast<int>(
+      args.GetInt("sn-iters", options.sn_power_iters, 1, 1024));
+  const std::string diverge = args.Get("diverge", "halt");
+  if (diverge == "off") {
+    options.divergence_action = core::DivergenceAction::kOff;
+  } else if (diverge == "rollback") {
+    options.divergence_action = core::DivergenceAction::kRollback;
+  } else if (diverge == "halt") {
+    options.divergence_action = core::DivergenceAction::kHalt;
+  } else {
+    Fail(Status::InvalidArgument("--diverge must be off|halt|rollback"));
+  }
+  options.guard_ewma_weight = static_cast<float>(
+      args.GetDouble("guard-ewma", options.guard_ewma_weight));
+  options.guard_factor = static_cast<float>(
+      args.GetDouble("guard-factor", options.guard_factor));
+  options.guard_warmup_epochs = static_cast<int>(
+      args.GetInt("guard-warmup", options.guard_warmup_epochs, 0, 1000000));
+  options.guard_max_rollbacks = static_cast<int>(args.GetInt(
+      "guard-max-rollbacks", options.guard_max_rollbacks, 0, 1000000));
   if (options.checkpoint_every > 0 && options.checkpoint_dir.empty()) {
     Fail(Status::InvalidArgument(
         "--checkpoint-every requires --checkpoint-dir"));
