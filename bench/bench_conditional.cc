@@ -1,0 +1,229 @@
+// Conditional generation + mode-specific normalization payoff bench
+// (DESIGN.md §16): trains the min-max and GMM-normalized variants of a
+// conditional table-GAN on a bimodal §3-style generator keyed by the
+// binary label, then reports training throughput, conditional sampling
+// rows/s, and the per-label fidelity (KS distance of the bimodal column
+// against the matching real rows) that mode-specific normalization buys
+// over plain min-max. Results go to BENCH_conditional.json.
+//
+//   --smoke    tiny configuration used as a ctest gate: both variants
+//              must train, every conditionally sampled row must carry
+//              exactly the requested label, and all KS distances must be
+//              finite; no JSON is written.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/table_gan.h"
+#include "data/table.h"
+
+namespace tablegan {
+namespace {
+
+// Bimodal dataset in the style of the §3 generators: the "balance"
+// column is a two-mode mixture whose mode is decided by the binary
+// label — the shape min-max normalization smears and mode-specific
+// normalization preserves — plus a unimodal "age" column as ballast.
+data::Table MakeBimodalTable(int64_t rows, uint64_t seed) {
+  data::Schema schema;
+  data::ColumnSpec balance;
+  balance.name = "balance";
+  balance.type = data::ColumnType::kContinuous;
+  schema.AddColumn(balance);
+  data::ColumnSpec age;
+  age.name = "age";
+  age.type = data::ColumnType::kContinuous;
+  schema.AddColumn(age);
+  data::ColumnSpec label;
+  label.name = "label";
+  label.type = data::ColumnType::kDiscrete;
+  label.role = data::ColumnRole::kLabel;
+  schema.AddColumn(label);
+  data::Table t(schema);
+  Rng rng(MixSeeds(seed, 0xB1340DA1ULL));
+  for (int64_t r = 0; r < rows; ++r) {
+    const double y = static_cast<double>(r % 2);
+    const double bal = y == 0.0 ? rng.Gaussian(-1200.0, 90.0)
+                                : rng.Gaussian(5400.0, 350.0);
+    t.AppendRow({bal, rng.Gaussian(41.0, 11.0), y});
+  }
+  return t;
+}
+
+// Rows of `table` whose label column equals `level`, same schema.
+data::Table FilterByLabel(const data::Table& table, int label_col,
+                          double level) {
+  data::Table out(table.schema());
+  std::vector<double> row(static_cast<size_t>(table.num_columns()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (table.Get(r, label_col) != level) continue;
+    for (int c = 0; c < table.num_columns(); ++c) {
+      row[static_cast<size_t>(c)] = table.Get(r, c);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+struct VariantRun {
+  std::string normalizer;       // "minmax" | "gmm"
+  int64_t rows = 0;
+  int epochs = 0;
+  double train_seconds = 0.0;
+  double train_rows_per_sec = 0.0;
+  double sample_rows_per_sec = 0.0;  // conditional path
+  double ks_marginal = 0.0;  // bimodal column, unconditional sample vs real
+  double ks_label0 = 0.0;    // bimodal column, conditional sample vs real
+  double ks_label1 = 0.0;
+};
+
+// Trains one normalizer variant of the conditional model and measures
+// throughput plus per-label fidelity of the bimodal column.
+VariantRun RunVariant(const data::Table& table, bool with_gmm, int epochs,
+                      int64_t sample_rows) {
+  VariantRun run;
+  run.normalizer = with_gmm ? "gmm" : "minmax";
+  run.rows = table.num_rows();
+  run.epochs = epochs;
+
+  core::TableGanOptions options = bench::BenchGanOptions(0.0f, 0.0f);
+  options.epochs = epochs;
+  options.seed = 4242;
+  options.num_threads = 1;  // single-core host, matches the other benches
+  options.conditional = true;
+  if (with_gmm) {
+    options.gmm_columns = {0};
+    options.gmm_components = 4;
+  }
+  core::TableGan gan(options);
+  Stopwatch train_watch;
+  const Status fit = gan.Fit(table, /*label_col=*/2);
+  run.train_seconds = train_watch.ElapsedSeconds();
+  TABLEGAN_CHECK(fit.ok()) << run.normalizer << ": " << fit.ToString();
+  run.train_rows_per_sec =
+      run.train_seconds > 0.0
+          ? static_cast<double>(table.num_rows()) * epochs / run.train_seconds
+          : 0.0;
+
+  Stopwatch sample_watch;
+  Result<data::Table> cond0 =
+      gan.SampleConditional(options.seed, 0, sample_rows, 0.0);
+  Result<data::Table> cond1 =
+      gan.SampleConditional(options.seed, 0, sample_rows, 1.0);
+  const double sample_seconds = sample_watch.ElapsedSeconds();
+  TABLEGAN_CHECK(cond0.ok()) << cond0.status().ToString();
+  TABLEGAN_CHECK(cond1.ok()) << cond1.status().ToString();
+  run.sample_rows_per_sec =
+      sample_seconds > 0.0 ? 2.0 * static_cast<double>(sample_rows) /
+                                 sample_seconds
+                           : 0.0;
+  // The condition is a contract: every sampled row carries the level.
+  for (int64_t r = 0; r < sample_rows; ++r) {
+    TABLEGAN_CHECK(cond0->Get(r, 2) == 0.0 && cond1->Get(r, 2) == 1.0)
+        << run.normalizer << ": conditional sample broke the label contract"
+        << " at row " << r;
+  }
+
+  Result<data::Table> marginal = gan.Sample(sample_rows);
+  TABLEGAN_CHECK(marginal.ok()) << marginal.status().ToString();
+  run.ks_marginal = bench::KsDistance(bench::ColumnCdf(table, 0),
+                                      bench::ColumnCdf(*marginal, 0));
+  run.ks_label0 = bench::KsDistance(
+      bench::ColumnCdf(FilterByLabel(table, 2, 0.0), 0),
+      bench::ColumnCdf(*cond0, 0));
+  run.ks_label1 = bench::KsDistance(
+      bench::ColumnCdf(FilterByLabel(table, 2, 1.0), 0),
+      bench::ColumnCdf(*cond1, 0));
+  return run;
+}
+
+int RunSmoke() {
+  const data::Table table = MakeBimodalTable(160, 7);
+  for (const bool with_gmm : {false, true}) {
+    const VariantRun run =
+        RunVariant(table, with_gmm, /*epochs=*/2, /*sample_rows=*/64);
+    TABLEGAN_CHECK(std::isfinite(run.ks_marginal) &&
+                   std::isfinite(run.ks_label0) &&
+                   std::isfinite(run.ks_label1))
+        << run.normalizer << ": non-finite KS distance";
+    std::printf("smoke %-7s train=%.2fs ksm=%.3f ks0=%.3f ks1=%.3f\n",
+                run.normalizer.c_str(), run.train_seconds, run.ks_marginal,
+                run.ks_label0, run.ks_label1);
+  }
+  std::printf("conditional smoke PASS: 2 variants, label contract held\n");
+  return 0;
+}
+
+void RunSweep(const std::string& out_path) {
+  bench::PrintHeader(
+      "Conditional sampling: min-max vs mode-specific normalization");
+  const int64_t rows =
+      static_cast<int64_t>(1800 * bench::BenchScale());
+  const int epochs = 40;
+  const data::Table table = MakeBimodalTable(rows, 7);
+  const std::vector<int> widths{8, 7, 10, 10, 11, 9, 9, 9};
+  bench::PrintRow({"Norm", "Rows", "Train s", "Train r/s", "Sample r/s",
+                   "KS marg", "KS y=0", "KS y=1"},
+                  widths);
+  std::vector<VariantRun> runs;
+  for (const bool with_gmm : {false, true}) {
+    const VariantRun run = RunVariant(table, with_gmm, epochs, rows);
+    bench::PrintRow({run.normalizer, std::to_string(run.rows),
+                     bench::FormatDouble(run.train_seconds, 1),
+                     bench::FormatDouble(run.train_rows_per_sec, 0),
+                     bench::FormatDouble(run.sample_rows_per_sec, 0),
+                     bench::FormatDouble(run.ks_marginal, 3),
+                     bench::FormatDouble(run.ks_label0, 3),
+                     bench::FormatDouble(run.ks_label1, 3)},
+                    widths);
+    runs.push_back(run);
+  }
+  // The headline number: how much closer the synthetic bimodal marginal
+  // sits to the real one once the column is GMM-normalized.
+  const double delta = runs[0].ks_marginal - runs[1].ks_marginal;
+  std::printf("\nFidelity delta (min-max KS - GMM KS, positive favors "
+              "GMM): marginal %+.3f\n",
+              delta);
+
+  std::ofstream out(out_path);
+  TABLEGAN_CHECK(out.good());
+  out << "{\n  \"bench\": \"conditional\",\n  \"fidelity_delta\": "
+      << "{\"marginal\": " << bench::JsonNumber(delta, 4) << "},\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const VariantRun& r = runs[i];
+    out << "    {\"normalizer\": \"" << r.normalizer
+        << "\", \"rows\": " << r.rows << ", \"epochs\": " << r.epochs
+        << ", \"train_seconds\": " << bench::JsonNumber(r.train_seconds, 2)
+        << ", \"train_rows_per_sec\": "
+        << bench::JsonNumber(r.train_rows_per_sec, 1)
+        << ", \"sample_rows_per_sec\": "
+        << bench::JsonNumber(r.sample_rows_per_sec, 1)
+        << ", \"ks_marginal\": " << bench::JsonNumber(r.ks_marginal, 4)
+        << ", \"ks_label0\": " << bench::JsonNumber(r.ks_label0, 4)
+        << ", \"ks_label1\": " << bench::JsonNumber(r.ks_label1, 4) << "}"
+        << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("Wrote %s\n", out_path.c_str());
+}
+
+}  // namespace
+}  // namespace tablegan
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return tablegan::RunSmoke();
+  }
+  const std::string out = argc > 1 ? argv[1] : "BENCH_conditional.json";
+  tablegan::RunSweep(out);
+  return 0;
+}

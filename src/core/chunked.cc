@@ -57,7 +57,14 @@ Result<data::Table> ChunkedTrainAndSynthesize(
       const int64_t share =
           num_samples * (i + 1) / k - num_samples * i / k;
       if (share > 0) {
-        Result<data::Table> sampled = gan.Sample(share);
+        // Conditional runs read the stateless per-label stream keyed by
+        // the chunk's own derived seed; unconditional runs keep the
+        // stateful Sample path (same stream, same bytes as before).
+        Result<data::Table> sampled =
+            options.where_label.has_value()
+                ? gan.SampleConditional(gan_options.seed, 0, share,
+                                        *options.where_label)
+                : gan.Sample(share);
         if (!sampled.ok()) {
           statuses[static_cast<size_t>(i)] = sampled.status();
           return;

@@ -2,6 +2,7 @@
 #define TABLEGAN_CORE_CHUNKED_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "common/status.h"
 #include "core/table_gan_options.h"
@@ -20,6 +21,12 @@ struct ChunkedSynthesisOptions {
   TableGanOptions gan;
   int num_chunks = 4;
   int num_threads = 2;
+  /// When set (requires gan.conditional), every chunk synthesizes its
+  /// share from the per-label stream of this label instead of the
+  /// unconditional stream. A chunk whose slice of the table lacks the
+  /// label fails that chunk (NotFound), failing the run — a silent
+  /// partial answer would break the "rows match the condition" contract.
+  std::optional<double> where_label;
 };
 
 /// Seed for chunk `chunk_index`'s GAN, derived from the run's base seed

@@ -1,6 +1,7 @@
 #include "core/table_gan.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -49,6 +50,12 @@ constexpr uint64_t kSampleStreamTag = 0x53616d706c65ULL;  // "Sample"
 // Domain tag for the spectral-norm power-iteration init vectors.
 constexpr uint64_t kSpectralStreamTag = 0x53706563ULL;  // "Spec"
 
+// Extra domain tag layered onto the sample stream for conditional
+// sampling; the requested label's bits are mixed in after it, so every
+// label's row stream is disjoint from every other label's and from the
+// unconditional stream of the same seed.
+constexpr uint64_t kCondStreamTag = 0x436F6E64ULL;  // "Cond"
+
 // Step size of the central-difference Hessian-vector product that turns
 // the WGAN gradient penalty into parameter gradients (DESIGN.md §15).
 // The record space is [-1, 1] and the perturbation direction is a unit
@@ -69,8 +76,8 @@ void TableGan::RemoveLabelInto(const Tensor& matrices, Tensor* out) const {
   const int64_t cells = static_cast<int64_t>(side_) * side_;
   const int64_t n = out->dim(0);
   for (int64_t i = 0; i < n; ++i) {
-    for (int col : label_cols_) {
-      (*out)[i * cells + col] = 0.0f;
+    for (size_t j = 0; j < label_cols_.size(); ++j) {
+      (*out)[i * cells + label_cell(static_cast<int>(j))] = 0.0f;
     }
   }
 }
@@ -87,9 +94,18 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
   if (label_cols.empty()) {
     return Status::InvalidArgument("at least one label column required");
   }
-  for (int label_col : label_cols) {
+  for (size_t i = 0; i < label_cols.size(); ++i) {
+    const int label_col = label_cols[i];
     if (label_col < 0 || label_col >= table.num_columns()) {
-      return Status::InvalidArgument("label column out of range");
+      return Status::InvalidArgument(
+          "label column index " + std::to_string(label_col) +
+          " out of range [0, " + std::to_string(table.num_columns()) + ")");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (label_cols[j] == label_col) {
+        return Status::InvalidArgument("duplicate label column index " +
+                                       std::to_string(label_col));
+      }
     }
   }
   if (options_.checkpoint_every < 0) {
@@ -105,22 +121,82 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
   schema_ = table.schema();
   label_cols_ = std::move(label_cols);
   const auto k = static_cast<int64_t>(label_cols_.size());
-  side_ = options_.side > 0
-              ? options_.side
-              : data::RecordMatrixCodec::ChooseSide(table.num_columns());
-  if (side_ * side_ < table.num_columns()) {
-    return Status::InvalidArgument("side too small for attribute count");
+
+  // Per-column normalizer selection (DESIGN.md §16): min-max everywhere
+  // unless a column opted into the GMM encoding. Label columns stay
+  // min-max so their encoded cell is the single scalar the classifier
+  // and the conditioning vector read.
+  if (options_.gmm_components < 1 || options_.gmm_components > 64) {
+    return Status::InvalidArgument("gmm_components must be in [1, 64], got " +
+                                   std::to_string(options_.gmm_components));
   }
-  codec_ = std::make_unique<data::RecordMatrixCodec>(table.num_columns(),
-                                                     side_);
-  // One min/max pass over the view; no encoded copy of the table is ever
+  std::vector<data::ColumnNormalizerSpec> specs;
+  if (!options_.gmm_columns.empty()) {
+    specs.resize(static_cast<size_t>(table.num_columns()));
+    for (int c : options_.gmm_columns) {
+      if (c < 0 || c >= table.num_columns()) {
+        return Status::InvalidArgument(
+            "GMM column index " + std::to_string(c) + " out of range [0, " +
+            std::to_string(table.num_columns()) + ")");
+      }
+      if (std::find(label_cols_.begin(), label_cols_.end(), c) !=
+          label_cols_.end()) {
+        return Status::InvalidArgument(
+            "GMM column index " + std::to_string(c) + " is a label column");
+      }
+      specs[static_cast<size_t>(c)].kind = data::NormalizerKind::kGmm;
+      specs[static_cast<size_t>(c)].components = options_.gmm_components;
+    }
+  }
+  // One fitting pass over the view; no encoded copy of the table is ever
   // built. Mini-batches below are encoded on the fly straight from the
   // view's column pointers, so training an mmap'd columnar file touches
   // each page as its rows come up in the shuffle and peak memory is
   // O(batch), not O(table).
-  TABLEGAN_RETURN_NOT_OK(normalizer_.Fit(table));
+  TABLEGAN_RETURN_NOT_OK(normalizer_.Fit(table, specs));
 
-  generator_ = BuildGenerator(side_, options_.latent_dim,
+  // The record matrix holds the encoded row, which GMM columns widen
+  // beyond the attribute count (1 + modes cells each).
+  const int width = normalizer_.encoded_width();
+  side_ = options_.side > 0 ? options_.side
+                            : data::RecordMatrixCodec::ChooseSide(width);
+  if (side_ * side_ < width) {
+    return Status::InvalidArgument("side too small for encoded record width");
+  }
+  codec_ = std::make_unique<data::RecordMatrixCodec>(width, side_);
+
+  // Conditional models need the label vocabulary: SampleConditional
+  // validates requested levels against it, and unpinned label columns
+  // draw from the empirical frequencies at synthesis time.
+  label_levels_.clear();
+  label_level_freqs_.clear();
+  if (options_.conditional) {
+    for (int col : label_cols_) {
+      const double* colp = table.column_data(col);
+      std::vector<double> vals(colp, colp + table.num_rows());
+      std::sort(vals.begin(), vals.end());
+      std::vector<double> levels;
+      std::vector<double> freqs;
+      for (size_t i = 0; i < vals.size(); ++i) {
+        if (levels.empty() || vals[i] != levels.back()) {
+          levels.push_back(vals[i]);
+          freqs.push_back(0.0);
+        }
+        freqs.back() += 1.0;
+      }
+      if (levels.size() > 64) {
+        return Status::InvalidArgument(
+            "conditional training supports at most 64 distinct label "
+            "values, but column " +
+            std::to_string(col) + " has " + std::to_string(levels.size()));
+      }
+      for (double& f : freqs) f /= static_cast<double>(table.num_rows());
+      label_levels_.push_back(std::move(levels));
+      label_level_freqs_.push_back(std::move(freqs));
+    }
+  }
+
+  generator_ = BuildGenerator(side_, options_.latent_dim + cond_dim(),
                               options_.base_channels, &rng_);
   discriminator_ = BuildDiscriminator(side_, options_.base_channels, &rng_);
   classifier_ = BuildDiscriminator(side_, options_.base_channels, &rng_,
@@ -327,8 +403,7 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
       for (int64_t b = 0; b < bsize; ++b) {
         for (int64_t j = 0; j < k; ++j) {
           labels.at2(b, j) =
-              0.5f * (x[b * cells + label_cols_[static_cast<size_t>(j)]] +
-                      1.0f);
+              0.5f * (x[b * cells + label_cell(static_cast<int>(j))] + 1.0f);
         }
       }
       ones.ResizeUninitialized({bsize, 1});
@@ -340,8 +415,18 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
       // and kSpectralNorm (the latter adds the weight penalty below), a
       // Wasserstein critic with gradient penalty for kWganGp.
       phase_watch.Restart();
-      z1.ResizeUninitialized({bsize, options_.latent_dim});
+      // Conditional models append the real batch's encoded label cells
+      // to the latent input (cGAN-style): the generator learns its
+      // conditioning from pairs whose condition matches a real record.
+      const int64_t zdim = options_.latent_dim + cond_dim();
+      z1.ResizeUninitialized({bsize, zdim});
       z1.FillUniform(-1.0f, 1.0f, &rng_);
+      for (int64_t j = options_.latent_dim; j < zdim; ++j) {
+        const int64_t cell = label_cell(static_cast<int>(j - options_.latent_dim));
+        for (int64_t b = 0; b < bsize; ++b) {
+          z1.at2(b, j) = x[b * cells + cell];
+        }
+      }
       Tensor fake_for_d = generator_->Forward(z1, /*training=*/true);
       if (!wgan) {
         adam_d.ZeroGrad();
@@ -480,8 +565,14 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
       //     (Alg. 2 lines 10-14).
       phase_watch.Restart();
       adam_g.ZeroGrad();
-      z2.ResizeUninitialized({bsize, options_.latent_dim});
+      z2.ResizeUninitialized({bsize, zdim});
       z2.FillUniform(-1.0f, 1.0f, &rng_);
+      for (int64_t j = options_.latent_dim; j < zdim; ++j) {
+        const int64_t cell = label_cell(static_cast<int>(j - options_.latent_dim));
+        for (int64_t b = 0; b < bsize; ++b) {
+          z2.at2(b, j) = x[b * cells + cell];
+        }
+      }
       Tensor fake = generator_->Forward(z2, /*training=*/true);
 
       // Real features for the EWMA statistics. (Forward only; the
@@ -527,7 +618,7 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
         const float inv_bk = 1.0f / static_cast<float>(bsize * k);
         for (int64_t b = 0; b < bsize; ++b) {
           for (int64_t j = 0; j < k; ++j) {
-            const int col = label_cols_[static_cast<size_t>(j)];
+            const int64_t col = label_cell(static_cast<int>(j));
             const float ell = 0.5f * (fake[b * cells + col] + 1.0f);
             const float p = pred.at2(b, j);
             const float diff = ell - p;
@@ -545,8 +636,8 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
             classifier_.head->Backward(grad_logit));
         // remove(.) blocks the gradient of the zeroed label cells.
         for (int64_t b = 0; b < bsize; ++b) {
-          for (int col : label_cols_) {
-            grad_cin[b * cells + col] = 0.0f;
+          for (size_t j = 0; j < label_cols_.size(); ++j) {
+            grad_cin[b * cells + label_cell(static_cast<int>(j))] = 0.0f;
           }
         }
         ops::AxpyInPlace(grad_cin, 1.0f, &grad_fake);
@@ -644,7 +735,7 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
         TrainingState state{snap_epoch,  &adam_g, &adam_d,
                             &adam_c,     &info,   &guard,
                             sn.get(),    rollbacks_used};
-        TABLEGAN_RETURN_NOT_OK(SaveImpl(auto_path, &state, /*version=*/5));
+        TABLEGAN_RETURN_NOT_OK(SaveImpl(auto_path, &state, /*version=*/6));
       }
       if (options_.metrics_sink != nullptr) {
         TrainingEvent ev;
@@ -677,10 +768,10 @@ Status TableGan::FitMultiLabel(const data::TableView& table,
                           sn.get(),  rollbacks_used};
       TABLEGAN_RETURN_NOT_OK(
           SaveImpl(CheckpointPath(options_.checkpoint_dir, epoch + 1),
-                   &state, /*version=*/5));
+                   &state, /*version=*/6));
       // Stable alias for "resume from wherever the run died".
       TABLEGAN_RETURN_NOT_OK(SaveImpl(
-          options_.checkpoint_dir + "/latest.tgan", &state, /*version=*/5));
+          options_.checkpoint_dir + "/latest.tgan", &state, /*version=*/6));
     }
   }
   fitted_ = true;
@@ -720,11 +811,54 @@ Result<data::Table> TableGan::SampleRange(uint64_t seed, int64_t row_begin,
                       row_end - row_begin);
 }
 
+Result<data::Table> TableGan::SampleConditional(uint64_t seed,
+                                                int64_t row_begin,
+                                                int64_t row_end,
+                                                double label) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SampleConditional before Fit");
+  }
+  if (!options_.conditional) {
+    return Status::FailedPrecondition(
+        "model was not trained with options.conditional");
+  }
+  if (row_begin < 0 || row_end < row_begin) {
+    return Status::InvalidArgument(
+        "invalid row range [" + std::to_string(row_begin) + ", " +
+        std::to_string(row_end) + ")");
+  }
+  // The request must name an exact training level of the primary label
+  // column; the serve layer maps the NotFound onto kUnknownLabel.
+  const std::vector<double>& levels = label_levels_[0];
+  const auto it = std::lower_bound(levels.begin(), levels.end(), label);
+  if (it == levels.end() || !(*it == label)) {
+    return Status::NotFound("unknown label " + std::to_string(label) +
+                            " for conditional sampling");
+  }
+  // Canonicalize (e.g. -0.0 vs 0.0) so the stream key is the stored
+  // level's bit pattern, never the request's spelling of it.
+  const double canonical = *it;
+  if (row_end == row_begin) return data::Table(schema_);
+  const uint64_t stream =
+      MixSeeds(MixSeeds(MixSeeds(seed, kSampleStreamTag), kCondStreamTag),
+               std::bit_cast<uint64_t>(canonical));
+  return GenerateRows(stream, static_cast<uint64_t>(row_begin),
+                      row_end - row_begin, &canonical);
+}
+
 Result<data::Table> TableGan::GenerateRows(uint64_t stream_seed,
-                                           uint64_t first, int64_t n) const {
+                                           uint64_t first, int64_t n,
+                                           const double* fixed_label) const {
   const int64_t cells = static_cast<int64_t>(side_) * side_;
   const int64_t latent = options_.latent_dim;
+  const int64_t cond = cond_dim();
+  const int64_t zdim = latent + cond;
   Tensor all({n, cells});
+  // The level each conditioning cell carried, per row: the decode step
+  // below writes it back into the label columns so a conditional sample
+  // honors its condition exactly.
+  std::vector<double> cond_levels(
+      static_cast<size_t>(cond > 0 ? n * cond : 0));
 
   // Row blocks of a fixed size, each generated independently: row i's
   // latent comes from its own counter-derived substream, and the
@@ -737,14 +871,47 @@ Result<data::Table> TableGan::GenerateRows(uint64_t stream_seed,
   auto run_block = [&](int64_t b) {
     const int64_t row0 = b * kInferBlockRows;
     const int64_t take = std::min<int64_t>(kInferBlockRows, n - row0);
-    Tensor z({take, latent});
+    Tensor z({take, zdim});
     for (int64_t r = 0; r < take; ++r) {
       Rng row_rng(MixSeeds(stream_seed,
                            first + static_cast<uint64_t>(row0 + r)));
-      float* zr = z.data() + r * latent;
+      float* zr = z.data() + r * zdim;
       // Same draw sequence as Tensor::Uniform.
       for (int64_t j = 0; j < latent; ++j) {
         zr[j] = static_cast<float>(row_rng.Uniform(-1.0f, 1.0f));
+      }
+      // Conditioning cells: the primary label pins to `fixed_label` when
+      // given; every unpinned label column draws a level from its
+      // training frequencies on this row's own substream, keeping the
+      // whole row a pure function of (stream_seed, row index).
+      for (int64_t j = 0; j < cond; ++j) {
+        const int col = label_cols_[static_cast<size_t>(j)];
+        double level;
+        if (fixed_label != nullptr && j == 0) {
+          level = *fixed_label;
+        } else {
+          const double p = row_rng.NextDouble();
+          const std::vector<double>& freqs =
+              label_level_freqs_[static_cast<size_t>(j)];
+          size_t idx = freqs.size() - 1;
+          double cum = 0.0;
+          for (size_t t = 0; t < freqs.size(); ++t) {
+            cum += freqs[t];
+            if (p < cum) {
+              idx = t;
+              break;
+            }
+          }
+          level = label_levels_[static_cast<size_t>(j)][idx];
+        }
+        cond_levels[static_cast<size_t>((row0 + r) * cond + j)] = level;
+        const double lo = normalizer_.column_min(col);
+        const double hi = normalizer_.column_max(col);
+        const double span = hi - lo;
+        zr[latent + j] =
+            span > 0.0
+                ? static_cast<float>(data::EncodeUnit(level, lo, hi, span))
+                : 0.0f;
       }
     }
     Tensor fake = generator_->Infer(z);
@@ -763,7 +930,18 @@ Result<data::Table> TableGan::GenerateRows(uint64_t stream_seed,
 
   Tensor matrices = all.Reshaped({n, 1, side_, side_});
   TABLEGAN_ASSIGN_OR_RETURN(Tensor records, codec_->FromMatrices(matrices));
-  return normalizer_.InverseTransform(records, schema_);
+  TABLEGAN_ASSIGN_OR_RETURN(data::Table out,
+                            normalizer_.InverseTransform(records, schema_));
+  // A conditional model's label columns report the levels the rows were
+  // conditioned on — the condition is a contract, not a suggestion the
+  // generator may drift from.
+  for (int64_t j = 0; j < cond; ++j) {
+    const int col = label_cols_[static_cast<size_t>(j)];
+    for (int64_t r = 0; r < n; ++r) {
+      out.Set(r, col, cond_levels[static_cast<size_t>(r * cond + j)]);
+    }
+  }
+  return out;
 }
 
 Result<std::vector<double>> TableGan::DiscriminatorScores(

@@ -8,7 +8,7 @@
 #include "common/status.h"
 #include "core/networks.h"
 #include "core/table_gan_options.h"
-#include "data/normalizer.h"
+#include "data/gmm_normalizer.h"
 #include "data/record_matrix.h"
 #include "data/table.h"
 #include "data/table_view.h"
@@ -104,6 +104,21 @@ class TableGan {
   Result<data::Table> SampleRange(uint64_t seed, int64_t row_begin,
                                   int64_t row_end) const;
 
+  /// Condition-by-label range sampling: rows [row_begin, row_end) of the
+  /// per-label logical sample table for `label`, which must exactly
+  /// match one of the primary label column's training levels (otherwise
+  /// NotFound — the serve layer maps that onto its unknown-label wire
+  /// status). Requires a model fitted with options.conditional
+  /// (FailedPrecondition otherwise).
+  ///
+  /// Same determinism contract as SampleRange — a pure function of
+  /// (seed, label, row index) at any batch size, thread count or
+  /// chunking — and each label's stream is keyed by a label-tagged
+  /// substream, so per-label streams are mutually disjoint and disjoint
+  /// from the unconditional stream of the same seed.
+  Result<data::Table> SampleConditional(uint64_t seed, int64_t row_begin,
+                                        int64_t row_end, double label) const;
+
   /// Discriminator probability D(r) of being real, per record of
   /// `records` (normalized with the training normalizer). Used by the
   /// customized membership attack (§4.5), which trains shadow table-GANs
@@ -121,10 +136,13 @@ class TableGan {
   Status Save(const std::string& path) const;
 
   /// Save() with an explicit on-disk format version. Supported versions:
-  /// 5 (current; equivalent to Save), 4 (omits the loss-mode and
+  /// 6 (current; equivalent to Save), 5 (omits the conditional /
+  /// GMM-normalizer section), 4 (additionally omits the loss-mode and
   /// guardrail fields) and 3 (legacy: additionally omits the sampling
-  /// stream counters and Adam bias-correction powers). Used by tests to
-  /// exercise the older compatibility paths of Load.
+  /// stream counters and Adam bias-correction powers). A conditional or
+  /// GMM-normalized model cannot be expressed below version 6 and is
+  /// rejected with InvalidArgument. Used by tests to exercise the older
+  /// compatibility paths of Load.
   Status SaveCompat(const std::string& path, int version) const;
 
   /// Restores a model saved by Save() or a mid-training checkpoint.
@@ -173,11 +191,29 @@ class TableGan {
   /// Writes the masked copy into `*out` (resized as needed).
   void RemoveLabelInto(const Tensor& matrices, Tensor* out) const;
 
-  /// Shared core of Sample and SampleRange: decodes rows
-  /// [first, first + n) of the latent stream keyed by `stream_seed`
-  /// (already domain-tagged) into a table. Requires n >= 1.
+  /// Shared core of Sample, SampleRange and SampleConditional: decodes
+  /// rows [first, first + n) of the latent stream keyed by `stream_seed`
+  /// (already domain-tagged) into a table. Requires n >= 1. On a
+  /// conditional model the generator input of each row is its latent
+  /// vector plus one conditioning cell per label column; `fixed_label`,
+  /// when non-null, pins the primary label to that (canonicalized)
+  /// level, while remaining labels draw from their training frequencies
+  /// on the row's own substream.
   Result<data::Table> GenerateRows(uint64_t stream_seed, uint64_t first,
-                                   int64_t n) const;
+                                   int64_t n,
+                                   const double* fixed_label = nullptr) const;
+
+  /// Width of the conditioning vector appended to the latent input: one
+  /// cell per label column when options.conditional, else 0.
+  int cond_dim() const {
+    return options_.conditional ? static_cast<int>(label_cols_.size()) : 0;
+  }
+
+  /// Encoded-record cell index of label column j (== the column itself
+  /// when every column is min-max).
+  int64_t label_cell(int j) const {
+    return normalizer_.column_offset(label_cols_[static_cast<size_t>(j)]);
+  }
 
   TableGanOptions options_;
   bool fitted_ = false;
@@ -191,8 +227,17 @@ class TableGan {
   std::unique_ptr<Workspace> ws_;
 
   data::Schema schema_;
-  data::MinMaxNormalizer normalizer_;
+  data::RecordNormalizer normalizer_;
   std::unique_ptr<data::RecordMatrixCodec> codec_;
+
+  /// Conditional-model label vocabulary, one entry per label column:
+  /// sorted distinct training values and their empirical frequencies.
+  /// SampleConditional validates requested labels against the primary
+  /// column's levels; unpinned label columns draw levels from these
+  /// frequencies. Serialized since format v6. Empty when
+  /// !options.conditional.
+  std::vector<std::vector<double>> label_levels_;
+  std::vector<std::vector<double>> label_level_freqs_;
 
   std::unique_ptr<nn::Sequential> generator_;
   TwoPartNet discriminator_;

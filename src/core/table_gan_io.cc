@@ -14,11 +14,21 @@
 // never leaves a half-written file at the target path, and Load
 // verifies the CRC before parsing a single field.
 //
-// Version-4 files (no loss-mode/guardrail fields: the loaded model runs
-// the default DCGAN loss with a fresh guard) and version-3 files
-// (additionally no sampling-stream counters and no Adam powers) are
-// still read. SaveCompat(path, 3|4) writes the legacy layouts for
-// round-trip tests.
+// Format v6 appends the record-encoding and conditioning section to the
+// model header: the conditional flag, the GMM column selection with
+// every fitted mixture's components, and — for conditional models — the
+// per-label-column level vocabulary with empirical frequencies
+// (DESIGN.md §16). Models using only the defaults carry an all-min-max
+// spec table and load bitwise identical to their v5 selves.
+//
+// Version-5 files (no encoding/conditioning section: min-max everywhere,
+// unconditional), version-4 files (additionally no loss-mode/guardrail
+// fields: the loaded model runs the default DCGAN loss with a fresh
+// guard) and version-3 files (additionally no sampling-stream counters
+// and no Adam powers) are still read. SaveCompat(path, 3|4|5) writes the
+// legacy layouts for round-trip tests; a model that actually uses GMM
+// columns or conditioning cannot be downgraded and SaveCompat rejects
+// the attempt.
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -44,6 +54,7 @@ constexpr char kMagicPrefix[4] = {'T', 'G', 'A', 'N'};
 constexpr char kMagicV3[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '3'};
 constexpr char kMagicV4[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '4'};
 constexpr char kMagicV5[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '5'};
+constexpr char kMagicV6[8] = {'T', 'G', 'A', 'N', '0', '0', '0', '6'};
 constexpr size_t kMagicSize = sizeof(kMagicV4);
 constexpr size_t kFooterSize = sizeof(uint32_t);
 
@@ -196,7 +207,9 @@ Status ReadVerifiedFile(const std::string& path, std::string* contents,
           0) {
     return Status::InvalidArgument("not a table-GAN model file: " + path);
   }
-  if (std::memcmp(contents->data(), kMagicV5, kMagicSize) == 0) {
+  if (std::memcmp(contents->data(), kMagicV6, kMagicSize) == 0) {
+    *version = 6;
+  } else if (std::memcmp(contents->data(), kMagicV5, kMagicSize) == 0) {
     *version = 5;
   } else if (std::memcmp(contents->data(), kMagicV4, kMagicSize) == 0) {
     *version = 4;
@@ -207,7 +220,7 @@ Status ReadVerifiedFile(const std::string& path, std::string* contents,
         "unsupported model file version '" +
         contents->substr(sizeof(kMagicPrefix),
                          kMagicSize - sizeof(kMagicPrefix)) +
-        "' (this build reads versions 0003-0005): " + path);
+        "' (this build reads versions 0003-0006): " + path);
   }
   const size_t body = contents->size() - kFooterSize;
   uint32_t stored = 0;
@@ -233,6 +246,12 @@ struct Header {
   bool has_stream = false;
   uint64_t sample_stream_seed = 0;
   uint64_t sample_rows_emitted = 0;
+  // Record-encoding and conditioning section (v6+); pre-v6 files leave
+  // the defaults: all-min-max specs, no mixtures, no label vocabulary.
+  std::vector<data::ColumnNormalizerSpec> specs;
+  std::vector<std::unique_ptr<data::GmmColumnNormalizer>> gmms;
+  std::vector<std::vector<double>> label_levels;
+  std::vector<std::vector<double>> label_level_freqs;
 };
 
 bool ReadHeader(std::istream& in, int version, Header* h) {
@@ -327,6 +346,67 @@ bool ReadHeader(std::istream& in, int version, Header* h) {
     if (!ReadI64(in, &v) || v < 0) return false;
     o.guard_max_rollbacks = static_cast<int>(v);
   }
+  if (version >= 6) {
+    // Record-encoding and conditioning section (DESIGN.md §16).
+    if (!ReadI64(in, &v) || v < 0 || v > 1) return false;
+    o.conditional = v != 0;
+    if (!ReadI64(in, &v) || v < 1 || v > 64) return false;
+    o.gmm_components = static_cast<int>(v);
+    int64_t num_gmm = 0;
+    if (!ReadI64(in, &num_gmm) || num_gmm < 0 || num_gmm > num_cols) {
+      return false;
+    }
+    for (int64_t i = 0; i < num_gmm; ++i) {
+      if (!ReadI64(in, &v) || v < 0 || v >= num_cols) return false;
+      o.gmm_columns.push_back(static_cast<int>(v));
+    }
+    h->specs.resize(static_cast<size_t>(num_cols));
+    h->gmms.resize(static_cast<size_t>(num_cols));
+    for (int64_t c = 0; c < num_cols; ++c) {
+      if (!ReadI64(in, &v) || v < 0 || v > 1) return false;
+      data::ColumnNormalizerSpec& spec = h->specs[static_cast<size_t>(c)];
+      spec.kind = static_cast<data::NormalizerKind>(v);
+      if (spec.kind != data::NormalizerKind::kGmm) continue;
+      if (!ReadI64(in, &v) || v < 1 || v > 64) return false;
+      spec.components = static_cast<int>(v);
+      double lo = 0.0, hi = 0.0;
+      if (!ReadF64(in, &lo) || !ReadF64(in, &hi)) return false;
+      int64_t num_comps = 0;
+      if (!ReadI64(in, &num_comps) || num_comps < 1 || num_comps > 64) {
+        return false;
+      }
+      std::vector<data::GmmComponent> comps(
+          static_cast<size_t>(num_comps));
+      for (data::GmmComponent& comp : comps) {
+        if (!ReadF64(in, &comp.weight) || !ReadF64(in, &comp.mean) ||
+            !ReadF64(in, &comp.sigma) || !ReadF64(in, &comp.halfwidth)) {
+          return false;
+        }
+      }
+      auto g = std::make_unique<data::GmmColumnNormalizer>();
+      g->Restore(lo, hi, std::move(comps));
+      h->gmms[static_cast<size_t>(c)] = std::move(g);
+    }
+    if (o.conditional) {
+      for (int64_t j = 0; j < num_labels; ++j) {
+        int64_t num_levels = 0;
+        if (!ReadI64(in, &num_levels) || num_levels < 1 ||
+            num_levels > 4096) {
+          return false;
+        }
+        std::vector<double> levels(static_cast<size_t>(num_levels));
+        std::vector<double> freqs(static_cast<size_t>(num_levels));
+        for (int64_t t = 0; t < num_levels; ++t) {
+          if (!ReadF64(in, &levels[static_cast<size_t>(t)]) ||
+              !ReadF64(in, &freqs[static_cast<size_t>(t)])) {
+            return false;
+          }
+        }
+        h->label_levels.push_back(std::move(levels));
+        h->label_level_freqs.push_back(std::move(freqs));
+      }
+    }
+  }
   return true;
 }
 
@@ -375,12 +455,24 @@ void WriteAdam(std::ostream& out, int version, nn::Adam* adam) {
 
 Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
                           int version) const {
-  if (version < 3 || version > 5) {
+  if (version < 3 || version > 6) {
     return Status::InvalidArgument("unsupported save version " +
                                    std::to_string(version));
   }
+  if (version < 6 && (options_.conditional || !normalizer_.all_minmax())) {
+    // Pre-v6 layouts have nowhere to carry the mixtures or the label
+    // vocabulary; silently dropping them would save a model that decodes
+    // differently than it samples.
+    return Status::InvalidArgument(
+        "cannot save a conditional or GMM-normalized model in format "
+        "version " +
+        std::to_string(version) + " (requires version 6)");
+  }
   std::ostringstream out;
-  out.write(version >= 5 ? kMagicV5 : (version >= 4 ? kMagicV4 : kMagicV3),
+  out.write(version >= 6
+                ? kMagicV6
+                : (version >= 5 ? kMagicV5
+                                : (version >= 4 ? kMagicV4 : kMagicV3)),
             kMagicSize);
 
   // Options: the fields that shape the architecture, sampling and the
@@ -416,8 +508,8 @@ Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
 
   // Normalizer bounds.
   for (int c = 0; c < schema_.num_columns(); ++c) {
-    WriteF64(out, normalizer_.mins()[static_cast<size_t>(c)]);
-    WriteF64(out, normalizer_.maxs()[static_cast<size_t>(c)]);
+    WriteF64(out, normalizer_.minmax().mins()[static_cast<size_t>(c)]);
+    WriteF64(out, normalizer_.minmax().maxs()[static_cast<size_t>(c)]);
   }
 
   // Sampling-stream counters (v4+): a reloaded model continues Sample's
@@ -438,6 +530,45 @@ Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
     WriteF32(out, options_.guard_factor);
     WriteI64(out, options_.guard_warmup_epochs);
     WriteI64(out, options_.guard_max_rollbacks);
+  }
+
+  // Record-encoding and conditioning section (v6+).
+  if (version >= 6) {
+    WriteI64(out, options_.conditional ? 1 : 0);
+    WriteI64(out, options_.gmm_components);
+    WriteI64(out, static_cast<int64_t>(options_.gmm_columns.size()));
+    for (int c : options_.gmm_columns) WriteI64(out, c);
+    const std::vector<data::ColumnNormalizerSpec>& specs =
+        normalizer_.specs();
+    for (int c = 0; c < schema_.num_columns(); ++c) {
+      const data::NormalizerKind kind =
+          specs.empty() ? data::NormalizerKind::kMinMax
+                        : specs[static_cast<size_t>(c)].kind;
+      WriteI64(out, static_cast<int64_t>(kind));
+      if (kind != data::NormalizerKind::kGmm) continue;
+      const data::GmmColumnNormalizer* g = normalizer_.gmm(c);
+      WriteI64(out, specs[static_cast<size_t>(c)].components);
+      WriteF64(out, g->lo());
+      WriteF64(out, g->hi());
+      WriteI64(out, g->num_components());
+      for (const data::GmmComponent& comp : g->components()) {
+        WriteF64(out, comp.weight);
+        WriteF64(out, comp.mean);
+        WriteF64(out, comp.sigma);
+        WriteF64(out, comp.halfwidth);
+      }
+    }
+    if (options_.conditional) {
+      for (size_t j = 0; j < label_cols_.size(); ++j) {
+        const std::vector<double>& levels = label_levels_[j];
+        const std::vector<double>& freqs = label_level_freqs_[j];
+        WriteI64(out, static_cast<int64_t>(levels.size()));
+        for (size_t t = 0; t < levels.size(); ++t) {
+          WriteF64(out, levels[t]);
+          WriteF64(out, freqs[t]);
+        }
+      }
+    }
   }
 
   // Network state.
@@ -498,7 +629,7 @@ Status TableGan::SaveImpl(const std::string& path, const TrainingState* train,
 
 Status TableGan::Save(const std::string& path) const {
   if (!fitted_) return Status::FailedPrecondition("Save before Fit");
-  return SaveImpl(path, nullptr, 5);
+  return SaveImpl(path, nullptr, 6);
 }
 
 Status TableGan::SaveCompat(const std::string& path, int version) const {
@@ -523,9 +654,14 @@ Result<TableGan> TableGan::Load(const std::string& path) {
   gan.label_cols_ = h.label_cols;
   gan.schema_ = h.schema;
   gan.normalizer_.Restore(std::move(h.mins), std::move(h.maxs),
-                          std::move(h.types));
+                          std::move(h.types), std::move(h.specs),
+                          std::move(h.gmms));
+  gan.label_levels_ = std::move(h.label_levels);
+  gan.label_level_freqs_ = std::move(h.label_level_freqs);
+  // The codec spans the encoded record, which GMM columns widen beyond
+  // the schema width (pre-v6 files: encoded_width == num_columns).
   gan.codec_ = std::make_unique<data::RecordMatrixCodec>(
-      gan.schema_.num_columns(), gan.side_);
+      gan.normalizer_.encoded_width(), gan.side_);
   if (h.has_stream) {
     // Continue the saved sampling stream instead of replaying it (v3
     // files fall back to a fresh stream seeded from the options).
@@ -537,8 +673,9 @@ Result<TableGan> TableGan::Load(const std::string& path) {
   // section, if present, is ignored here: a checkpoint is a superset of
   // a model file and loads as one.)
   Rng init_rng(h.options.seed);
-  gan.generator_ = BuildGenerator(gan.side_, h.options.latent_dim,
-                                  h.options.base_channels, &init_rng);
+  gan.generator_ =
+      BuildGenerator(gan.side_, h.options.latent_dim + gan.cond_dim(),
+                     h.options.base_channels, &init_rng);
   gan.discriminator_ =
       BuildDiscriminator(gan.side_, h.options.base_channels, &init_rng);
   gan.classifier_ =
@@ -612,11 +749,51 @@ Status TableGan::RestoreTrainingState(const std::string& path,
       o.guard_max_rollbacks != options_.guard_max_rollbacks) {
     return mismatch("training-stability options");
   }
+  // The record encoding and conditioning setup shape the generator
+  // input and the codec width; resuming across a change would replay a
+  // different architecture.
+  if (o.conditional != options_.conditional ||
+      o.gmm_components != options_.gmm_components ||
+      o.gmm_columns != options_.gmm_columns) {
+    return mismatch("conditional/GMM options");
+  }
   if (h.side != side_) return mismatch("matrix side");
   if (h.label_cols != label_cols_) return mismatch("label columns");
   if (!h.schema.Equals(schema_)) return mismatch("schema");
-  if (h.mins != normalizer_.mins() || h.maxs != normalizer_.maxs()) {
+  if (h.mins != normalizer_.minmax().mins() ||
+      h.maxs != normalizer_.minmax().maxs()) {
     return mismatch("normalizer bounds (different training table?)");
+  }
+  if (version >= 6) {
+    // The fitted mixtures are a deterministic function of the training
+    // table and options, so any drift means a different table.
+    for (int c = 0; c < schema_.num_columns(); ++c) {
+      const data::GmmColumnNormalizer* mine = normalizer_.gmm(c);
+      const data::GmmColumnNormalizer* theirs =
+          h.gmms.empty() ? nullptr : h.gmms[static_cast<size_t>(c)].get();
+      if ((mine == nullptr) != (theirs == nullptr)) {
+        return mismatch("GMM column selection");
+      }
+      if (mine == nullptr) continue;
+      bool equal = mine->lo() == theirs->lo() &&
+                   mine->hi() == theirs->hi() &&
+                   mine->num_components() == theirs->num_components();
+      for (int m = 0; equal && m < mine->num_components(); ++m) {
+        const data::GmmComponent& a =
+            mine->components()[static_cast<size_t>(m)];
+        const data::GmmComponent& b =
+            theirs->components()[static_cast<size_t>(m)];
+        equal = a.weight == b.weight && a.mean == b.mean &&
+                a.sigma == b.sigma && a.halfwidth == b.halfwidth;
+      }
+      if (!equal) {
+        return mismatch("GMM parameters (different training table?)");
+      }
+    }
+    if (options_.conditional && (h.label_levels != label_levels_ ||
+                                 h.label_level_freqs != label_level_freqs_)) {
+      return mismatch("label vocabulary (different training table?)");
+    }
   }
   if (h.has_stream) {
     sample_stream_seed_ = h.sample_stream_seed;

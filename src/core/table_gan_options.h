@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 
@@ -115,6 +116,23 @@ struct TableGanOptions {
   int guard_warmup_epochs = 3;
   /// Retry budget for kRollback before the run halts anyway.
   int guard_max_rollbacks = 3;
+
+  /// --- Conditional generation / record encoding (DESIGN.md §16) -----
+  /// Condition the generator on the label: the encoded label cells of
+  /// each real batch are concatenated onto its latent vectors during
+  /// training, and SampleConditional synthesizes rows of one requested
+  /// label. Off by default — an unconditional model's generator input,
+  /// draw sequence and checkpoints are bitwise identical to pre-v6
+  /// builds. Serialized since checkpoint format v6.
+  bool conditional = false;
+  /// Columns (indices into the training schema) encoded with the
+  /// mode-specific GMM normalizer instead of min-max (TGAN-style,
+  /// 1811.11264 §4.2). Continuous non-label columns only. Empty = all
+  /// min-max, the bitwise-stable default. Serialized since v6.
+  std::vector<int> gmm_columns;
+  /// EM component budget per GMM column (modes may be pruned), in
+  /// [1, 64].
+  int gmm_components = 4;
 
   /// Worker threads for the tensor substrate (GEMM and im2col conv
   /// kernels). 0 defers to the TABLEGAN_NUM_THREADS environment variable,

@@ -1,0 +1,382 @@
+#include "data/gmm_normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace tablegan {
+namespace data {
+namespace {
+
+// Dirichlet pseudo-count on the mixture weights. Acts as the variational
+// prior: a mode that explains almost no data keeps a small but non-zero
+// weight during EM (no division blow-ups) and lands below the prune
+// threshold afterwards instead of collapsing onto a single point.
+constexpr double kWeightPseudoCount = 1.0;
+// Modes below this posterior mass after EM are dropped.
+constexpr double kPruneWeight = 1e-3;
+// Scale floor in unit space; also bounds halfwidths away from zero.
+constexpr double kSigmaFloor = 1e-4;
+constexpr int kMaxEmIters = 50;
+constexpr double kMeanTolerance = 1e-7;
+
+// Unnormalized log posterior of mode `comp` at unit-space value u. Both
+// the fitting pass and Encode() select modes with this exact expression
+// (ties to the lowest index), which is what makes the fitted halfwidths
+// cover every training value at encode time.
+double LogPosterior(const GmmComponent& comp, double u) {
+  const double z = (u - comp.mean) / comp.sigma;
+  return std::log(comp.weight) - std::log(comp.sigma) - 0.5 * z * z;
+}
+
+}  // namespace
+
+int GmmColumnNormalizer::SelectMode(double u) const {
+  int best = 0;
+  double best_lp = LogPosterior(components_[0], u);
+  for (int m = 1; m < num_components(); ++m) {
+    const double lp = LogPosterior(components_[static_cast<size_t>(m)], u);
+    if (lp > best_lp) {
+      best_lp = lp;
+      best = m;
+    }
+  }
+  return best;
+}
+
+Status GmmColumnNormalizer::Fit(const double* values, int64_t n,
+                                int max_components) {
+  if (n <= 0) {
+    return Status::InvalidArgument("cannot fit GMM normalizer on empty column");
+  }
+  if (max_components < 1 || max_components > 64) {
+    return Status::InvalidArgument(
+        "GMM component count must be in [1, 64], got " +
+        std::to_string(max_components));
+  }
+  double lo = values[0], hi = values[0];
+  for (int64_t i = 0; i < n; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  lo_ = lo;
+  hi_ = hi;
+  const double span = hi - lo;
+  if (!(span > 0.0)) {
+    // Constant column: one degenerate mode; Encode maps everything to
+    // scalar 0 and Decode returns the constant.
+    components_.assign(1, GmmComponent{1.0, 0.0, 1.0, 1.0});
+    return Status::OK();
+  }
+
+  // All mixture math happens on the unit-space image of the data.
+  std::vector<double> u(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    u[static_cast<size_t>(i)] = EncodeUnit(values[i], lo, hi, span);
+  }
+  std::vector<double> sorted = u;
+  std::sort(sorted.begin(), sorted.end());
+  int64_t distinct = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  const int k =
+      static_cast<int>(std::min<int64_t>(max_components, distinct));
+
+  // Quantile initialization off the sorted sample: deterministic, and it
+  // lands one seed mean inside each populated region of the column.
+  std::vector<GmmComponent> comps(static_cast<size_t>(k));
+  for (int m = 0; m < k; ++m) {
+    const int64_t idx = (n - 1) * (2 * m + 1) / (2 * k);
+    comps[static_cast<size_t>(m)].mean = sorted[static_cast<size_t>(idx)];
+    comps[static_cast<size_t>(m)].sigma = std::max(kSigmaFloor, 1.0 / k);
+    comps[static_cast<size_t>(m)].weight = 1.0 / k;
+  }
+
+  std::vector<double> resp(static_cast<size_t>(k));
+  std::vector<double> nm(static_cast<size_t>(k));
+  std::vector<double> mean_acc(static_cast<size_t>(k));
+  std::vector<double> var_acc(static_cast<size_t>(k));
+  for (int iter = 0; iter < kMaxEmIters; ++iter) {
+    std::fill(nm.begin(), nm.end(), 0.0);
+    std::fill(mean_acc.begin(), mean_acc.end(), 0.0);
+    std::fill(var_acc.begin(), var_acc.end(), 0.0);
+    // E-step + sufficient statistics, serial in row order so the fitted
+    // parameters never depend on the thread count.
+    for (int64_t i = 0; i < n; ++i) {
+      const double ui = u[static_cast<size_t>(i)];
+      double max_lp = LogPosterior(comps[0], ui);
+      for (int m = 1; m < k; ++m) {
+        max_lp = std::max(max_lp, LogPosterior(comps[static_cast<size_t>(m)], ui));
+      }
+      double total = 0.0;
+      for (int m = 0; m < k; ++m) {
+        const double r =
+            std::exp(LogPosterior(comps[static_cast<size_t>(m)], ui) - max_lp);
+        resp[static_cast<size_t>(m)] = r;
+        total += r;
+      }
+      for (int m = 0; m < k; ++m) {
+        const double r = resp[static_cast<size_t>(m)] / total;
+        const double d = ui - comps[static_cast<size_t>(m)].mean;
+        nm[static_cast<size_t>(m)] += r;
+        mean_acc[static_cast<size_t>(m)] += r * ui;
+        var_acc[static_cast<size_t>(m)] += r * d * d;
+      }
+    }
+    // M-step with the Dirichlet pseudo-count folded into the weights.
+    double max_shift = 0.0;
+    for (int m = 0; m < k; ++m) {
+      GmmComponent& comp = comps[static_cast<size_t>(m)];
+      const double mass = nm[static_cast<size_t>(m)];
+      comp.weight = (mass + kWeightPseudoCount) /
+                    (static_cast<double>(n) + k * kWeightPseudoCount);
+      if (mass > 1e-12) {
+        const double new_mean = mean_acc[static_cast<size_t>(m)] / mass;
+        max_shift = std::max(max_shift, std::abs(new_mean - comp.mean));
+        comp.mean = new_mean;
+        comp.sigma = std::max(
+            kSigmaFloor, std::sqrt(var_acc[static_cast<size_t>(m)] / mass));
+      }
+    }
+    if (max_shift < kMeanTolerance) break;
+  }
+
+  // Prune starved modes (always keeping the heaviest) and renormalize.
+  double best_weight = comps[0].weight;
+  for (const GmmComponent& comp : comps) {
+    best_weight = std::max(best_weight, comp.weight);
+  }
+  std::vector<GmmComponent> kept;
+  for (const GmmComponent& comp : comps) {
+    if (comp.weight >= kPruneWeight || comp.weight == best_weight) {
+      kept.push_back(comp);
+    }
+  }
+  double total_weight = 0.0;
+  for (const GmmComponent& comp : kept) total_weight += comp.weight;
+  for (GmmComponent& comp : kept) comp.weight /= total_weight;
+  // Canonical order: ascending mean, so the fitted layout is a pure
+  // function of the data rather than of initialization accidents.
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const GmmComponent& a, const GmmComponent& b) {
+                     return a.mean < b.mean;
+                   });
+  components_ = std::move(kept);
+
+  // Hard-assignment pass: size each mode's halfwidth to cover the
+  // farthest training point it will actually be asked to encode, then
+  // drop modes that win no points at all (dropping them cannot change
+  // any other point's argmax). This is what makes encode->decode the
+  // identity on the training data up to float rounding.
+  const int kk = num_components();
+  std::vector<double> maxdev(static_cast<size_t>(kk), 0.0);
+  std::vector<int64_t> assigned(static_cast<size_t>(kk), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double ui = u[static_cast<size_t>(i)];
+    const int m = SelectMode(ui);
+    maxdev[static_cast<size_t>(m)] =
+        std::max(maxdev[static_cast<size_t>(m)],
+                 std::abs(ui - components_[static_cast<size_t>(m)].mean));
+    ++assigned[static_cast<size_t>(m)];
+  }
+  std::vector<GmmComponent> final_comps;
+  for (int m = 0; m < kk; ++m) {
+    if (assigned[static_cast<size_t>(m)] == 0) continue;
+    GmmComponent comp = components_[static_cast<size_t>(m)];
+    comp.halfwidth =
+        std::max(4.0 * comp.sigma, maxdev[static_cast<size_t>(m)]);
+    final_comps.push_back(comp);
+  }
+  total_weight = 0.0;
+  for (const GmmComponent& comp : final_comps) total_weight += comp.weight;
+  for (GmmComponent& comp : final_comps) comp.weight /= total_weight;
+  components_ = std::move(final_comps);
+  return Status::OK();
+}
+
+void GmmColumnNormalizer::Encode(double v, float* out) const {
+  TABLEGAN_CHECK(fitted());
+  const double span = hi_ - lo_;
+  const double u = span > 0.0 ? EncodeUnit(v, lo_, hi_, span) : 0.0;
+  const int m = SelectMode(u);
+  const GmmComponent& comp = components_[static_cast<size_t>(m)];
+  const double s =
+      std::clamp((u - comp.mean) / comp.halfwidth, -1.0, 1.0);
+  out[0] = static_cast<float>(s);
+  for (int j = 0; j < num_components(); ++j) {
+    out[1 + j] = j == m ? 1.0f : -1.0f;
+  }
+}
+
+double GmmColumnNormalizer::Decode(const float* cells) const {
+  TABLEGAN_CHECK(fitted());
+  int m = 0;
+  for (int j = 1; j < num_components(); ++j) {
+    if (cells[1 + j] > cells[1 + m]) m = j;
+  }
+  const GmmComponent& comp = components_[static_cast<size_t>(m)];
+  const double s = std::clamp(static_cast<double>(cells[0]), -1.0, 1.0);
+  const double u =
+      std::clamp(comp.mean + s * comp.halfwidth, -1.0, 1.0);
+  const double span = hi_ - lo_;
+  return span > 0.0 ? DecodeUnit(u, lo_, hi_, span) : lo_;
+}
+
+Status RecordNormalizer::Fit(const TableView& table,
+                             const std::vector<ColumnNormalizerSpec>& specs) {
+  const int cols = table.num_columns();
+  if (!specs.empty() && static_cast<int>(specs.size()) != cols) {
+    return Status::InvalidArgument(
+        "normalizer spec count " + std::to_string(specs.size()) +
+        " does not match column count " + std::to_string(cols));
+  }
+  TABLEGAN_RETURN_NOT_OK(minmax_.Fit(table));
+  types_.resize(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    types_[static_cast<size_t>(c)] = table.schema().column(c).type;
+  }
+  specs_ = specs.empty()
+               ? std::vector<ColumnNormalizerSpec>(static_cast<size_t>(cols))
+               : specs;
+  gmms_.clear();
+  gmms_.resize(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    const ColumnNormalizerSpec& spec = specs_[static_cast<size_t>(c)];
+    if (spec.kind != NormalizerKind::kGmm) continue;
+    if (types_[static_cast<size_t>(c)] != ColumnType::kContinuous) {
+      return Status::InvalidArgument(
+          "GMM normalization requires a continuous column, but column " +
+          std::to_string(c) + " ('" + table.schema().column(c).name +
+          "') is not");
+    }
+    auto gmm = std::make_unique<GmmColumnNormalizer>();
+    TABLEGAN_RETURN_NOT_OK(
+        gmm->Fit(table.column_data(c), table.num_rows(), spec.components));
+    gmms_[static_cast<size_t>(c)] = std::move(gmm);
+  }
+  RebuildLayout();
+  return Status::OK();
+}
+
+void RecordNormalizer::RebuildLayout() {
+  const int cols = num_columns();
+  offsets_.resize(static_cast<size_t>(cols));
+  int w = 0;
+  all_minmax_ = true;
+  for (int c = 0; c < cols; ++c) {
+    offsets_[static_cast<size_t>(c)] = w;
+    w += column_width(c);
+    if (gmm(c) != nullptr) all_minmax_ = false;
+  }
+  encoded_width_ = w;
+}
+
+void RecordNormalizer::Restore(
+    std::vector<double> mins, std::vector<double> maxs,
+    std::vector<ColumnType> types, std::vector<ColumnNormalizerSpec> specs,
+    std::vector<std::unique_ptr<GmmColumnNormalizer>> gmms) {
+  const size_t cols = mins.size();
+  types_ = types;
+  minmax_.Restore(std::move(mins), std::move(maxs), std::move(types));
+  specs_ = specs.empty() ? std::vector<ColumnNormalizerSpec>(cols)
+                         : std::move(specs);
+  gmms_ = std::move(gmms);
+  gmms_.resize(cols);
+  RebuildLayout();
+}
+
+Result<Tensor> RecordNormalizer::Transform(const TableView& table) const {
+  if (all_minmax_) return minmax_.Transform(table);
+  if (!fitted()) return Status::FailedPrecondition("normalizer not fitted");
+  if (table.num_columns() != num_columns()) {
+    return Status::InvalidArgument("column count mismatch in Transform");
+  }
+  const int64_t n = table.num_rows();
+  Tensor out({n, encoded_width_});
+  std::vector<int64_t> rows(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) rows[static_cast<size_t>(r)] = r;
+  EncodeRowsInto(table, rows.data(), n, out.data(), encoded_width_);
+  return out;
+}
+
+void RecordNormalizer::EncodeRowsInto(const TableView& table,
+                                      const int64_t* rows, int64_t count,
+                                      float* out, int64_t stride) const {
+  if (all_minmax_) {
+    minmax_.EncodeRowsInto(table, rows, count, out, stride);
+    return;
+  }
+  TABLEGAN_CHECK(fitted() && table.num_columns() == num_columns());
+  TABLEGAN_CHECK(stride >= encoded_width_);
+  const int cols = num_columns();
+  for (int c = 0; c < cols; ++c) {
+    const int64_t off = offsets_[static_cast<size_t>(c)];
+    const double* col = table.column_data(c);
+    const GmmColumnNormalizer* g = gmm(c);
+    if (g != nullptr) {
+      for (int64_t i = 0; i < count; ++i) {
+        g->Encode(col[rows[i]], out + i * stride + off);
+      }
+      continue;
+    }
+    // Same per-cell expression as the plain min-max path, so min-max
+    // columns of a mixed record encode bitwise identically.
+    const double lo = minmax_.column_min(c);
+    const double hi = minmax_.column_max(c);
+    const double span = hi - lo;
+    for (int64_t i = 0; i < count; ++i) {
+      const double v = col[rows[i]];
+      out[i * stride + off] =
+          span > 0.0 ? static_cast<float>(EncodeUnit(v, lo, hi, span))
+                     : 0.0f;
+    }
+  }
+}
+
+Result<Table> RecordNormalizer::InverseTransform(const Tensor& encoded,
+                                                 const Schema& schema) const {
+  if (all_minmax_) return minmax_.InverseTransform(encoded, schema);
+  if (!fitted()) return Status::FailedPrecondition("normalizer not fitted");
+  if (encoded.rank() != 2 || encoded.dim(1) != encoded_width_) {
+    return Status::InvalidArgument("encoded shape mismatch");
+  }
+  if (schema.num_columns() != num_columns()) {
+    return Status::InvalidArgument("schema width mismatch");
+  }
+  const int64_t n = encoded.dim(0);
+  const int cols = num_columns();
+  Table out(schema);
+  out.Resize(n);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* row = encoded.data() + r * encoded_width_;
+    for (int c = 0; c < cols; ++c) {
+      const int64_t off = offsets_[static_cast<size_t>(c)];
+      const GmmColumnNormalizer* g = gmm(c);
+      if (g != nullptr) {
+        out.Set(r, c, g->Decode(row + off));
+        continue;
+      }
+      const double lo = minmax_.column_min(c);
+      const double hi = minmax_.column_max(c);
+      double u = std::clamp(static_cast<double>(row[off]), -1.0, 1.0);
+      double v = DecodeUnit(u, lo, hi, hi - lo);
+      if (types_[static_cast<size_t>(c)] != ColumnType::kContinuous) {
+        v = std::round(v);
+      }
+      if (types_[static_cast<size_t>(c)] == ColumnType::kCategorical) {
+        const int nc = schema.column(c).num_categories();
+        if (nc > 0) {
+          v = std::clamp(v, 0.0, static_cast<double>(nc - 1));
+        } else {
+          v = std::clamp(v, std::round(lo), std::round(hi));
+        }
+      }
+      out.Set(r, c, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace tablegan

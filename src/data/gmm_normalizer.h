@@ -1,0 +1,184 @@
+#ifndef TABLEGAN_DATA_GMM_NORMALIZER_H_
+#define TABLEGAN_DATA_GMM_NORMALIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "data/normalizer.h"
+#include "data/table.h"
+#include "data/table_view.h"
+#include "tensor/tensor.h"
+
+namespace tablegan {
+namespace data {
+
+/// Which per-column encoding a RecordNormalizer applies. The values are
+/// the on-disk encoding of checkpoint format v6 — do not renumber.
+enum class NormalizerKind : int {
+  kMinMax = 0,
+  kGmm = 1,
+};
+
+/// Per-column normalizer selection. `components` is the EM component
+/// budget and is only meaningful for kGmm; the fitted mixture may end up
+/// smaller after low-weight modes are pruned.
+struct ColumnNormalizerSpec {
+  NormalizerKind kind = NormalizerKind::kMinMax;
+  int components = 4;
+};
+
+/// One fitted mixture mode. All four parameters live in the min-max unit
+/// space ([-1, 1] after EncodeUnit), not in raw column units: fitting in
+/// unit space means extreme doubles (DBL_MAX spans, denormals, -0.0) are
+/// tamed by the same overflow-safe mapping the min-max normalizer uses,
+/// and the mixture math never leaves a well-scaled range. `halfwidth` is
+/// the within-mode scale used for encoding — max(4*sigma, farthest
+/// training point hard-assigned to the mode) — so every training value
+/// encodes to a within-mode scalar in [-1, 1] without saturating.
+struct GmmComponent {
+  double weight = 0.0;
+  double mean = 0.0;
+  double sigma = 0.0;
+  double halfwidth = 0.0;
+};
+
+/// Mode-specific normalization for one continuous column (TGAN-style,
+/// Xu & Veeramachaneni 1811.11264 §4.2): a k-component Gaussian mixture
+/// is fitted by EM with a Dirichlet pseudo-count on the weights (the
+/// "variational" regularizer — it keeps starved modes from collapsing to
+/// zero-width spikes and prunes them cleanly instead), and each value is
+/// encoded as one within-mode scalar plus a k-wide one-hot mode
+/// indicator in {-1, +1}.
+///
+/// Fitting is strictly serial with a fixed accumulation order, so the
+/// fitted parameters are bitwise identical at any thread count — the
+/// same contract the rest of the training path keeps.
+class GmmColumnNormalizer {
+ public:
+  GmmColumnNormalizer() = default;
+
+  /// Fits at most `max_components` modes to `values[0..n)`. Constant
+  /// columns fit a single degenerate mode; columns with fewer distinct
+  /// values than `max_components` fit one mode per distinct cluster at
+  /// most. n must be >= 1 and max_components in [1, 64].
+  Status Fit(const double* values, int64_t n, int max_components);
+
+  bool fitted() const { return !components_.empty(); }
+  int num_components() const { return static_cast<int>(components_.size()); }
+  /// Floats written per value: 1 scalar + num_components() indicator.
+  int encoded_width() const { return 1 + num_components(); }
+
+  /// Writes encoded_width() floats: out[0] is the within-mode scalar in
+  /// [-1, 1], out[1 + m] is +1 for the selected mode and -1 otherwise.
+  /// Mode selection is the posterior argmax (ties to the lowest index),
+  /// the same rule the fitting pass used to size the halfwidths, so
+  /// every training value round-trips within float precision.
+  void Encode(double v, float* out) const;
+
+  /// Inverts Encode: picks the argmax indicator cell (ties to the lowest
+  /// index), clamps the scalar to [-1, 1], and maps back through the
+  /// mode's mean/halfwidth and the column's unit-space bounds.
+  double Decode(const float* cells) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  const std::vector<GmmComponent>& components() const { return components_; }
+
+  /// Model persistence: reinstates a fitted state verbatim.
+  void Restore(double lo, double hi, std::vector<GmmComponent> components) {
+    lo_ = lo;
+    hi_ = hi;
+    components_ = std::move(components);
+  }
+
+ private:
+  int SelectMode(double u) const;
+
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  std::vector<GmmComponent> components_;
+};
+
+/// The Schema/Normalizer seam of paper §3.2 with per-column selection:
+/// every column defaults to the min-max encoding, and individual
+/// continuous columns can opt into mode-specific GMM encoding.
+///
+/// When every column is min-max (the default, and every checkpoint
+/// format before v6), all four encode/decode entry points delegate
+/// wholesale to the wrapped MinMaxNormalizer, so the encoded tensor —
+/// and therefore every trained weight and sampled byte — is bitwise
+/// identical to what the plain normalizer produces. GMM columns widen
+/// the record: the encoded row lays columns out in schema order, each
+/// occupying column_width(c) consecutive cells starting at
+/// column_offset(c) (1 for min-max, 1 + k for a k-mode GMM column).
+class RecordNormalizer {
+ public:
+  RecordNormalizer() = default;
+
+  /// Fits every column. `specs` is either empty (all min-max) or one
+  /// entry per column; kGmm is only valid on kContinuous columns.
+  Status Fit(const TableView& table,
+             const std::vector<ColumnNormalizerSpec>& specs = {});
+
+  bool fitted() const { return minmax_.fitted(); }
+  int num_columns() const { return minmax_.num_columns(); }
+  /// Total cells per encoded row (== num_columns() when all min-max).
+  int encoded_width() const { return encoded_width_; }
+  bool all_minmax() const { return all_minmax_; }
+
+  int column_offset(int c) const { return offsets_[static_cast<size_t>(c)]; }
+  int column_width(int c) const {
+    const GmmColumnNormalizer* g = gmm(c);
+    return g ? g->encoded_width() : 1;
+  }
+
+  /// Encodes the whole table as a [rows, encoded_width()] tensor.
+  Result<Tensor> Transform(const TableView& table) const;
+
+  /// Strided selected-row encoding with the same bitwise-equals-gather
+  /// contract as MinMaxNormalizer::EncodeRowsInto; writes
+  /// encoded_width() cells per row.
+  void EncodeRowsInto(const TableView& table, const int64_t* rows,
+                      int64_t count, float* out, int64_t stride) const;
+
+  /// Decodes a [rows, encoded_width()] tensor back into a table under
+  /// `schema`. Min-max columns round/clamp exactly as the plain
+  /// normalizer; GMM columns decode through their selected mode.
+  Result<Table> InverseTransform(const Tensor& encoded,
+                                 const Schema& schema) const;
+
+  const MinMaxNormalizer& minmax() const { return minmax_; }
+  const std::vector<ColumnNormalizerSpec>& specs() const { return specs_; }
+  /// nullptr for min-max columns.
+  const GmmColumnNormalizer* gmm(int c) const {
+    return gmms_[static_cast<size_t>(c)].get();
+  }
+
+  double column_min(int c) const { return minmax_.column_min(c); }
+  double column_max(int c) const { return minmax_.column_max(c); }
+
+  /// Model persistence: `gmms[c]` must be non-null exactly where
+  /// `specs[c].kind == kGmm` (specs may be empty for all min-max).
+  void Restore(std::vector<double> mins, std::vector<double> maxs,
+               std::vector<ColumnType> types,
+               std::vector<ColumnNormalizerSpec> specs,
+               std::vector<std::unique_ptr<GmmColumnNormalizer>> gmms);
+
+ private:
+  void RebuildLayout();
+
+  MinMaxNormalizer minmax_;
+  std::vector<ColumnType> types_;
+  std::vector<ColumnNormalizerSpec> specs_;
+  std::vector<std::unique_ptr<GmmColumnNormalizer>> gmms_;
+  std::vector<int> offsets_;
+  int encoded_width_ = 0;
+  bool all_minmax_ = true;
+};
+
+}  // namespace data
+}  // namespace tablegan
+
+#endif  // TABLEGAN_DATA_GMM_NORMALIZER_H_

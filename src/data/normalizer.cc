@@ -5,28 +5,17 @@
 
 namespace tablegan {
 namespace data {
-namespace {
 
-// (v - lo) mapped to [-1, 1] without intermediate overflow. Dividing
-// before doubling keeps every intermediate <= span; when hi - lo itself
-// overflows (columns spanning most of the double range), the same ratio
-// is formed from exactly-halved operands. Both forms round identically
-// to the naive 2*(v-lo)/span - 1 wherever that one is finite.
 double EncodeUnit(double v, double lo, double hi, double span) {
   if (std::isfinite(span)) return (v - lo) / span * 2.0 - 1.0;
   return (0.5 * v - 0.5 * lo) / (0.5 * hi - 0.5 * lo) * 2.0 - 1.0;
 }
 
-// Inverse map of EncodeUnit for u in [-1, 1]. The naive
-// lo + (u+1)*0.5*span overflows with span; the wide-span branch
-// interpolates lo/hi directly, keeping every term within the domain.
 double DecodeUnit(double u, double lo, double hi, double span) {
   if (std::isfinite(span)) return lo + (u + 1.0) * 0.5 * span;
   const double w = (u + 1.0) * 0.5;
   return lo * (1.0 - w) + hi * w;
 }
-
-}  // namespace
 
 Status MinMaxNormalizer::Fit(const TableView& table) {
   if (table.num_rows() == 0) {

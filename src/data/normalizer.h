@@ -11,6 +11,21 @@
 namespace tablegan {
 namespace data {
 
+/// (v - lo) mapped to [-1, 1] without intermediate overflow. Dividing
+/// before doubling keeps every intermediate <= span; when hi - lo itself
+/// overflows (columns spanning most of the double range), the same ratio
+/// is formed from exactly-halved operands. Both forms round identically
+/// to the naive 2*(v-lo)/span - 1 wherever that one is finite. Shared by
+/// the min-max normalizer and the GMM normalizer (gmm_normalizer.h),
+/// which fits its mixtures in this unit space so extreme doubles are
+/// handled by one audited mapping.
+double EncodeUnit(double v, double lo, double hi, double span);
+
+/// Inverse map of EncodeUnit for u in [-1, 1]. The naive
+/// lo + (u+1)*0.5*span overflows with span; the wide-span branch
+/// interpolates lo/hi directly, keeping every term within the domain.
+double DecodeUnit(double u, double lo, double hi, double span);
+
 /// Attribute-wise min-max scaler to [-1, 1].
 ///
 /// This is the record encoding of paper §3.2: every attribute — after

@@ -85,13 +85,15 @@ Result<SampleResponse> Client::Call(const SampleRequest& req) {
 
 Result<std::string> Client::SampleRange(const std::string& model_id,
                                         uint64_t seed, int64_t row_begin,
-                                        int64_t row_end, Format format) {
+                                        int64_t row_end, Format format,
+                                        std::optional<double> where_label) {
   SampleRequest req;
   req.model_id = model_id;
   req.seed = seed;
   req.row_begin = row_begin;
   req.row_end = row_end;
   req.format = format;
+  req.where_label = where_label;
   TABLEGAN_ASSIGN_OR_RETURN(SampleResponse resp, Call(req));
   if (resp.status != WireStatus::kOk) {
     return Status::IOError(std::string("server replied ") +

@@ -2,6 +2,7 @@
 #define TABLEGAN_SERVE_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -39,10 +40,13 @@ class Client {
 
   /// Convenience wrapper: requests rows [row_begin, row_end) of
   /// (model_id, seed) and returns the CSV payload, folding any non-kOk
-  /// wire status into an error Status.
-  Result<std::string> SampleRange(const std::string& model_id, uint64_t seed,
-                                  int64_t row_begin, int64_t row_end,
-                                  Format format = Format::kCsv);
+  /// wire status into an error Status. When `where_label` is set the
+  /// request is conditional — the server serves the per-label stream of
+  /// that label (protocol v2; unset keeps the v1 byte layout).
+  Result<std::string> SampleRange(
+      const std::string& model_id, uint64_t seed, int64_t row_begin,
+      int64_t row_end, Format format = Format::kCsv,
+      std::optional<double> where_label = std::nullopt);
 
  private:
   int fd_ = -1;

@@ -50,19 +50,27 @@ const char* WireStatusToString(WireStatus s) {
     case WireStatus::kUnknownModel: return "UNKNOWN_MODEL";
     case WireStatus::kBadRequest: return "BAD_REQUEST";
     case WireStatus::kInternal: return "INTERNAL";
+    case WireStatus::kUnknownLabel: return "UNKNOWN_LABEL";
   }
   return "INVALID";
 }
 
 std::string EncodeRequest(const SampleRequest& req) {
   std::string body;
-  Append<uint32_t>(&body, kProtocolVersion);
+  // Unconditional requests stay on version 1: byte-identical to what a
+  // pre-conditional client emits, so old servers keep serving them.
+  Append<uint32_t>(&body, req.where_label.has_value() ? kProtocolVersion
+                                                      : kMinProtocolVersion);
   Append<uint8_t>(&body, static_cast<uint8_t>(req.format));
   Append<uint16_t>(&body, static_cast<uint16_t>(req.model_id.size()));
   body.append(req.model_id);
   Append<uint64_t>(&body, req.seed);
   Append<int64_t>(&body, req.row_begin);
   Append<int64_t>(&body, req.row_end);
+  if (req.where_label.has_value()) {
+    Append<uint8_t>(&body, 1);
+    Append<double>(&body, *req.where_label);
+  }
   return body;
 }
 
@@ -75,7 +83,7 @@ Result<SampleRequest> DecodeRequest(const std::string& body) {
   if (!r.Read(&version)) {
     return Status::InvalidArgument("request truncated before version");
   }
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(version));
   }
@@ -98,6 +106,18 @@ Result<SampleRequest> DecodeRequest(const std::string& body) {
   }
   if (!r.Read(&req.seed) || !r.Read(&req.row_begin) || !r.Read(&req.row_end)) {
     return Status::InvalidArgument("request truncated in range fields");
+  }
+  if (version >= 2) {
+    uint8_t has_label = 0;
+    double label = 0.0;
+    if (!r.Read(&has_label) || !r.Read(&label)) {
+      return Status::InvalidArgument("request truncated in label trailer");
+    }
+    if (has_label > 1) {
+      return Status::InvalidArgument("invalid has_label flag " +
+                                     std::to_string(has_label));
+    }
+    if (has_label == 1) req.where_label = label;
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after request");
@@ -123,7 +143,7 @@ Result<SampleResponse> DecodeResponse(const std::string& body) {
   if (!r.Read(&status)) {
     return Status::InvalidArgument("response truncated before status");
   }
-  if (status > static_cast<uint32_t>(WireStatus::kInternal)) {
+  if (status > static_cast<uint32_t>(WireStatus::kUnknownLabel)) {
     return Status::InvalidArgument("unknown wire status " +
                                    std::to_string(status));
   }

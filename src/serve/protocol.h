@@ -2,6 +2,7 @@
 #define TABLEGAN_SERVE_PROTOCOL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -17,10 +18,18 @@ namespace serve {
 ///
 /// all integers little-endian. A request body is
 ///
-///   [u32 version=1][u8 format][u16 model_id_len][model_id bytes]
+///   [u32 version][u8 format][u16 model_id_len][model_id bytes]
 ///   [u64 seed][i64 row_begin][i64 row_end]
+///   [u8 has_label][f64 label]            (version 2 only)
 ///
-/// and a response body is
+/// Version 1 requests (no label trailer) are still accepted — an
+/// unconditional client needs no upgrade — and an unconditional version
+/// 2 request sets has_label = 0 with a zero label field. When has_label
+/// is 1 the server samples rows of the requested label through
+/// TableGan::SampleConditional; a label the model was not trained on
+/// answers with kUnknownLabel.
+///
+/// A response body is
 ///
 ///   [u32 wire_status][payload bytes]
 ///
@@ -37,7 +46,12 @@ namespace serve {
 /// and under any sharding of the range across requests or servers.
 
 constexpr uint32_t kFrameMagic = 0x7653'4754u;  // "TGSv" little-endian
-constexpr uint32_t kProtocolVersion = 1;
+/// Highest request version this build speaks. Version 1 (no conditional
+/// trailer) is still decoded, and EncodeRequest emits it whenever the
+/// request carries no label, so unconditional traffic is byte-identical
+/// to what a v1-only peer produces and expects.
+constexpr uint32_t kProtocolVersion = 2;
+constexpr uint32_t kMinProtocolVersion = 1;
 
 /// Requests are small (a model id plus counters); responses carry whole
 /// CSV payloads.
@@ -59,6 +73,7 @@ enum class WireStatus : uint32_t {
   kUnknownModel = 2,   // model id not in the registry
   kBadRequest = 3,     // malformed frame or invalid field values
   kInternal = 4,       // sampling/encoding failed server-side
+  kUnknownLabel = 5,   // conditional request for a label the model lacks
 };
 
 const char* WireStatusToString(WireStatus s);
@@ -69,6 +84,9 @@ struct SampleRequest {
   int64_t row_begin = 0;
   int64_t row_end = 0;
   Format format = Format::kCsv;
+  /// Condition-by-label: when set, the server returns rows [row_begin,
+  /// row_end) of the model's per-label sample stream for this label.
+  std::optional<double> where_label;
 };
 
 struct SampleResponse {

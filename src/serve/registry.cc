@@ -15,6 +15,12 @@ class ModelSource : public RowSource {
     return model_.SampleRange(seed, row_begin, row_end);
   }
 
+  Result<data::Table> SampleConditionalRange(uint64_t seed, int64_t row_begin,
+                                             int64_t row_end,
+                                             double label) const override {
+    return model_.SampleConditional(seed, row_begin, row_end, label);
+  }
+
  private:
   core::TableGan model_;
 };

@@ -28,6 +28,19 @@ class RowSource {
   /// concurrently.
   virtual Result<data::Table> SampleRange(uint64_t seed, int64_t row_begin,
                                           int64_t row_end) const = 0;
+
+  /// Condition-by-label variant: rows [row_begin, row_end) of the
+  /// per-label sample stream. Only conditional models support this;
+  /// the default rejects with FailedPrecondition (the server maps that
+  /// onto a BAD_REQUEST frame), and an untrained label is NotFound
+  /// (mapped onto UNKNOWN_LABEL). Same purity/thread-safety contract
+  /// as SampleRange.
+  virtual Result<data::Table> SampleConditionalRange(
+      uint64_t /*seed*/, int64_t /*row_begin*/, int64_t /*row_end*/,
+      double /*label*/) const {
+    return Status::FailedPrecondition(
+        "this source does not support conditional sampling");
+  }
 };
 
 /// In-memory collection of row sources, keyed by the id clients put

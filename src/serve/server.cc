@@ -17,8 +17,18 @@ namespace serve {
 namespace {
 
 WireStatus WireStatusForSampling(const Status& s) {
-  return s.code() == StatusCode::kInvalidArgument ? WireStatus::kBadRequest
-                                                  : WireStatus::kInternal;
+  switch (s.code()) {
+    case StatusCode::kInvalidArgument:
+    // A conditional request against a source without conditional
+    // support is a client mistake, not a server fault.
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kBadRequest;
+    // SampleConditional's "label not in the training vocabulary".
+    case StatusCode::kNotFound:
+      return WireStatus::kUnknownLabel;
+    default:
+      return WireStatus::kInternal;
+  }
 }
 
 }  // namespace
@@ -194,7 +204,10 @@ SampleResponse Server::Serve(const SampleRequest& req) const {
     return resp;
   }
   Result<data::Table> rows =
-      model->SampleRange(req.seed, req.row_begin, req.row_end);
+      req.where_label.has_value()
+          ? model->SampleConditionalRange(req.seed, req.row_begin,
+                                          req.row_end, *req.where_label)
+          : model->SampleRange(req.seed, req.row_begin, req.row_end);
   if (!rows.ok()) {
     resp.status = WireStatusForSampling(rows.status());
     resp.payload = rows.status().ToString();

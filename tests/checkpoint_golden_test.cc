@@ -24,6 +24,7 @@ namespace tablegan {
 namespace {
 
 const char kFixture[] = TABLEGAN_TEST_DATA_DIR "/tiny_v3.tgan";
+const char kFixtureV5[] = TABLEGAN_TEST_DATA_DIR "/tiny_v5.tgan";
 
 std::string ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -69,6 +70,59 @@ TEST(CheckpointGoldenTest, V3UpgradesToV4AndSamplesIdentically) {
 
   Result<data::Table> a = from_v3->Sample(16);
   Result<data::Table> b = from_v4->Sample(16);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  ASSERT_EQ(a->num_columns(), b->num_columns());
+  for (int c = 0; c < a->num_columns(); ++c) {
+    for (int64_t r = 0; r < a->num_rows(); ++r) {
+      ASSERT_EQ(a->Get(r, c), b->Get(r, c))
+          << "sample divergence at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// --- v5 fixture (trained before the conditional/GMM section existed).
+
+TEST(CheckpointGoldenTest, V5FixtureLoads) {
+  Result<core::TableGan> loaded = core::TableGan::Load(kFixtureV5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->fitted());
+  EXPECT_EQ(loaded->label_col(), 3);
+  EXPECT_EQ(loaded->options().seed, 20260806u);
+  // A pre-v6 model is unconditional and all-min-max by construction.
+  EXPECT_FALSE(loaded->options().conditional);
+  EXPECT_TRUE(loaded->options().gmm_columns.empty());
+}
+
+TEST(CheckpointGoldenTest, SaveCompatRoundTripsV5Bitwise) {
+  Result<core::TableGan> loaded = core::TableGan::Load(kFixtureV5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::string resaved = "golden_resaved_v5.tgan";
+  ASSERT_TRUE(loaded->SaveCompat(resaved, 5).ok());
+  const std::string golden_bytes = ReadFileBytes(kFixtureV5);
+  const std::string resaved_bytes = ReadFileBytes(resaved);
+  std::remove(resaved.c_str());
+  ASSERT_FALSE(golden_bytes.empty());
+  EXPECT_EQ(golden_bytes.size(), resaved_bytes.size());
+  EXPECT_TRUE(golden_bytes == resaved_bytes)
+      << "v5 re-serialization diverged from the committed fixture";
+}
+
+TEST(CheckpointGoldenTest, V5UpgradesToV6AndSamplesIdentically) {
+  Result<core::TableGan> from_v5 = core::TableGan::Load(kFixtureV5);
+  ASSERT_TRUE(from_v5.ok()) << from_v5.status().ToString();
+  // Upgrade: re-save in v6 (which appends the conditional/GMM section
+  // in its empty, all-defaults form), reload, and compare the
+  // unconditional sampling streams bit for bit.
+  const std::string upgraded = "golden_upgraded_v6.tgan";
+  ASSERT_TRUE(from_v5->Save(upgraded).ok());
+  Result<core::TableGan> from_v6 = core::TableGan::Load(upgraded);
+  std::remove(upgraded.c_str());
+  ASSERT_TRUE(from_v6.ok()) << from_v6.status().ToString();
+
+  Result<data::Table> a = from_v5->Sample(16);
+  Result<data::Table> b = from_v6->Sample(16);
   ASSERT_TRUE(a.ok()) << a.status().ToString();
   ASSERT_TRUE(b.ok()) << b.status().ToString();
   ASSERT_EQ(a->num_rows(), b->num_rows());

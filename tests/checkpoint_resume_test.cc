@@ -427,17 +427,21 @@ TEST(SampleStreamTest, VersionedMagicBytes) {
       table.schema().ColumnsWithRole(data::ColumnRole::kLabel)[0];
   TableGan gan(FastOptions());
   ASSERT_TRUE(gan.Fit(table, label_col).ok());
+  const std::string v6_path = TempPath("magic_v6.tgan");
   const std::string v5_path = TempPath("magic_v5.tgan");
   const std::string v4_path = TempPath("magic_v4.tgan");
   const std::string v3_path = TempPath("magic_v3.tgan");
-  ASSERT_TRUE(gan.Save(v5_path).ok());
+  ASSERT_TRUE(gan.Save(v6_path).ok());
+  ASSERT_TRUE(gan.SaveCompat(v5_path, 5).ok());
   ASSERT_TRUE(gan.SaveCompat(v4_path, 4).ok());
   ASSERT_TRUE(gan.SaveCompat(v3_path, 3).ok());
+  EXPECT_EQ(ReadFileBytes(v6_path).substr(0, 8), "TGAN0006");
   EXPECT_EQ(ReadFileBytes(v5_path).substr(0, 8), "TGAN0005");
   EXPECT_EQ(ReadFileBytes(v4_path).substr(0, 8), "TGAN0004");
   EXPECT_EQ(ReadFileBytes(v3_path).substr(0, 8), "TGAN0003");
   // An unsupported version number is rejected up front.
   EXPECT_FALSE(gan.SaveCompat(TempPath("magic_v2.tgan"), 2).ok());
+  std::remove(v6_path.c_str());
   std::remove(v5_path.c_str());
   std::remove(v4_path.c_str());
   std::remove(v3_path.c_str());

@@ -1,0 +1,341 @@
+// Mode-specific GMM normalization (ISSUE satellite): encode -> decode
+// identity on extreme doubles and degenerate columns, thread-count
+// invariance of the EM fit, the mixed-record layout of RecordNormalizer,
+// and a 100-case property-fuzz round-trip invariant mirroring the
+// min-max one in property_fuzz_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "data/gmm_normalizer.h"
+#include "data/normalizer.h"
+#include "data/table.h"
+#include "proptest.h"
+
+namespace tablegan {
+namespace {
+
+using testing_util::ForAllTables;
+
+// Overflow-safe span-relative tolerance, the same formula the min-max
+// round-trip invariant uses: the float32 cell plus the unit-space
+// round trip cost at most ~1e-5 of the half-span.
+double RoundTripTol(double lo, double hi) {
+  return 1e-5 * (0.5 * hi - 0.5 * lo) + 1e-9;
+}
+
+data::Schema OneContinuousColumn() {
+  data::Schema schema;
+  data::ColumnSpec spec;
+  spec.name = "x";
+  spec.type = data::ColumnType::kContinuous;
+  schema.AddColumn(spec);
+  return schema;
+}
+
+std::string RoundTripsAll(const data::GmmColumnNormalizer& g,
+                          const std::vector<double>& values) {
+  std::vector<float> cells(static_cast<size_t>(g.encoded_width()));
+  for (double v : values) {
+    g.Encode(v, cells.data());
+    for (float c : cells) {
+      if (!std::isfinite(c) || c < -1.0f || c > 1.0f) {
+        return "encoded cell outside [-1, 1]";
+      }
+    }
+    const double back = g.Decode(cells.data());
+    if (!std::isfinite(back)) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "non-finite decode of " << v;
+      return os.str();
+    }
+    const double tol = RoundTripTol(g.lo(), g.hi());
+    if (std::abs(back - v) > tol) {
+      std::ostringstream os;
+      os.precision(17);
+      os << v << " -> " << back << " (tol " << tol << ")";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+TEST(GmmNormalizerTest, RoundTripsExtremeDoubles) {
+  // Max-magnitude values, denormals, signed zeros: the unit-space
+  // mapping must keep every intermediate finite even though hi - lo
+  // overflows to inf here.
+  const std::vector<double> values = {
+      DBL_MAX,  -DBL_MAX, 1e308,  -1e308, 4.9406564584124654e-324,
+      -4.9406564584124654e-324, 0.0, -0.0, 1e30, -1e30, 3.5, -2.25,
+  };
+  data::GmmColumnNormalizer g;
+  ASSERT_TRUE(
+      g.Fit(values.data(), static_cast<int64_t>(values.size()), 4).ok());
+  ASSERT_TRUE(g.fitted());
+  EXPECT_EQ(RoundTripsAll(g, values), "");
+}
+
+TEST(GmmNormalizerTest, ConstantColumnIsASingleExactMode) {
+  const std::vector<double> values(17, 42.5);
+  data::GmmColumnNormalizer g;
+  ASSERT_TRUE(
+      g.Fit(values.data(), static_cast<int64_t>(values.size()), 8).ok());
+  EXPECT_EQ(g.num_components(), 1);
+  EXPECT_EQ(g.encoded_width(), 2);
+  std::vector<float> cells(2);
+  g.Encode(42.5, cells.data());
+  EXPECT_EQ(cells[0], 0.0f);
+  EXPECT_EQ(cells[1], 1.0f);
+  EXPECT_EQ(g.Decode(cells.data()), 42.5);
+
+  // Constant -0.0: the decode is the stored bound, sign included.
+  const std::vector<double> zeros(5, -0.0);
+  data::GmmColumnNormalizer gz;
+  ASSERT_TRUE(gz.Fit(zeros.data(), 5, 4).ok());
+  gz.Encode(-0.0, cells.data());
+  EXPECT_EQ(gz.Decode(cells.data()), 0.0);
+}
+
+TEST(GmmNormalizerTest, TwoPointColumnSplitsIntoTwoExactModes) {
+  const std::vector<double> values = {-5.0, -5.0, -5.0, 7.0, 7.0};
+  data::GmmColumnNormalizer g;
+  ASSERT_TRUE(
+      g.Fit(values.data(), static_cast<int64_t>(values.size()), 4).ok());
+  // Two distinct values cap the mixture at two modes, sorted by mean.
+  ASSERT_EQ(g.num_components(), 2);
+  EXPECT_LT(g.components()[0].mean, g.components()[1].mean);
+  EXPECT_EQ(RoundTripsAll(g, values), "");
+}
+
+TEST(GmmNormalizerTest, NearSingletonModeCoversItsOutlier) {
+  // 63 tightly clustered points plus one far outlier: the outlier's
+  // mode carries almost no posterior mass, but the hard-assignment
+  // halfwidth pass must still cover it so it round-trips.
+  std::vector<double> values(63, 1.0);
+  for (size_t i = 0; i < 63; ++i) {
+    values[i] = 1.0 + 1e-3 * static_cast<double>(i % 7);
+  }
+  values.push_back(1e6);
+  data::GmmColumnNormalizer g;
+  ASSERT_TRUE(
+      g.Fit(values.data(), static_cast<int64_t>(values.size()), 4).ok());
+  EXPECT_EQ(RoundTripsAll(g, values), "");
+}
+
+TEST(GmmNormalizerTest, ComponentBudgetIsCappedByDistinctValues) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 1.0, 2.0, 3.0};
+  data::GmmColumnNormalizer g;
+  ASSERT_TRUE(
+      g.Fit(values.data(), static_cast<int64_t>(values.size()), 8).ok());
+  EXPECT_LE(g.num_components(), 3);
+  EXPECT_EQ(RoundTripsAll(g, values), "");
+}
+
+TEST(GmmNormalizerTest, RejectsEmptyColumnsAndBadBudgets) {
+  const double v = 1.0;
+  data::GmmColumnNormalizer g;
+  EXPECT_FALSE(g.Fit(&v, 0, 4).ok());
+  EXPECT_FALSE(g.Fit(&v, 1, 0).ok());
+  EXPECT_FALSE(g.Fit(&v, 1, 65).ok());
+  EXPECT_TRUE(g.Fit(&v, 1, 64).ok());
+}
+
+TEST(GmmNormalizerTest, FitIsBitwiseInvariantToThreadCount) {
+  Rng rng(0x6E11);
+  std::vector<double> values(400);
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Bimodal: two well-separated Gaussians.
+    values[i] = (i % 2 == 0) ? rng.Gaussian(-10.0, 0.5)
+                             : rng.Gaussian(40.0, 2.0);
+  }
+  auto fit_with_threads = [&](int threads) {
+    ScopedNumThreads scope(threads);
+    data::GmmColumnNormalizer g;
+    TABLEGAN_CHECK_OK(
+        g.Fit(values.data(), static_cast<int64_t>(values.size()), 4));
+    return g;
+  };
+  const data::GmmColumnNormalizer a = fit_with_threads(1);
+  for (int threads : {2, 3, 8}) {
+    const data::GmmColumnNormalizer b = fit_with_threads(threads);
+    ASSERT_EQ(a.num_components(), b.num_components()) << threads;
+    for (int m = 0; m < a.num_components(); ++m) {
+      const data::GmmComponent& ca = a.components()[static_cast<size_t>(m)];
+      const data::GmmComponent& cb = b.components()[static_cast<size_t>(m)];
+      EXPECT_EQ(std::memcmp(&ca, &cb, sizeof(ca)), 0)
+          << "component " << m << " differs at " << threads << " threads";
+    }
+  }
+  // And the fit actually found both modes.
+  EXPECT_GE(a.num_components(), 2);
+}
+
+// ------------------------------------------------------------------
+// RecordNormalizer: layout, delegation, mixed round trip.
+
+TEST(RecordNormalizerTest, AllMinMaxDelegatesBitwise) {
+  data::Table t = testing_util::RandomPropertyTable(0xAB12, 40);
+  data::MinMaxNormalizer plain;
+  ASSERT_TRUE(plain.Fit(t).ok());
+  data::RecordNormalizer rec;
+  ASSERT_TRUE(rec.Fit(t).ok());
+  ASSERT_TRUE(rec.all_minmax());
+  EXPECT_EQ(rec.encoded_width(), t.num_columns());
+  Result<Tensor> a = plain.Transform(t);
+  Result<Tensor> b = rec.Transform(t);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  EXPECT_EQ(std::memcmp(a->data(), b->data(),
+                        static_cast<size_t>(a->size()) * sizeof(float)),
+            0);
+}
+
+TEST(RecordNormalizerTest, MixedRecordLayoutAndRoundTrip) {
+  data::Schema schema;
+  data::ColumnSpec c0;
+  c0.name = "wide";
+  c0.type = data::ColumnType::kContinuous;
+  schema.AddColumn(c0);
+  data::ColumnSpec c1;
+  c1.name = "age";
+  c1.type = data::ColumnType::kDiscrete;
+  schema.AddColumn(c1);
+  data::ColumnSpec c2;
+  c2.name = "narrow";
+  c2.type = data::ColumnType::kContinuous;
+  schema.AddColumn(c2);
+
+  Rng rng(0xD1CE);
+  data::Table t(schema);
+  for (int64_t r = 0; r < 200; ++r) {
+    const double bimodal = (r % 2 == 0) ? rng.Gaussian(0.0, 1.0)
+                                        : rng.Gaussian(100.0, 3.0);
+    t.AppendRow({bimodal, static_cast<double>(r % 9),
+                 rng.Gaussian(5.0, 0.1)});
+  }
+
+  std::vector<data::ColumnNormalizerSpec> specs(3);
+  specs[0].kind = data::NormalizerKind::kGmm;
+  specs[0].components = 3;
+  data::RecordNormalizer rec;
+  ASSERT_TRUE(rec.Fit(t, specs).ok());
+  EXPECT_FALSE(rec.all_minmax());
+  const data::GmmColumnNormalizer* g = rec.gmm(0);
+  ASSERT_NE(g, nullptr);
+  EXPECT_GE(g->num_components(), 2);  // the bimodality is found
+  EXPECT_EQ(rec.column_offset(0), 0);
+  EXPECT_EQ(rec.column_width(0), g->encoded_width());
+  EXPECT_EQ(rec.column_offset(1), g->encoded_width());
+  EXPECT_EQ(rec.column_offset(2), g->encoded_width() + 1);
+  EXPECT_EQ(rec.encoded_width(), g->encoded_width() + 2);
+
+  Result<Tensor> enc = rec.Transform(t);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_EQ(enc->dim(1), rec.encoded_width());
+  Result<data::Table> back = rec.InverseTransform(*enc, schema);
+  ASSERT_TRUE(back.ok());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    // The GMM column's tolerance is per-mode (halfwidth-scaled), far
+    // tighter than the whole-span min-max bound; the span bound is a
+    // safe upper envelope for both columns.
+    EXPECT_NEAR(back->Get(r, 0), t.Get(r, 0),
+                RoundTripTol(rec.column_min(0), rec.column_max(0)));
+    EXPECT_EQ(back->Get(r, 1), t.Get(r, 1));  // discrete: exact
+    EXPECT_NEAR(back->Get(r, 2), t.Get(r, 2),
+                RoundTripTol(rec.column_min(2), rec.column_max(2)));
+  }
+}
+
+TEST(RecordNormalizerTest, RejectsGmmOnNonContinuousColumns) {
+  data::Schema schema;
+  data::ColumnSpec spec;
+  spec.name = "d";
+  spec.type = data::ColumnType::kDiscrete;
+  schema.AddColumn(spec);
+  data::Table t(schema);
+  t.AppendRow({1.0});
+  std::vector<data::ColumnNormalizerSpec> specs(1);
+  specs[0].kind = data::NormalizerKind::kGmm;
+  data::RecordNormalizer rec;
+  const Status st = rec.Fit(t, specs);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("column 0"), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Property fuzz: random mixtures round-trip, 100 cases with shrinking.
+
+TEST(GmmPropertyFuzz, RandomMixturesRoundTripWithinTolerance) {
+  ForAllTables(
+      "RandomMixturesRoundTripWithinTolerance", 0x63D1ULL, /*max_rows=*/128,
+      [](uint64_t seed, int64_t rows) {
+        // One continuous column drawn from a random 1-5 mode mixture,
+        // occasionally spiked with the extreme-double pool.
+        Rng rng(seed);
+        const int modes = static_cast<int>(rng.UniformInt(1, 5));
+        std::vector<double> centers(static_cast<size_t>(modes));
+        std::vector<double> scales(static_cast<size_t>(modes));
+        for (int m = 0; m < modes; ++m) {
+          centers[static_cast<size_t>(m)] = rng.Gaussian(0.0, 1e4);
+          scales[static_cast<size_t>(m)] =
+              std::abs(rng.Gaussian(0.0, 10.0)) + 1e-6;
+        }
+        data::Table t(OneContinuousColumn());
+        for (int64_t r = 0; r < rows; ++r) {
+          double v;
+          if (rng.NextBool(0.05)) {
+            v = testing_util::RandomContinuousValue(&rng);
+          } else {
+            const int m = static_cast<int>(rng.UniformInt(0, modes - 1));
+            v = rng.Gaussian(centers[static_cast<size_t>(m)],
+                             scales[static_cast<size_t>(m)]);
+          }
+          t.AppendRow({v});
+        }
+        return t;
+      },
+      [](const data::Table& t) -> std::string {
+        std::vector<data::ColumnNormalizerSpec> specs(1);
+        specs[0].kind = data::NormalizerKind::kGmm;
+        specs[0].components = 5;
+        data::RecordNormalizer rec;
+        Status f = rec.Fit(t, specs);
+        if (!f.ok()) return "Fit: " + f.ToString();
+        Result<Tensor> enc = rec.Transform(t);
+        if (!enc.ok()) return "Transform: " + enc.status().ToString();
+        for (int64_t i = 0; i < enc->size(); ++i) {
+          if (!std::isfinite((*enc)[i])) {
+            return "non-finite encoding at flat index " + std::to_string(i);
+          }
+        }
+        Result<data::Table> back = rec.InverseTransform(*enc, t.schema());
+        if (!back.ok()) {
+          return "InverseTransform: " + back.status().ToString();
+        }
+        const double tol = RoundTripTol(rec.column_min(0), rec.column_max(0));
+        for (int64_t r = 0; r < t.num_rows(); ++r) {
+          const double orig = t.Get(r, 0);
+          const double got = back->Get(r, 0);
+          if (!std::isfinite(got) || std::abs(got - orig) > tol) {
+            std::ostringstream os;
+            os.precision(17);
+            os << "row " << r << ": " << orig << " -> " << got << " (tol "
+               << tol << ")";
+            return os.str();
+          }
+        }
+        return "";
+      });
+}
+
+}  // namespace
+}  // namespace tablegan

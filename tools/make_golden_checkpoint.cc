@@ -1,11 +1,13 @@
-// Regenerates the committed cross-version checkpoint fixture
-// tests/data/tiny_v3.tgan used by checkpoint_golden_test: a minimal
-// table-GAN trained on a fixed 12-row table, saved in the legacy
-// version-3 on-disk format. The model and table are pinned — rerun this
-// tool (and re-commit the fixture) only when the format itself changes
-// on purpose, never to paper over an accidental byte difference.
+// Regenerates the committed cross-version checkpoint fixtures
+// tests/data/tiny_v3.tgan and tests/data/tiny_v5.tgan used by
+// checkpoint_golden_test: a minimal table-GAN trained on a fixed 12-row
+// table, saved in the legacy version-3 on-disk format (and, when a
+// second path is given, the same model in the pre-GMM version-5
+// format). The model and table are pinned — rerun this tool (and
+// re-commit the fixtures) only when the format itself changes on
+// purpose, never to paper over an accidental byte difference.
 //
-//   ./make_golden_checkpoint <output-path>
+//   ./make_golden_checkpoint <v3-output-path> [<v5-output-path>]
 
 #include <cstdio>
 
@@ -58,8 +60,9 @@ tablegan::core::TableGanOptions FixtureOptions() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <output-path>\n", argv[0]);
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr, "usage: %s <v3-output-path> [<v5-output-path>]\n",
+                 argv[0]);
     return 2;
   }
   tablegan::core::TableGan gan(FixtureOptions());
@@ -74,5 +77,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote v3 fixture: %s\n", argv[1]);
+  if (argc == 3) {
+    const tablegan::Status save5 = gan.SaveCompat(argv[2], 5);
+    if (!save5.ok()) {
+      std::fprintf(stderr, "SaveCompat(5): %s\n", save5.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote v5 fixture: %s\n", argv[2]);
+  }
   return 0;
 }

@@ -26,6 +26,8 @@ asan_tests=(
   serve_protocol_test
   columnar_test
   chunked_test
+  gmm_normalizer_test
+  conditional_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

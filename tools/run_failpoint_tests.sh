@@ -23,6 +23,8 @@ failpoint_tests=(
   tail_batch_test
   checkpoint_golden_test
   columnar_test
+  gmm_normalizer_test
+  conditional_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

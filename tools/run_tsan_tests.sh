@@ -29,6 +29,8 @@ tsan_tests=(
   serve_protocol_test
   columnar_test
   chunked_test
+  gmm_normalizer_test
+  conditional_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

@@ -25,6 +25,8 @@ ubsan_tests=(
   loss_mode_test
   columnar_test
   chunked_test
+  gmm_normalizer_test
+  conditional_test
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" \

@@ -13,11 +13,14 @@
 //                         [--diverge off|halt|rollback] [--guard-ewma X]
 //                         [--guard-factor X] [--guard-warmup N]
 //                         [--guard-max-rollbacks N]
+//                         [--conditional 1] [--gmm-cols col1,col2]
+//                         [--gmm-k N]
 //   tablegan_cli sample   --model model.tgan --rows N --out synth.csv
 //                         [--threads N] [--format csv|columnar]
+//                         [--where-label X] [--seed N] [--begin I]
 //   tablegan_cli sample-remote --port P --model-id ID --rows N
 //                         --out synth.csv [--host 127.0.0.1] [--seed N]
-//                         [--begin I]
+//                         [--begin I] [--where-label X]
 //   tablegan_cli evaluate --data original.csv --schema table.schema
 //                         --released synth.csv
 //   tablegan_cli convert  --in table.csv --schema table.schema
@@ -57,6 +60,14 @@
 // guardrail: on a non-finite or runaway loss EWMA the run halts (or
 // rolls back to the last-good epoch) after auto-checkpointing
 // `<checkpoint-dir>/diverged-last-good.tgan`.
+//
+// `--conditional 1` trains a label-conditioned generator (DESIGN.md
+// §16); `sample --where-label X` then reads the per-label stream of
+// level X from rows [--begin, --begin + rows) under --seed, and
+// `sample-remote --where-label X` fetches the byte-identical rows from
+// a daemon. `--gmm-cols` lists continuous columns (by name) to encode
+// with the mode-specific GMM normalizer, `--gmm-k` caps the mixture
+// size per column.
 
 #include <algorithm>
 #include <cstdint>
@@ -281,6 +292,27 @@ int CmdTrain(Args args) {
       args.GetInt("guard-warmup", options.guard_warmup_epochs, 0, 1000000));
   options.guard_max_rollbacks = static_cast<int>(args.GetInt(
       "guard-max-rollbacks", options.guard_max_rollbacks, 0, 1000000));
+  // Conditional generation + mode-specific normalization (DESIGN.md §16).
+  options.conditional = args.GetInt("conditional", 0, 0, 1) != 0;
+  options.gmm_components =
+      static_cast<int>(args.GetInt("gmm-k", options.gmm_components, 1, 64));
+  if (const char* gmm_cols = args.Get("gmm-cols")) {
+    std::string list(gmm_cols);
+    size_t pos = 0;
+    while (pos <= list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      const std::string name = list.substr(pos, comma - pos);
+      if (!name.empty()) {
+        options.gmm_columns.push_back(Unwrap(schema.FindColumn(name)));
+      }
+      pos = comma + 1;
+    }
+    if (options.gmm_columns.empty()) {
+      Fail(Status::InvalidArgument(
+          "--gmm-cols must name at least one column"));
+    }
+  }
   if (options.checkpoint_every > 0 && options.checkpoint_dir.empty()) {
     Fail(Status::InvalidArgument(
         "--checkpoint-every requires --checkpoint-dir"));
@@ -312,7 +344,19 @@ int CmdSample(Args args) {
   if (threads > 0) SetNumThreads(threads);
   core::TableGan gan = Unwrap(core::TableGan::Load(args.Require("model")));
   const int64_t rows = args.RequireInt("rows", 0, kMaxRows);
-  data::Table synth = Unwrap(gan.Sample(rows));
+  data::Table synth = [&] {
+    if (args.Get("where-label") != nullptr) {
+      // Conditional sampling is stateless: rows [begin, begin + rows)
+      // of the per-label stream under --seed, the same rows a daemon
+      // serving this model would return.
+      const double label = args.GetDouble("where-label", 0.0);
+      const int64_t begin = args.GetInt("begin", 0, 0, kMaxRows);
+      const uint64_t seed = static_cast<uint64_t>(
+          args.GetInt("seed", 47, 0, INT64_MAX));
+      return Unwrap(gan.SampleConditional(seed, begin, begin + rows, label));
+    }
+    return Unwrap(gan.Sample(rows));
+  }();
   const std::string format = args.Get("format", "csv");
   if (format == "columnar") {
     TABLEGAN_CHECK_OK(data::WriteColumnar(synth, args.Require("out")));
@@ -382,13 +426,19 @@ int CmdSampleRemote(Args args) {
       static_cast<uint64_t>(args.GetInt("seed", 47, 0, INT64_MAX));
   const char* out_path = args.Require("out");
 
+  std::optional<double> where_label;
+  if (args.Get("where-label") != nullptr) {
+    where_label = args.GetDouble("where-label", 0.0);
+  }
+
   serve::Client client;
   TABLEGAN_CHECK_OK(client.Connect(host, port));
   const std::string csv = Unwrap(client.SampleRange(
       model_id, seed, begin, begin + rows,
       // Sharded fetches (--begin > 0) get data rows only, so shards
       // concatenate into one valid file behind a first header shard.
-      begin == 0 ? serve::Format::kCsv : serve::Format::kCsvNoHeader));
+      begin == 0 ? serve::Format::kCsv : serve::Format::kCsvNoHeader,
+      where_label));
 
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) Fail(Status::IOError("cannot open for write: " +
